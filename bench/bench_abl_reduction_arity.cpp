@@ -1,0 +1,46 @@
+// Ablation — reduction tree arity.
+//
+// Fig 11 motivates *a* tree; this sweep asks which fan-in is best: low
+// arity adds levels (latency), high arity concentrates data per node
+// (approaching the single-node failure mode).
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace hepvine;
+using namespace hepvine::bench;
+
+int main() {
+  print_header("Ablation: reduction arity (RS-TriPhoton-like accumulation)");
+
+  apps::WorkloadSpec workload = apps::rs_triphoton();
+  workload.events_per_chunk = 50;
+  workload.process_tasks = fast_mode() ? 400 : 2'000;
+  workload.datasets = fast_mode() ? 4 : 20;
+  workload.input_bytes = (fast_mode() ? 50ull : 250ull) * util::kGB;
+
+  RunConfig config;
+  config.workers = scaled(60, 20);
+  config.node = cluster::triphoton_worker_node();
+
+  std::printf("  %-8s %10s %12s %14s %10s\n", "arity", "tasks", "makespan",
+              "peak cache", "crashes");
+  for (std::size_t arity : std::vector<std::size_t>{2, 4, 8, 16, 64, 200}) {
+    apps::WorkloadSpec variant = workload;
+    variant.reduce_arity = arity;
+    const dag::TaskGraph probe = apps::build_workload(variant, 42);
+    exec::RunOptions options;
+    options.seed = 42;
+    options.mode = exec::ExecMode::kFunctionCalls;
+    options.max_task_retries = 12;
+    vine::VineScheduler scheduler;
+    const auto report = run_workload(scheduler, variant, config, options);
+    std::printf("  %-8zu %10zu %11.1fs %14s %10u %s\n", arity, probe.size(),
+                report.makespan_seconds(),
+                util::format_bytes(report.cache.global_peak()).c_str(),
+                report.worker_crashes, report.success ? "" : "[FAILED]");
+  }
+  std::printf("\n  expectation: moderate arities (4-16) minimize makespan; "
+              "extreme fan-in concentrates cache load\n");
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Shared harness for the paper-reproduction benches: builds workloads and
+// clusters, runs schedulers, and prints paper-vs-measured tables.
+//
+// All benches run standalone with no arguments. Set HEPVINE_FAST=1 to run
+// reduced-scale versions (same shapes, smaller workloads) for quick smoke
+// runs; default is full paper scale.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "apps/workloads.h"
+#include "cluster/calibration.h"
+#include "dd/dask_distributed.h"
+#include "exec/scheduler.h"
+#include "storage/shared_fs.h"
+#include "vine/vine_scheduler.h"
+#include "wq/work_queue.h"
+
+namespace hepvine::bench {
+
+[[nodiscard]] inline bool fast_mode() {
+  const char* env = std::getenv("HEPVINE_FAST");
+  return env != nullptr && std::strcmp(env, "0") != 0;
+}
+
+/// Scale a task/worker count down in fast mode.
+[[nodiscard]] inline std::uint32_t scaled(std::uint32_t full,
+                                          std::uint32_t fast) {
+  return fast_mode() ? fast : full;
+}
+
+struct RunConfig {
+  std::uint32_t workers = 200;
+  cluster::NodeSpec node = cluster::paper_worker_node();
+  storage::SharedFsSpec fs = storage::vast_spec();
+  double preemption_rate_per_hour = 0.01;
+  std::uint64_t seed = 1;
+};
+
+inline exec::RunReport run_workload(exec::SchedulerBackend& scheduler,
+                                    const apps::WorkloadSpec& workload,
+                                    const RunConfig& config,
+                                    const exec::RunOptions& options) {
+  const dag::TaskGraph graph = apps::build_workload(workload, options.seed);
+  cluster::ClusterSpec cspec = cluster::paper_cluster(
+      config.workers, config.node, config.fs, config.seed);
+  cspec.batch.preemption_rate_per_hour = config.preemption_rate_per_hour;
+  cluster::Cluster cluster(cspec);
+  return scheduler.run(graph, cluster, options);
+}
+
+inline void print_header(const char* title) {
+  std::printf("\n============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("============================================================\n");
+}
+
+/// One paper-vs-measured row.
+inline void print_row(const char* label, double paper_value,
+                      double measured_value, const char* unit) {
+  std::printf("  %-28s paper %8.1f %-4s   measured %8.1f %-4s\n", label,
+              paper_value, unit, measured_value, unit);
+}
+
+inline void print_report_line(const char* label,
+                              const exec::RunReport& report) {
+  std::printf("  %-28s %8.1f s  %s  (attempts %zu, failures %zu, "
+              "preempt %u, crashes %u)%s%s\n",
+              label, report.makespan_seconds(),
+              report.success ? "ok    " : "FAILED", report.task_attempts,
+              report.task_failures, report.worker_preemptions,
+              report.worker_crashes,
+              report.success ? "" : " reason: ",
+              report.success ? "" : report.failure_reason.c_str());
+}
+
+}  // namespace hepvine::bench

@@ -1,0 +1,83 @@
+// Table I — Overall Stack Performance.
+//
+// The paper's headline result: the standard DV3 run (17k tasks, 1.2 TB, 200
+// twelve-core workers) executed on each evolution of the application stack.
+//
+//   Stack 1  Work Queue + HDFS                      3545 s   1.00x
+//   Stack 2  Work Queue + VAST                      3378 s   1.05x
+//   Stack 3  TaskVine (standard tasks) + VAST        730 s   4.86x
+//   Stack 4  TaskVine (function calls) + VAST        272 s  13.03x
+//
+// The shape to reproduce: new storage hardware alone is a marginal win;
+// moving data scheduling into the cluster (TaskVine) is ~5x; converting
+// tasks to serverless function calls is ~13x total.
+#include <vector>
+
+#include "bench_common.h"
+
+using namespace hepvine;
+using namespace hepvine::bench;
+
+int main() {
+  print_header("Table I: Overall Stack Performance (DV3-Large)");
+
+  apps::WorkloadSpec workload = apps::dv3_large();
+  workload.events_per_chunk = fast_mode() ? 200 : 500;
+  if (fast_mode()) {
+    workload.process_tasks = 1500;
+    workload.input_bytes = 120 * util::kGB;
+  }
+
+  RunConfig config;
+  config.workers = scaled(200, 40);
+
+  exec::RunOptions options;
+  options.seed = 11;
+
+  struct Stack {
+    const char* label;
+    double paper_seconds;
+    storage::SharedFsSpec fs;
+    bool taskvine;
+    exec::ExecMode mode;
+  };
+  const std::vector<Stack> stacks = {
+      {"Stack 1: WQ + HDFS", 3545, storage::hdfs_spec(), false,
+       exec::ExecMode::kStandardTasks},
+      {"Stack 2: WQ + VAST", 3378, storage::vast_spec(), false,
+       exec::ExecMode::kStandardTasks},
+      {"Stack 3: TaskVine tasks", 730, storage::vast_spec(), true,
+       exec::ExecMode::kStandardTasks},
+      {"Stack 4: TaskVine functions", 272, storage::vast_spec(), true,
+       exec::ExecMode::kFunctionCalls},
+  };
+
+  double baseline = 0;
+  double paper_baseline = 0;
+  for (const Stack& stack : stacks) {
+    RunConfig cfg = config;
+    cfg.fs = stack.fs;
+    exec::RunOptions opts = options;
+    opts.mode = stack.mode;
+
+    exec::RunReport report;
+    if (stack.taskvine) {
+      vine::VineScheduler scheduler;
+      report = run_workload(scheduler, workload, cfg, opts);
+    } else {
+      wq::WorkQueueScheduler scheduler;
+      report = run_workload(scheduler, workload, cfg, opts);
+    }
+    if (baseline == 0) {
+      baseline = report.makespan_seconds();
+      paper_baseline = stack.paper_seconds;
+    }
+    std::printf("  %-30s paper %6.0fs (%5.2fx)   measured %7.1fs (%5.2fx) %s\n",
+                stack.label, stack.paper_seconds,
+                paper_baseline / stack.paper_seconds,
+                report.makespan_seconds(),
+                baseline / report.makespan_seconds(),
+                report.success ? "" : "[FAILED]");
+  }
+  return 0;
+}

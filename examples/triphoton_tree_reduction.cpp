@@ -1,0 +1,80 @@
+// RS-TriPhoton example: restructuring a reduction DAG (paper Fig 11).
+//
+// The original RS-TriPhoton application reduced each dataset with a single
+// task, pulling every multi-GB partial result onto one worker and
+// overflowing its scratch disk. This example runs both topologies on the
+// same simulated cluster and prints the per-worker cache-usage picture for
+// each, demonstrating why the tree rewrite was necessary.
+#include <cstdio>
+
+#include "apps/workloads.h"
+#include "cluster/calibration.h"
+#include "hep/histogram.h"
+#include "vine/vine_scheduler.h"
+
+using namespace hepvine;
+
+namespace {
+
+exec::RunReport run_variant(apps::ReductionShape shape) {
+  apps::WorkloadSpec spec = apps::rs_triphoton();
+  spec.process_tasks = 280;  // 70 partials per dataset
+  spec.datasets = 4;
+  spec.input_bytes = 50 * util::kGB;
+  spec.events_per_chunk = 2'000;
+  // ~10 GB partials: a single-node reduction must colocate ~700 GB on one
+  // 700 GB scratch disk — the paper's overflow scenario.
+  spec.process_output_bytes = 10 * util::kGB;
+  spec.reduce_output_bytes = 10 * util::kGB;
+  spec.reduction = shape;
+
+  const dag::TaskGraph graph = apps::build_workload(spec, /*seed=*/77);
+  cluster::ClusterSpec cspec = cluster::paper_cluster(
+      12, cluster::triphoton_worker_node(), storage::vast_spec(), 77);
+  cluster::Cluster cluster(cspec);
+
+  exec::RunOptions options;
+  options.mode = exec::ExecMode::kFunctionCalls;
+  options.seed = 77;
+  options.max_task_retries = 12;
+  options.cache_sample_interval = 2 * util::kSec;
+
+  vine::VineScheduler scheduler;
+  return scheduler.run(graph, cluster, options);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("RS-TriPhoton: single-node vs tree reduction\n");
+  std::printf("(280 process tasks x ~10 GB partials, 4 datasets, 12 "
+              "workers with 700 GB scratch)\n");
+
+  for (auto [label, shape] :
+       {std::pair{"single-node reduction (original application)",
+                  apps::ReductionShape::kSingleNode},
+        std::pair{"binary/8-ary tree reduction (restructured)",
+                  apps::ReductionShape::kTree}}) {
+    const exec::RunReport report = run_variant(shape);
+    std::printf("\n=== %s ===\n", label);
+    std::printf("outcome: %s, makespan %.0fs, overflow crashes %u, "
+                "task failures %zu\n",
+                report.success ? "succeeded" : "FAILED",
+                report.makespan_seconds(), report.worker_crashes,
+                report.task_failures);
+    std::printf("peak worker cache: %s (skew max/median %.1fx)\n",
+                util::format_bytes(report.cache.global_peak()).c_str(),
+                report.cache.peak_skew());
+    std::printf("%s", report.cache.render(report.makespan, 64, 12).c_str());
+
+    if (report.success) {
+      const auto* hists = dynamic_cast<const hep::HistogramSet*>(
+          report.results.begin()->second.get());
+      const hep::Histogram1D* mass = hists->find("triphoton_mass");
+      std::printf("tri-photon candidates: %.0f (resonance search at "
+                  "~800 GeV)\n",
+                  mass->integral());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+#include "batch/batch_system.h"
+
+#include <utility>
+
+namespace hepvine::batch {
+
+BatchSystem::BatchSystem(sim::Engine& engine, BatchSpec spec,
+                         std::uint64_t seed)
+    : engine_(engine), spec_(spec), rng_(seed, "batch") {}
+
+void BatchSystem::submit(std::uint32_t count, SlotCallback on_start,
+                         SlotCallback on_preempt) {
+  on_start_ = std::move(on_start);
+  on_preempt_ = std::move(on_preempt);
+  slot_states_.assign(count, SlotState{});
+  for (std::uint32_t slot = 0; slot < count; ++slot) {
+    const Tick window =
+        spec_.match_window > 0
+            ? static_cast<Tick>(rng_.uniform() *
+                                static_cast<double>(spec_.match_window))
+            : 0;
+    engine_.schedule_after(spec_.first_match_delay + window,
+                           [this, slot] { start_slot(slot); });
+  }
+}
+
+void BatchSystem::drain() {
+  draining_ = true;
+  for (auto& state : slot_states_) {
+    state.preemption_event.cancel();
+  }
+}
+
+void BatchSystem::start_slot(std::uint32_t slot) {
+  if (draining_) return;
+  SlotState& state = slot_states_[slot];
+  state.running = true;
+  ++active_;
+  arm_preemption(slot);
+  if (on_start_) on_start_(slot, state.incarnation);
+}
+
+void BatchSystem::arm_preemption(std::uint32_t slot) {
+  if (spec_.preemption_rate_per_hour <= 0) return;
+  const double mean_lifetime_sec = 3600.0 / spec_.preemption_rate_per_hour;
+  const Tick lifetime = util::seconds(rng_.exponential(mean_lifetime_sec));
+  slot_states_[slot].preemption_event =
+      engine_.schedule_after(lifetime, [this, slot] { preempt_slot(slot); });
+}
+
+void BatchSystem::preempt_slot(std::uint32_t slot) {
+  if (draining_) return;
+  SlotState& state = slot_states_[slot];
+  if (!state.running) return;
+  state.preemption_event.cancel();  // forced evictions race the armed timer
+  state.running = false;
+  --active_;
+  ++preemptions_;
+  const std::uint32_t ended_incarnation = state.incarnation;
+  state.incarnation += 1;
+  if (on_preempt_) on_preempt_(slot, ended_incarnation);
+  if (spec_.resubmit_on_preempt) {
+    const Tick delay = util::seconds(rng_.exponential(
+        util::to_seconds(spec_.replacement_delay_mean)));
+    engine_.schedule_after(delay, [this, slot] { start_slot(slot); });
+  }
+}
+
+}  // namespace hepvine::batch

@@ -1,0 +1,49 @@
+// Hardware calibration: the constants describing the paper's facility.
+//
+// These are the knobs EXPERIMENTS.md documents. Absolute runtimes depend on
+// them; the benches print paper-vs-measured so the mapping is explicit.
+#pragma once
+
+#include "cluster/cluster.h"
+#include "storage/shared_fs.h"
+
+namespace hepvine::cluster {
+
+/// The paper's standard worker: 12 cores @2.5 GHz, 96 GB RAM, 108 GB disk.
+[[nodiscard]] inline NodeSpec paper_worker_node() {
+  NodeSpec node;
+  node.cores = 12;
+  node.memory = 96 * util::kGB;
+  node.disk_capacity = 108 * util::kGB;
+  node.disk = storage::nvme_disk();
+  node.nic = util::gbps(10);
+  return node;
+}
+
+/// RS-TriPhoton workers: 700 GB disk, 200 GB RAM (Section V-B).
+[[nodiscard]] inline NodeSpec triphoton_worker_node() {
+  NodeSpec node = paper_worker_node();
+  node.memory = 200 * util::kGB;
+  node.disk_capacity = 700 * util::kGB;
+  return node;
+}
+
+/// Assemble the paper's campus cluster with `workers` nodes of `node` shape
+/// on shared filesystem `fs`.
+[[nodiscard]] inline ClusterSpec paper_cluster(
+    std::uint32_t workers, const NodeSpec& node,
+    const storage::SharedFsSpec& fs, std::uint64_t seed = 1) {
+  ClusterSpec spec;
+  spec.worker_count = workers;
+  spec.worker = node;
+  // The manager is an ordinary campus node on 10 GbE — which is exactly
+  // why funneling terabytes through it (the Work Queue pattern) caps
+  // Stacks 1-2 in Table I.
+  spec.manager_nic = util::gbps(10);
+  spec.fs = fs;
+  spec.seed = seed;
+  spec.batch.preemption_rate_per_hour = 0.01;  // ~1% per ~1 h run
+  return spec;
+}
+
+}  // namespace hepvine::cluster

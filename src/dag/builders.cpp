@@ -1,0 +1,107 @@
+#include "dag/builders.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hepvine::dag {
+
+namespace {
+
+TaskId add_reduce_node(TaskGraph& graph, std::vector<TaskId> inputs,
+                       const ReduceSpec& spec) {
+  std::uint64_t in_bytes = 0;
+  for (TaskId dep : inputs) {
+    in_bytes += graph.task(dep).spec.output_bytes;
+  }
+  TaskSpec task;
+  task.category = spec.category;
+  task.function = spec.function;
+  task.fn = spec.merge;
+  task.cpu_seconds = spec.cpu_seconds_fixed +
+                     spec.cpu_seconds_per_input *
+                         static_cast<double>(inputs.size());
+  task.output_bytes = std::max(
+      spec.output_bytes_min,
+      static_cast<std::uint64_t>(static_cast<double>(in_bytes) *
+                                 spec.output_scale));
+  task.memory_bytes = spec.memory_bytes;
+  task.deps = std::move(inputs);
+  return graph.add_task(std::move(task));
+}
+
+}  // namespace
+
+TaskId add_single_reduction(TaskGraph& graph,
+                            const std::vector<TaskId>& inputs,
+                            const ReduceSpec& spec) {
+  if (inputs.empty()) throw std::invalid_argument("reduction over no inputs");
+  return add_reduce_node(graph, inputs, spec);
+}
+
+TaskId add_tree_reduction(TaskGraph& graph, const std::vector<TaskId>& inputs,
+                          std::size_t arity, const ReduceSpec& spec) {
+  if (inputs.empty()) throw std::invalid_argument("reduction over no inputs");
+  if (arity < 2) throw std::invalid_argument("tree reduction arity must be >= 2");
+  std::vector<TaskId> level = inputs;
+  while (level.size() > 1) {
+    std::vector<TaskId> next;
+    next.reserve((level.size() + arity - 1) / arity);
+    for (std::size_t i = 0; i < level.size(); i += arity) {
+      const std::size_t end = std::min(i + arity, level.size());
+      std::vector<TaskId> group(level.begin() + static_cast<std::ptrdiff_t>(i),
+                                level.begin() + static_cast<std::ptrdiff_t>(end));
+      if (group.size() == 1) {
+        // A lone leftover propagates without a merge task.
+        next.push_back(group.front());
+      } else {
+        next.push_back(add_reduce_node(graph, std::move(group), spec));
+      }
+    }
+    level = std::move(next);
+  }
+  return level.front();
+}
+
+std::size_t choose_reduction_arity(std::uint64_t partial_bytes,
+                                   std::uint64_t worker_disk_bytes,
+                                   std::size_t n_partials,
+                                   double budget_fraction) {
+  if (n_partials < 2) return 2;
+  const double budget =
+      static_cast<double>(worker_disk_bytes) * budget_fraction;
+  // arity inputs + 1 output colocate on the reducing worker.
+  std::size_t arity = 2;
+  if (partial_bytes > 0) {
+    const double max_files = budget / static_cast<double>(partial_bytes);
+    if (max_files > 3.0) {
+      arity = static_cast<std::size_t>(max_files) - 1;
+    }
+  } else {
+    arity = n_partials;
+  }
+  arity = std::max<std::size_t>(arity, 2);
+  return std::min(arity, n_partials);
+}
+
+std::size_t tree_reduction_task_count(std::size_t n, std::size_t arity) {
+  if (n <= 1 || arity < 2) return 0;
+  std::size_t count = 0;
+  while (n > 1) {
+    std::size_t groups = 0;
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < n; i += arity) {
+      const std::size_t size = std::min(arity, n - i);
+      if (size == 1) {
+        next += 1;
+      } else {
+        groups += 1;
+        next += 1;
+      }
+    }
+    count += groups;
+    n = next;
+  }
+  return count;
+}
+
+}  // namespace hepvine::dag

@@ -1,0 +1,59 @@
+// Graph-construction helpers mirroring how Coffea/Dask build HEP analysis
+// graphs: a wide "map" phase applying a processor to every data chunk,
+// followed by an accumulation phase merging partial histograms.
+//
+// Accumulation is where the paper's Fig 11 lives: a single-node reduction
+// pulls every partial result onto one worker (overflowing its cache at
+// scale), while a tree reduction — valid because histogram merging is
+// commutative and associative — keeps per-worker storage bounded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dag/task_graph.h"
+
+namespace hepvine::dag {
+
+/// Parameters of one reduction layer/node.
+struct ReduceSpec {
+  std::string category = "accumulate";
+  std::string function = "accumulate";
+  /// Merge closure: combines any number of dependency values into one.
+  ComputeFn merge;
+  /// Modeled CPU cost: fixed part plus a per-input part.
+  double cpu_seconds_fixed = 0.5;
+  double cpu_seconds_per_input = 0.05;
+  /// Modeled output size: either fixed, or the sum of the inputs' modeled
+  /// sizes scaled by `output_scale` (whichever is larger).
+  std::uint64_t output_bytes_min = 1 * util::kMB;
+  double output_scale = 1.0;
+  std::uint64_t memory_bytes = 4 * util::kGB;
+};
+
+/// Reduce all `inputs` with a single task (the original RS-TriPhoton
+/// topology). Returns the reduction task's id.
+TaskId add_single_reduction(TaskGraph& graph, const std::vector<TaskId>& inputs,
+                            const ReduceSpec& spec);
+
+/// Reduce `inputs` with a k-ary tree (`arity` >= 2). Returns the root
+/// task's id. With arity == inputs.size() this degenerates to a single
+/// reduction.
+TaskId add_tree_reduction(TaskGraph& graph, const std::vector<TaskId>& inputs,
+                          std::size_t arity, const ReduceSpec& spec);
+
+/// Number of reduction tasks a k-ary tree over n inputs creates.
+[[nodiscard]] std::size_t tree_reduction_task_count(std::size_t n,
+                                                    std::size_t arity);
+
+/// Pick a reduction arity automatically: the widest fan-in whose colocated
+/// data (arity inputs + one output of `partial_bytes`) stays within
+/// `budget_fraction` of a worker's scratch disk. Wide fan-in minimizes tree
+/// depth (latency); the disk budget is the constraint Fig 11 shows being
+/// violated. Result is clamped to [2, n].
+[[nodiscard]] std::size_t choose_reduction_arity(
+    std::uint64_t partial_bytes, std::uint64_t worker_disk_bytes,
+    std::size_t n_partials, double budget_fraction = 0.25);
+
+}  // namespace hepvine::dag

@@ -1,0 +1,26 @@
+#include "dag/evaluate.h"
+
+#include <vector>
+
+namespace hepvine::dag {
+
+std::map<TaskId, ValuePtr> evaluate_serially(const TaskGraph& graph) {
+  std::vector<ValuePtr> values(graph.size());
+  for (TaskId id : graph.topo_order()) {
+    const Task& task = graph.task(id);
+    std::vector<ValuePtr> inputs;
+    inputs.reserve(task.spec.deps.size());
+    for (TaskId dep : task.spec.deps) {
+      inputs.push_back(values[static_cast<std::size_t>(dep)]);
+    }
+    values[static_cast<std::size_t>(id)] =
+        task.spec.fn ? task.spec.fn(inputs) : nullptr;
+  }
+  std::map<TaskId, ValuePtr> results;
+  for (TaskId sink : graph.sinks()) {
+    results[sink] = values[static_cast<std::size_t>(sink)];
+  }
+  return results;
+}
+
+}  // namespace hepvine::dag

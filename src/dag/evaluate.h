@@ -1,0 +1,19 @@
+// Serial (in-process) evaluation of a task graph: the reference executor.
+//
+// Every compute closure is pure, so evaluating the graph directly — no
+// cluster, no scheduler — yields the ground-truth results that any
+// distributed execution must reproduce bit-for-bit. Tests and examples use
+// this to validate scheduler output.
+#pragma once
+
+#include <map>
+
+#include "dag/task_graph.h"
+
+namespace hepvine::dag {
+
+/// Evaluate all tasks in topological order; returns results of sink tasks.
+[[nodiscard]] std::map<TaskId, ValuePtr> evaluate_serially(
+    const TaskGraph& graph);
+
+}  // namespace hepvine::dag

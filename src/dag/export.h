@@ -1,0 +1,28 @@
+// Graph export: Graphviz DOT for visual inspection and a compact JSON
+// summary for tooling. Useful when debugging workload shapes (e.g. the
+// Fig 11 single-node vs tree topologies) and for documentation.
+#pragma once
+
+#include <string>
+
+#include "dag/task_graph.h"
+
+namespace hepvine::dag {
+
+struct DotOptions {
+  /// Emit at most this many task nodes (giant graphs truncate with a note).
+  std::size_t max_tasks = 500;
+  /// Include dataset-input file nodes.
+  bool show_input_files = false;
+  /// Color nodes by category.
+  bool color_by_category = true;
+};
+
+/// Render the graph in Graphviz DOT format.
+[[nodiscard]] std::string to_dot(const TaskGraph& graph,
+                                 const DotOptions& options = {});
+
+/// Compact JSON summary: counts, bytes, depth, per-category statistics.
+[[nodiscard]] std::string to_json_summary(const TaskGraph& graph);
+
+}  // namespace hepvine::dag

@@ -1,0 +1,50 @@
+// Type-erased task payloads.
+//
+// Real results flow through the simulation: every task carries a compute
+// closure that consumes the Values of its dependencies and produces a new
+// Value. The scheduler never inspects payloads — it sees only byte sizes —
+// but tests do: the final physics histogram must be identical no matter
+// which scheduler, stack, failure pattern, or DAG rewrite produced it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace hepvine::dag {
+
+class Value {
+ public:
+  virtual ~Value() = default;
+
+  /// Serialized size in bytes (drives modeled transfer/storage costs).
+  [[nodiscard]] virtual std::uint64_t byte_size() const = 0;
+
+  /// Content digest (equality of results across runs/schedulers).
+  [[nodiscard]] virtual util::Digest128 digest() const = 0;
+};
+
+using ValuePtr = std::shared_ptr<const Value>;
+
+/// A task's computation: dependency results in, result out. Must be pure —
+/// re-execution after a worker failure must reproduce the identical value.
+using ComputeFn = std::function<ValuePtr(const std::vector<ValuePtr>&)>;
+
+/// Trivial scalar Value for tests and examples.
+class ScalarValue final : public Value {
+ public:
+  explicit ScalarValue(double v) : v_(v) {}
+  [[nodiscard]] double get() const noexcept { return v_; }
+  [[nodiscard]] std::uint64_t byte_size() const override { return 8; }
+  [[nodiscard]] util::Digest128 digest() const override {
+    return util::Hasher(0x5ca1a8).update_double(v_).digest();
+  }
+
+ private:
+  double v_;
+};
+
+}  // namespace hepvine::dag

@@ -1,0 +1,79 @@
+#include "data/dataset.h"
+
+#include <utility>
+
+#include "util/hash.h"
+
+namespace hepvine::data {
+
+std::uint64_t DatasetSpec::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.bytes;
+  return total;
+}
+
+std::uint64_t DatasetSpec::total_events() const {
+  std::uint64_t total = 0;
+  for (const auto& f : files) total += f.events;
+  return total;
+}
+
+std::uint32_t DatasetSpec::total_chunks() const {
+  std::uint32_t total = 0;
+  for (const auto& f : files) total += f.chunks;
+  return total;
+}
+
+DatasetSpec make_uniform_dataset(std::string name, std::uint32_t nfiles,
+                                 std::uint64_t bytes_per_file,
+                                 std::uint32_t chunks_per_file,
+                                 std::uint64_t events_per_chunk) {
+  DatasetSpec spec;
+  spec.name = std::move(name);
+  spec.files.reserve(nfiles);
+  for (std::uint32_t i = 0; i < nfiles; ++i) {
+    RootFileSpec file;
+    file.name = spec.name + "/part-" + std::to_string(i) + ".root";
+    file.bytes = bytes_per_file;
+    file.chunks = chunks_per_file;
+    file.events = events_per_chunk * chunks_per_file;
+    spec.files.push_back(std::move(file));
+  }
+  return spec;
+}
+
+std::vector<ChunkRef> register_dataset(const DatasetSpec& spec,
+                                       FileCatalog& catalog,
+                                       std::uint64_t run_seed) {
+  std::vector<ChunkRef> chunks;
+  chunks.reserve(spec.total_chunks());
+  for (std::uint32_t fi = 0; fi < spec.files.size(); ++fi) {
+    const RootFileSpec& file = spec.files[fi];
+    const std::uint32_t n = file.chunks == 0 ? 1 : file.chunks;
+    const std::uint64_t chunk_bytes = file.bytes / n;
+    const std::uint64_t chunk_events = file.events / n;
+    for (std::uint32_t ci = 0; ci < n; ++ci) {
+      // Each chunk is registered as its own addressable unit: uproot /
+      // XRootD read only the byte ranges (columns x entry range) a task
+      // needs, so staging a chunk does not move the whole ROOT file.
+      const FileId fid = catalog.add(
+          file.name + "#chunk" + std::to_string(ci),
+          FileKind::kDatasetInput, chunk_bytes, run_seed + fi * 131 + ci);
+      ChunkRef ref;
+      ref.file_index = fi;
+      ref.chunk_index = ci;
+      ref.file_id = fid;
+      ref.bytes = chunk_bytes;
+      ref.events = chunk_events;
+      ref.seed = util::Hasher(run_seed)
+                     .update(spec.name)
+                     .update_u64(fi)
+                     .update_u64(ci)
+                     .digest64();
+      chunks.push_back(ref);
+    }
+  }
+  return chunks;
+}
+
+}  // namespace hepvine::data

@@ -1,0 +1,57 @@
+// Dataset description: a named collection of ROOT-like files, each holding
+// a number of event chunks. Mirrors how Coffea partitions inputs
+// (`chunks_per_file` in the paper's Fig 4 listing): the unit of work is a
+// chunk, the unit of storage is a file.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/file_catalog.h"
+
+namespace hepvine::data {
+
+struct RootFileSpec {
+  std::string name;
+  std::uint64_t bytes = 0;
+  std::uint32_t chunks = 1;
+  std::uint64_t events = 0;  // physics events stored in the file
+};
+
+struct DatasetSpec {
+  std::string name;
+  std::vector<RootFileSpec> files;
+
+  [[nodiscard]] std::uint64_t total_bytes() const;
+  [[nodiscard]] std::uint64_t total_events() const;
+  [[nodiscard]] std::uint32_t total_chunks() const;
+};
+
+/// Build a uniform dataset: `nfiles` files of `bytes_per_file`, each split
+/// into `chunks_per_file` chunks carrying `events_per_chunk` events.
+[[nodiscard]] DatasetSpec make_uniform_dataset(std::string name,
+                                               std::uint32_t nfiles,
+                                               std::uint64_t bytes_per_file,
+                                               std::uint32_t chunks_per_file,
+                                               std::uint64_t events_per_chunk);
+
+/// One schedulable slice of a dataset (a chunk of a file).
+struct ChunkRef {
+  std::uint32_t file_index = 0;
+  std::uint32_t chunk_index = 0;
+  FileId file_id = kInvalidFile;   // catalog id of the containing file
+  std::uint64_t bytes = 0;         // bytes this chunk contributes
+  std::uint64_t events = 0;
+  std::uint64_t seed = 0;          // deterministic generator seed
+};
+
+/// Register the dataset in `catalog` and enumerate its chunks. Each chunk
+/// becomes its own catalog entry (uproot/XRootD read only the byte ranges a
+/// task needs, so the schedulable/stageable unit is the chunk, not the
+/// whole ROOT file). `run_seed` feeds the per-chunk generator seeds so
+/// synthetic event content is reproducible across schedulers and runs.
+[[nodiscard]] std::vector<ChunkRef> register_dataset(
+    const DatasetSpec& spec, FileCatalog& catalog, std::uint64_t run_seed);
+
+}  // namespace hepvine::data

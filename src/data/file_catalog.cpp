@@ -1,0 +1,51 @@
+#include "data/file_catalog.h"
+
+#include <utility>
+
+namespace hepvine::data {
+
+const char* to_string(FileKind kind) {
+  switch (kind) {
+    case FileKind::kDatasetInput:
+      return "input";
+    case FileKind::kIntermediate:
+      return "intermediate";
+    case FileKind::kFunctionBody:
+      return "function";
+    case FileKind::kEnvironment:
+      return "environment";
+    case FileKind::kOutput:
+      return "output";
+  }
+  return "unknown";
+}
+
+std::string LogicalFile::cachename() const {
+  return std::string(to_string(kind)) + "-" + content.hex();
+}
+
+FileId FileCatalog::add(std::string name, FileKind kind, std::uint64_t size,
+                        std::uint64_t content_seed) {
+  LogicalFile file;
+  file.id = static_cast<FileId>(files_.size());
+  file.name = std::move(name);
+  file.kind = kind;
+  file.size = size;
+  file.content = util::Hasher(content_seed)
+                     .update(file.name)
+                     .update_u64(static_cast<std::uint64_t>(kind))
+                     .update_u64(size)
+                     .digest();
+  files_.push_back(std::move(file));
+  return files_.back().id;
+}
+
+std::uint64_t FileCatalog::total_bytes(FileKind kind) const {
+  std::uint64_t total = 0;
+  for (const auto& f : files_) {
+    if (f.kind == kind) total += f.size;
+  }
+  return total;
+}
+
+}  // namespace hepvine::data

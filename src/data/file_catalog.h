@@ -1,0 +1,75 @@
+// Logical files and the catalog that names them.
+//
+// Every piece of data a workflow touches — dataset inputs living on the
+// shared filesystem, intermediate results produced by tasks, serialized
+// function bodies, library environments — is a LogicalFile with a unique id
+// and a content-derived "cachename". The cachename is how TaskVine makes
+// replicas interchangeable: a file staged on any worker under its cachename
+// satisfies any task that depends on it (Section IV-B of the paper).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/hash.h"
+
+namespace hepvine::data {
+
+using FileId = std::int64_t;
+inline constexpr FileId kInvalidFile = -1;
+
+enum class FileKind : std::uint8_t {
+  kDatasetInput,   // lives on the shared filesystem / data store
+  kIntermediate,   // produced by a task; recoverable via lineage
+  kFunctionBody,   // serialized function + arguments (standard task mode)
+  kEnvironment,    // library/software environment (serverless LibraryTask)
+  kOutput,         // final workflow result
+};
+
+[[nodiscard]] const char* to_string(FileKind kind);
+
+struct LogicalFile {
+  FileId id = kInvalidFile;
+  std::string name;
+  FileKind kind = FileKind::kIntermediate;
+  std::uint64_t size = 0;
+  util::Digest128 content{};
+
+  /// Content-derived cluster-wide name (metadata + content digest).
+  [[nodiscard]] std::string cachename() const;
+};
+
+/// Registry of every logical file in a workflow run. Append-only; ids are
+/// dense and stable, so schedulers index replica tables by FileId.
+class FileCatalog {
+ public:
+  FileCatalog() = default;
+
+  /// Register a file; fills in `id` and a content digest derived from the
+  /// name, kind, size, and an optional content seed.
+  FileId add(std::string name, FileKind kind, std::uint64_t size,
+             std::uint64_t content_seed = 0);
+
+  [[nodiscard]] const LogicalFile& get(FileId id) const {
+    return files_[static_cast<std::size_t>(id)];
+  }
+  [[nodiscard]] std::size_t size() const noexcept { return files_.size(); }
+
+  /// Update the recorded size of an intermediate once its producing task
+  /// has run (sizes of intermediates are known only at production time).
+  void set_size(FileId id, std::uint64_t size) {
+    files_[static_cast<std::size_t>(id)].size = size;
+  }
+
+  [[nodiscard]] std::uint64_t total_bytes(FileKind kind) const;
+
+  [[nodiscard]] auto begin() const { return files_.begin(); }
+  [[nodiscard]] auto end() const { return files_.end(); }
+
+ private:
+  std::vector<LogicalFile> files_;
+};
+
+}  // namespace hepvine::data

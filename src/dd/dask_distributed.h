@@ -1,0 +1,77 @@
+// Dask.Distributed baseline (the comparison of paper Figs 14a/14b).
+//
+// Structural differences from TaskVine, mirrored from the paper's
+// Section V-B discussion:
+//
+//  * GIL: a threaded 12-core Dask worker effectively uses one core, so the
+//    deployment runs twelve independent single-core worker *processes* per
+//    node that share nothing — each pays its own library imports and holds
+//    its own results.
+//  * Results live in process memory, not on disk: a process that
+//    accumulates more than its memory slice is killed and restarted,
+//    losing everything it held.
+//  * The centralized scheduler is a single Python event loop: every task
+//    dispatch, result, and worker heartbeat costs loop time. When offered
+//    load exceeds what the loop can serve, heartbeats miss their timeout,
+//    workers are declared dead and restarted, their in-memory results are
+//    lost, and the retry load compounds — the crash-and-hang behaviour the
+//    paper reports at DV3-Large scale.
+#pragma once
+
+#include "exec/scheduler.h"
+#include "util/units.h"
+
+namespace hepvine::dd {
+
+using util::Tick;
+
+struct DaskTunables {
+  /// Scheduler event-loop cost per task dispatch / per result. Coffea
+  /// tasks carry the same fat serialized processor closures whether they
+  /// ride Work Queue or Dask; pushing one through the single-threaded
+  /// Python event loop costs tens of milliseconds, capping the scheduler
+  /// at a few dozen tasks/second end to end — comfortable at tens of
+  /// cores, binding near 300, hopeless at thousands (Figs 14a/14b).
+  /// Parity with Work Queue's standard-task costs: both push the same
+  /// serialized Coffea closures through one control process.
+  Tick dispatch_cost = 25 * util::kMsec;
+  Tick result_cost = 10 * util::kMsec;
+  /// Client -> scheduler graph submission: the entire graph is serialized,
+  /// shipped, and ingested by the scheduler's event loop before execution
+  /// begins. At HEP scales (fat keys, 10^4-10^5 tasks) this stalls the
+  /// loop for minutes — during which worker heartbeats go unserviced, the
+  /// nanny declares workers dead, and the restart storm begins. This is
+  /// the paper's "unable to execute these workflows at this scale".
+  Tick graph_intake_cost_per_task = 5 * util::kMsec;
+  /// Heartbeat processing cost per worker process.
+  Tick heartbeat_cost = 300 * util::kUsec;
+  Tick heartbeat_interval = 5 * util::kSec;
+  /// A worker whose heartbeat is not serviced within this window is
+  /// declared dead and restarted.
+  Tick heartbeat_timeout = 60 * util::kSec;
+  /// Delay before a killed/restarted worker process rejoins.
+  Tick restart_delay = 15 * util::kSec;
+  /// Same-node inter-process copy throughput (loopback/memcpy).
+  double loopback_bytes_per_sec = 2.0e9;
+  /// Give up after this many worker-process restarts per process slot
+  /// (crash-loop detector).
+  std::uint32_t max_restarts_per_proc = 10;
+};
+
+class DaskDistScheduler final : public exec::SchedulerBackend {
+ public:
+  DaskDistScheduler() = default;
+  explicit DaskDistScheduler(DaskTunables tunables) : tun_(tunables) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "dask.distributed";
+  }
+
+  exec::RunReport run(const dag::TaskGraph& graph, cluster::Cluster& cluster,
+                      const exec::RunOptions& options) override;
+
+ private:
+  DaskTunables tun_;
+};
+
+}  // namespace hepvine::dd

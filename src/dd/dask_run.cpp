@@ -1,0 +1,756 @@
+// Implementation of the Dask.Distributed baseline.
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "dd/dask_distributed.h"
+#include "exec/serial_resource.h"
+#include "net/flow_gate.h"
+#include "exec/task_state.h"
+#include "exec/time_model.h"
+#include "sim/rng.h"
+
+namespace hepvine::dd {
+
+namespace {
+
+using cluster::WorkerId;
+using data::FileId;
+using dag::TaskId;
+using exec::TaskState;
+using util::Tick;
+
+constexpr std::int32_t kNoProc = -1;
+
+class DaskRun {
+ public:
+  DaskRun(const dag::TaskGraph& graph, cluster::Cluster& cluster,
+          const exec::RunOptions& options, const DaskTunables& tun)
+      : graph_(graph),
+        cluster_(cluster),
+        engine_(cluster.engine()),
+        options_(options),
+        tun_(tun),
+        table_(graph),
+        rng_(options.seed, "dask-run"),
+        scheduler_(cluster.engine()) {
+    report_.scheduler = "dask.distributed";
+    report_.tasks_total = graph.size();
+    report_.transfers = metrics::TransferMatrix(cluster.endpoint_count());
+    report_.cache = metrics::CacheTrace(cluster.worker_count());
+    build_tables();
+  }
+
+  exec::RunReport execute() {
+    for (TaskId sink : graph_.sinks()) {
+      is_sink_[static_cast<std::size_t>(sink)] = true;
+      ++sinks_outstanding_;
+    }
+    cluster_.request_workers([this](WorkerId w) { on_node_up(w); },
+                             [this](WorkerId w) { on_node_down(w); });
+    engine_.schedule_at(options_.max_sim_time, [this] {
+      if (!finished_) fail_run("exceeded max simulated time");
+    });
+    // Graph submission: the scheduler loop ingests every task definition
+    // before it can dispatch or service heartbeats.
+    scheduler_.acquire(static_cast<Tick>(graph_.size()) *
+                       tun_.graph_intake_cost_per_task);
+    schedule_heartbeats();
+
+    while (!finished_ && engine_.step()) {
+    }
+    if (!finished_) fail_run("event queue drained before completion");
+
+    report_.worker_preemptions = cluster_.batch().preemptions();
+    report_.task_attempts = total_attempts_;
+    report_.task_failures = report_.trace.failures();
+    if (report_.makespan > 0) {
+      report_.manager_busy_fraction =
+          std::min(1.0, static_cast<double>(scheduler_.total_busy_time()) /
+                            static_cast<double>(report_.makespan));
+    }
+    return std::move(report_);
+  }
+
+ private:
+  // --------------------------------------------------------------------
+  // One single-core worker process. `proc = node * cores_per_node + k`.
+  // --------------------------------------------------------------------
+  struct Proc {
+    bool alive = false;
+    bool imports_loaded = false;
+    bool busy = false;
+    std::uint32_t incarnation = 0;
+    std::uint32_t restarts = 0;
+    std::uint64_t mem_used = 0;
+    std::vector<FileId> holding;  // result keys resident in memory
+    Tick last_heartbeat_served = 0;
+  };
+
+  struct FileInfo {
+    std::uint64_t size = 0;
+    data::FileKind kind = data::FileKind::kIntermediate;
+    TaskId producer = dag::kInvalidTask;
+    std::uint32_t consumers_left = 0;  // for memory release
+    std::vector<std::int32_t> holders;  // procs holding the key
+    bool at_client = false;
+  };
+
+  void build_tables() {
+    const auto& catalog = graph_.catalog();
+    files_.resize(catalog.size());
+    for (const auto& f : catalog) {
+      auto& info = files_[static_cast<std::size_t>(f.id)];
+      info.size = f.size;
+      info.kind = f.kind;
+    }
+    for (const auto& task : graph_.tasks()) {
+      files_[static_cast<std::size_t>(task.output_file)].producer = task.id;
+      files_[static_cast<std::size_t>(task.output_file)].consumers_left =
+          static_cast<std::uint32_t>(task.dependents.size());
+      for (TaskId dep : task.spec.deps) {
+        (void)dep;
+      }
+    }
+    cores_per_node_ = cluster_.spec().worker.cores;
+    procs_.resize(static_cast<std::size_t>(cluster_.worker_count()) *
+                  cores_per_node_);
+    is_sink_.assign(graph_.size(), false);
+    mem_per_proc_ = cluster_.spec().worker.memory / cores_per_node_;
+  }
+
+  [[nodiscard]] WorkerId node_of(std::int32_t proc) const {
+    return static_cast<WorkerId>(proc / static_cast<std::int32_t>(
+                                            cores_per_node_));
+  }
+  [[nodiscard]] Proc& proc(std::int32_t p) {
+    return procs_[static_cast<std::size_t>(p)];
+  }
+  [[nodiscard]] FileInfo& file(FileId f) {
+    return files_[static_cast<std::size_t>(f)];
+  }
+
+  // --------------------------------------------------------------------
+  // Tokens (task attempt validity), as in the vine engine.
+  // --------------------------------------------------------------------
+  struct Token {
+    TaskId task;
+    std::uint32_t attempt;
+  };
+  [[nodiscard]] bool token_valid(const Token& t) const {
+    const auto& st = table_.at(t.task);
+    return st.attempts == t.attempt &&
+           (st.state == TaskState::kDispatched ||
+            st.state == TaskState::kRunning);
+  }
+
+  struct Attempt {
+    std::int32_t proc = kNoProc;
+    std::uint32_t staging_outstanding = 0;
+    std::vector<dag::ValuePtr> inputs;
+  };
+  std::map<TaskId, Attempt> attempts_;
+
+  // --------------------------------------------------------------------
+  // Node / process lifecycle.
+  // --------------------------------------------------------------------
+  void on_node_up(WorkerId w) {
+    if (finished_) return;
+    for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
+      auto& p = proc(proc_id(w, k));
+      p = Proc{};
+      p.alive = true;
+      p.last_heartbeat_served = engine_.now();
+    }
+    pump();
+  }
+
+  void on_node_down(WorkerId w) {
+    if (finished_) return;
+    for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
+      kill_proc(proc_id(w, k), /*restart=*/false);
+      if (finished_) return;
+    }
+    report_.cache.mark_failure(static_cast<std::size_t>(w), engine_.now());
+    pump();
+  }
+
+  [[nodiscard]] std::int32_t proc_id(WorkerId node, std::uint32_t k) const {
+    return static_cast<std::int32_t>(node) *
+               static_cast<std::int32_t>(cores_per_node_) +
+           static_cast<std::int32_t>(k);
+  }
+
+  /// Kill one worker process, dropping its in-memory results and failing
+  /// its running task. If `restart`, schedule a fresh incarnation.
+  void kill_proc(std::int32_t pid, bool restart) {
+    Proc& p = proc(pid);
+    if (!p.alive) return;
+    p.alive = false;
+    p.incarnation += 1;
+    p.restarts += 1;
+
+    // Drop held results; lost keys are rediscovered lazily.
+    for (FileId f : p.holding) {
+      auto& hs = file(f).holders;
+      hs.erase(std::remove(hs.begin(), hs.end(), pid), hs.end());
+    }
+    p.holding.clear();
+    p.mem_used = 0;
+    p.imports_loaded = false;
+
+    // Fail a running task, if any.
+    if (auto it = running_on_.find(pid); it != running_on_.end()) {
+      const TaskId t = it->second;
+      running_on_.erase(it);
+      fail_attempt(t);
+      if (finished_) return;
+    }
+    p.busy = false;
+
+    if (p.restarts > tun_.max_restarts_per_proc) {
+      fail_run("worker process crash loop (proc " + std::to_string(pid) +
+               " restarted " + std::to_string(p.restarts) + " times)");
+      return;
+    }
+    if (restart) {
+      report_.worker_crashes += 1;
+      const std::uint32_t incarnation = p.incarnation;
+      const WorkerId node = node_of(pid);
+      engine_.schedule_after(tun_.restart_delay, [this, pid, incarnation,
+                                                  node] {
+        if (finished_) return;
+        Proc& q = proc(pid);
+        if (q.incarnation != incarnation || !cluster_.worker(node).alive) {
+          return;
+        }
+        q.alive = true;
+        q.busy = false;
+        q.last_heartbeat_served = engine_.now();
+        pump();
+      });
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // Heartbeats: the scheduler loop must service every process's heartbeat
+  // within the timeout, or the process is declared dead.
+  // --------------------------------------------------------------------
+  void schedule_heartbeats() {
+    engine_.schedule_after(tun_.heartbeat_interval, [this] {
+      if (finished_) return;
+      for (std::int32_t pid = 0;
+           pid < static_cast<std::int32_t>(procs_.size()); ++pid) {
+        if (!proc(pid).alive) continue;
+        const std::uint32_t incarnation = proc(pid).incarnation;
+        scheduler_.acquire_then(tun_.heartbeat_cost, [this, pid,
+                                                      incarnation] {
+          if (finished_) return;
+          Proc& p = proc(pid);
+          if (!p.alive || p.incarnation != incarnation) return;
+          p.last_heartbeat_served = engine_.now();
+        });
+      }
+      // Check for timed-out processes (their heartbeats are stuck behind
+      // the scheduler backlog).
+      for (std::int32_t pid = 0;
+           pid < static_cast<std::int32_t>(procs_.size()); ++pid) {
+        Proc& p = proc(pid);
+        if (p.alive && engine_.now() - p.last_heartbeat_served >
+                           tun_.heartbeat_timeout) {
+          kill_proc(pid, /*restart=*/true);
+          if (finished_) return;
+        }
+      }
+      schedule_heartbeats();
+      sample_cache();
+    });
+  }
+
+  void sample_cache() {
+    // Report per-node in-memory result bytes as "cache" usage.
+    const Tick now = engine_.now();
+    for (WorkerId w = 0;
+         w < static_cast<WorkerId>(cluster_.worker_count()); ++w) {
+      std::uint64_t bytes = 0;
+      for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
+        bytes += proc(proc_id(w, k)).mem_used;
+      }
+      if (cluster_.worker(w).alive) {
+        report_.cache.sample(static_cast<std::size_t>(w), now, bytes);
+      }
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // Pump: dispatch ready tasks to free processes.
+  // --------------------------------------------------------------------
+  void pump() {
+    if (finished_ || pumping_) return;
+    pumping_ = true;
+    while (!finished_) {
+      const TaskId t = table_.peek_ready();
+      if (t == dag::kInvalidTask) break;
+      if (!precheck_inputs(t)) continue;
+      const std::int32_t pid = choose_proc(t);
+      if (pid == kNoProc) break;
+      const TaskId popped = table_.pop_ready();
+      assert(popped == t);
+      (void)popped;
+      dispatch(t, pid);
+    }
+    pumping_ = false;
+  }
+
+  bool precheck_inputs(TaskId t) {
+    for (TaskId dep : graph_.task(t).spec.deps) {
+      const FileId f = graph_.task(dep).output_file;
+      if (table_.at(dep).state == TaskState::kDone && !key_available(f)) {
+        table_.reset_lost(dep, engine_.now(), [this](TaskId p) {
+          return key_available(graph_.task(p).output_file);
+        });
+      }
+    }
+    return table_.at(t).state == TaskState::kReady;
+  }
+
+  [[nodiscard]] bool key_available(FileId f) {
+    return file(f).at_client || !file(f).holders.empty();
+  }
+
+  std::int32_t choose_proc(TaskId t) {
+    // Prefer a free process on a node already holding input bytes; fall
+    // back to round-robin over free processes.
+    const auto& task = graph_.task(t);
+    std::int32_t best = kNoProc;
+    std::uint64_t best_bytes = 0;
+    for (TaskId dep : task.spec.deps) {
+      const FileId f = graph_.task(dep).output_file;
+      for (std::int32_t holder : file(f).holders) {
+        const WorkerId node = node_of(holder);
+        if (!cluster_.worker(node).alive) continue;
+        for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
+          const std::int32_t cand = proc_id(node, k);
+          Proc& p = proc(cand);
+          if (!p.alive || p.busy) continue;
+          const std::uint64_t bytes = file(f).size;
+          if (best == kNoProc || bytes > best_bytes) {
+            best = cand;
+            best_bytes = bytes;
+          }
+          break;  // one free proc per node is enough to consider
+        }
+      }
+    }
+    if (best != kNoProc) return best;
+    const auto n = static_cast<std::int32_t>(procs_.size());
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::int32_t pid = (rr_cursor_ + i) % n;
+      Proc& p = proc(pid);
+      if (p.alive && !p.busy && cluster_.worker(node_of(pid)).alive) {
+        rr_cursor_ = (pid + 1) % n;
+        return pid;
+      }
+    }
+    return kNoProc;
+  }
+
+  // --------------------------------------------------------------------
+  // Dispatch, staging, execution.
+  // --------------------------------------------------------------------
+  void dispatch(TaskId t, std::int32_t pid) {
+    table_.mark_dispatched(t, node_of(pid), engine_.now());
+    ++total_attempts_;
+    Proc& p = proc(pid);
+    p.busy = true;
+    running_on_[pid] = t;
+
+    Attempt attempt;
+    attempt.proc = pid;
+    attempt.inputs = table_.gather_inputs(t);
+    attempts_[t] = std::move(attempt);
+    const Token token{t, table_.at(t).attempts};
+
+    scheduler_.acquire_then(tun_.dispatch_cost, [this, token, pid] {
+      if (!token_valid(token)) return;
+      record_transfer(cluster_.manager_endpoint(),
+                      cluster_.worker_endpoint(node_of(pid)),
+                      options_.python.argument_bytes);
+      engine_.schedule_after(cluster_.control_rtt() / 2, [this, token, pid] {
+        begin_staging(token, pid);
+      });
+    });
+  }
+
+  void begin_staging(const Token& token, std::int32_t pid) {
+    if (!token_valid(token)) return;
+    const auto& task = graph_.task(token.task);
+    auto& attempt = attempts_[token.task];
+
+    std::vector<std::pair<FileId, bool>> needed;  // (file, is_dataset)
+    for (FileId f : task.spec.input_files) needed.emplace_back(f, true);
+    for (TaskId dep : task.spec.deps) {
+      const FileId f = graph_.task(dep).output_file;
+      // Already resident in this very process?
+      if (std::find(file(f).holders.begin(), file(f).holders.end(), pid) ==
+          file(f).holders.end()) {
+        needed.emplace_back(f, false);
+      }
+    }
+    attempt.staging_outstanding = static_cast<std::uint32_t>(needed.size());
+    if (needed.empty()) {
+      start_exec(token, pid);
+      return;
+    }
+    for (const auto& [f, is_dataset] : needed) {
+      fetch_key(f, is_dataset, pid, token);
+    }
+  }
+
+  void fetch_key(FileId f, bool is_dataset, std::int32_t pid,
+                 const Token& token) {
+    const WorkerId dst_node = node_of(pid);
+    auto arrival = [this, token, pid, f](bool ok) {
+      if (!token_valid(token)) return;
+      if (!ok) {
+        // Lost key: fail this attempt and lineage-reset the producer.
+        const TaskId t = token.task;
+        fail_attempt_requeue(t);
+        if (finished_) return;
+        const TaskId producer = file(f).producer;
+        if (producer != dag::kInvalidTask &&
+            table_.at(producer).state == TaskState::kDone) {
+          table_.reset_lost(producer, engine_.now(), [this](TaskId p) {
+            return key_available(graph_.task(p).output_file);
+          });
+        }
+        pump();
+        return;
+      }
+      auto& att = attempts_[token.task];
+      if (--att.staging_outstanding == 0) start_exec(token, pid);
+    };
+
+    if (is_dataset) {
+      fs_gate_.submit([this, f, dst_node,
+                       arrival](net::FlowGate::SlotToken slot) {
+        cluster_.read_fs_to_worker(
+            dst_node, file(f).size,
+            [this, f, dst_node, arrival, slot = std::move(slot)] {
+              record_transfer(cluster_.fs_endpoint(),
+                              cluster_.worker_endpoint(dst_node),
+                              file(f).size);
+              arrival(true);
+            });
+      });
+      return;
+    }
+
+    // Fetch from a holder process (dask workers serve each other
+    // directly). Same-node copies go over loopback.
+    const auto& holders = file(f).holders;
+    std::int32_t src = kNoProc;
+    for (std::int32_t h : holders) {
+      if (proc(h).alive) {
+        src = h;
+        break;
+      }
+    }
+    if (src == kNoProc) {
+      if (file(f).at_client) {
+        cluster_.send_manager_to_worker(
+            dst_node, file(f).size, cluster_.control_rtt() / 2,
+            [this, f, dst_node, arrival] {
+              record_transfer(cluster_.manager_endpoint(),
+                              cluster_.worker_endpoint(dst_node),
+                              file(f).size);
+              arrival(true);
+            });
+      } else {
+        arrival(false);
+      }
+      return;
+    }
+    const WorkerId src_node = node_of(src);
+    if (src_node == dst_node) {
+      const Tick copy = util::transfer_time(
+          file(f).size, tun_.loopback_bytes_per_sec);
+      engine_.schedule_after(copy, [arrival] { arrival(true); });
+      return;
+    }
+    cluster_.send_peer(src_node, dst_node, file(f).size,
+                       cluster_.control_rtt() / 2,
+                       [this, f, src_node, dst_node, arrival] {
+                         record_transfer(cluster_.worker_endpoint(src_node),
+                                         cluster_.worker_endpoint(dst_node),
+                                         file(f).size);
+                         arrival(true);
+                       });
+  }
+
+  void start_exec(const Token& token, std::int32_t pid) {
+    if (!token_valid(token)) return;
+    table_.mark_running(token.task, engine_.now());
+    const auto& task = graph_.task(token.task);
+    const auto& node = cluster_.worker(node_of(pid));
+    Proc& p = proc(pid);
+
+    const Tick pre =
+        options_.python.serialize_time(options_.python.argument_bytes);
+    const Tick compute = exec::modeled_exec_ticks(
+        task, node.speed, options_.exec_time_jitter, rng_);
+
+    if (!p.imports_loaded) {
+      // First task in this process: cold interpreter plus the full import
+      // stack. Dask workers have no TaskVine-style environment
+      // distribution — the software stack lives on the shared filesystem,
+      // so every process's imports hit the metadata server and data path
+      // (a 300-process start is an import storm).
+      p.imports_loaded = true;
+      const std::uint32_t incarnation = p.incarnation;
+      engine_.schedule_after(
+          pre + options_.python.interpreter_startup,
+          [this, token, pid, incarnation, compute] {
+            if (!token_valid(token)) return;
+            if (proc(pid).incarnation != incarnation) return;
+            cluster_.fs().metadata_ops(
+                options_.imports.total_metadata_ops(),
+                [this, token, pid, incarnation, compute] {
+                  if (!token_valid(token)) return;
+                  if (proc(pid).incarnation != incarnation) return;
+                  fs_gate_.submit([this, token, pid, incarnation, compute](
+                                      net::FlowGate::SlotToken slot) {
+                    if (!token_valid(token)) return;
+                    const std::uint64_t code =
+                        options_.imports.total_code_bytes();
+                    const WorkerId node_id = node_of(pid);
+                    cluster_.read_fs_to_worker(
+                        node_id, code,
+                        [this, token, pid, incarnation, compute, code,
+                         node_id, slot = std::move(slot)] {
+                          if (!token_valid(token)) return;
+                          if (proc(pid).incarnation != incarnation) return;
+                          record_transfer(cluster_.fs_endpoint(),
+                                          cluster_.worker_endpoint(node_id),
+                                          code);
+                          engine_.schedule_after(
+                              options_.imports.total_cpu_cost() + compute,
+                              [this, token, pid] {
+                                complete_exec(token, pid);
+                              });
+                        });
+                  });
+                });
+          });
+      return;
+    }
+
+    engine_.schedule_after(pre + compute, [this, token, pid] {
+      complete_exec(token, pid);
+    });
+  }
+
+  void complete_exec(const Token& token, std::int32_t pid) {
+    if (!token_valid(token)) return;
+    const TaskId t = token.task;
+    const auto& task = graph_.task(t);
+    Proc& p = proc(pid);
+
+    // Hold the result key in process memory; exceeding the memory slice
+    // kills the process (nanny behaviour).
+    p.mem_used += task.spec.output_bytes;
+    if (p.mem_used > mem_per_proc_) {
+      kill_proc(pid, /*restart=*/true);
+      pump();
+      return;
+    }
+    p.holding.push_back(task.output_file);
+    file(task.output_file).holders.push_back(pid);
+
+    auto& attempt = attempts_.at(t);
+    dag::ValuePtr value =
+        task.spec.fn ? task.spec.fn(attempt.inputs) : nullptr;
+
+    p.busy = false;
+    running_on_.erase(pid);
+
+    scheduler_.acquire_then(
+        tun_.result_cost + cluster_.control_rtt() / 2,
+        [this, token, pid, value = std::move(value)]() mutable {
+          finalize_task(token, pid, std::move(value));
+        });
+  }
+
+  void finalize_task(const Token& token, std::int32_t pid,
+                     dag::ValuePtr value) {
+    if (!token_valid(token)) return;
+    const TaskId t = token.task;
+
+    const auto& st = table_.at(t);
+    metrics::TaskRecord rec;
+    rec.task_id = t;
+    rec.worker = node_of(pid);
+    rec.ready_at = st.ready_at;
+    rec.dispatched_at = st.dispatched_at;
+    rec.started_at = st.started_at;
+    rec.finished_at = engine_.now();
+    rec.category = graph_.task(t).spec.category;
+    report_.trace.add(std::move(rec));
+
+    table_.mark_done(t, std::move(value), engine_.now());
+    attempts_.erase(t);
+
+    // Release dependency keys whose consumers are all finished.
+    for (TaskId dep : graph_.task(t).spec.deps) {
+      release_consumer(graph_.task(dep).output_file);
+    }
+
+    if (is_sink_[static_cast<std::size_t>(t)]) {
+      gather_sink(t, pid);
+    }
+    check_completion();
+    pump();
+  }
+
+  void release_consumer(FileId f) {
+    auto& info = file(f);
+    if (info.consumers_left > 0 && --info.consumers_left == 0) {
+      for (std::int32_t holder : info.holders) {
+        Proc& p = proc(holder);
+        p.mem_used = info.size > p.mem_used ? 0 : p.mem_used - info.size;
+        auto& hold = p.holding;
+        hold.erase(std::remove(hold.begin(), hold.end(), f), hold.end());
+      }
+      info.holders.clear();
+      // Lineage can no longer recover this key from memory, but all its
+      // consumers are done, so nothing will ask for it (releasing is what
+      // real Dask does).
+    }
+  }
+
+  void gather_sink(TaskId t, std::int32_t pid) {
+    const FileId f = graph_.task(t).output_file;
+    const WorkerId node = node_of(pid);
+    mgr_gate_.submit([this, t, f, node](net::FlowGate::SlotToken slot) {
+      cluster_.send_worker_to_manager(
+          node, file(f).size, cluster_.control_rtt() / 2,
+          [this, t, node, slot = std::move(slot)] {
+            record_transfer(cluster_.worker_endpoint(node),
+                            cluster_.manager_endpoint(),
+                            file(graph_.task(t).output_file).size);
+            file(graph_.task(t).output_file).at_client = true;
+            if (!sink_gathered_[t]) {
+              sink_gathered_[t] = true;
+              --sinks_outstanding_;
+            }
+            check_completion();
+          });
+    });
+  }
+
+  void check_completion() {
+    if (finished_) return;
+    if (table_.all_done() && sinks_outstanding_ == 0) {
+      finished_ = true;
+      report_.success = true;
+      report_.makespan = engine_.now();
+      for (TaskId sink : graph_.sinks()) {
+        report_.results[sink] = table_.at(sink).result;
+      }
+      cluster_.batch().drain();
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // Failures.
+  // --------------------------------------------------------------------
+  void fail_attempt(TaskId t) { fail_attempt_requeue(t); }
+
+  void fail_attempt_requeue(TaskId t) {
+    const auto& st = table_.at(t);
+    if (st.state != TaskState::kDispatched &&
+        st.state != TaskState::kRunning) {
+      return;
+    }
+    metrics::TaskRecord rec;
+    rec.task_id = t;
+    rec.worker = st.worker;
+    rec.ready_at = st.ready_at;
+    rec.dispatched_at = st.dispatched_at;
+    rec.started_at = st.state == TaskState::kRunning ? st.started_at
+                                                     : st.dispatched_at;
+    rec.finished_at = engine_.now();
+    rec.failed = true;
+    rec.category = graph_.task(t).spec.category;
+    report_.trace.add(std::move(rec));
+
+    if (auto it = attempts_.find(t); it != attempts_.end()) {
+      const std::int32_t pid = it->second.proc;
+      if (pid != kNoProc) {
+        running_on_.erase(pid);
+        if (proc(pid).alive) proc(pid).busy = false;
+      }
+      attempts_.erase(it);
+    }
+    if (table_.at(t).attempts >= options_.max_task_retries) {
+      fail_run("task " + std::to_string(t) + " exceeded retry limit");
+      return;
+    }
+    table_.requeue(t, engine_.now());
+  }
+
+  void fail_run(std::string reason) {
+    if (finished_) return;
+    finished_ = true;
+    report_.success = false;
+    report_.failure_reason = std::move(reason);
+    report_.makespan = engine_.now();
+    cluster_.batch().drain();
+  }
+
+  void record_transfer(std::size_t src, std::size_t dst,
+                       std::uint64_t bytes) {
+    report_.transfers.record(src, dst, bytes);
+  }
+
+  // --------------------------------------------------------------------
+  const dag::TaskGraph& graph_;
+  cluster::Cluster& cluster_;
+  sim::Engine& engine_;
+  const exec::RunOptions options_;
+  const DaskTunables tun_;
+
+  exec::TaskStateTable table_;
+  sim::Rng rng_;
+  exec::SerialResource scheduler_;
+  net::FlowGate mgr_gate_{64};
+  net::FlowGate fs_gate_{256};
+  std::vector<Proc> procs_;
+  std::vector<FileInfo> files_;
+  std::map<std::int32_t, TaskId> running_on_;
+  std::map<TaskId, bool> sink_gathered_;
+  std::vector<bool> is_sink_;
+
+  exec::RunReport report_;
+  std::uint32_t cores_per_node_ = 1;
+  std::uint64_t mem_per_proc_ = 0;
+  std::size_t sinks_outstanding_ = 0;
+  std::size_t total_attempts_ = 0;
+  std::int32_t rr_cursor_ = 0;
+  bool pumping_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace
+
+exec::RunReport DaskDistScheduler::run(const dag::TaskGraph& graph,
+                                       cluster::Cluster& cluster,
+                                       const exec::RunOptions& options) {
+  DaskRun run(graph, cluster, options, tun_);
+  return run.execute();
+}
+
+}  // namespace hepvine::dd

@@ -1,0 +1,65 @@
+#include "exec/report_io.h"
+
+#include <cstdio>
+
+namespace hepvine::exec {
+
+std::string summarize(const RunReport& report) {
+  char buf[512];
+  std::string out;
+  std::snprintf(buf, sizeof(buf), "scheduler:      %s\n",
+                report.scheduler.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "outcome:        %s%s%s\n",
+                report.success ? "success" : "FAILED",
+                report.success ? "" : " — ",
+                report.success ? "" : report.failure_reason.c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "makespan:       %s\n",
+                util::format_duration(report.makespan).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "tasks:          %zu (%zu attempts, %zu failures, %zu "
+                "lineage resets)\n",
+                report.tasks_total, report.task_attempts,
+                report.task_failures, report.lineage_resets);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "workers:        %u preemptions, %u crashes\n",
+                report.worker_preemptions, report.worker_crashes);
+  out += buf;
+  std::snprintf(buf, sizeof(buf),
+                "data movement:  manager %s, peer %s, total %s\n",
+                util::format_bytes(report.transfers.manager_bytes()).c_str(),
+                util::format_bytes(report.transfers.peer_bytes()).c_str(),
+                util::format_bytes(report.transfers.total()).c_str());
+  out += buf;
+  std::snprintf(buf, sizeof(buf), "peak cache:     %s\n",
+                util::format_bytes(report.cache.global_peak()).c_str());
+  out += buf;
+  return out;
+}
+
+std::string csv_header() {
+  return "scheduler,success,makespan_s,tasks,attempts,failures,"
+         "lineage_resets,preemptions,crashes,manager_bytes,peer_bytes,"
+         "peak_cache_bytes\n";
+}
+
+std::string csv_row(const RunReport& report) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%llu,%llu,%llu\n",
+                report.scheduler.c_str(), report.success ? 1 : 0,
+                report.makespan_seconds(), report.tasks_total,
+                report.task_attempts, report.task_failures,
+                report.lineage_resets, report.worker_preemptions,
+                report.worker_crashes,
+                static_cast<unsigned long long>(
+                    report.transfers.manager_bytes()),
+                static_cast<unsigned long long>(
+                    report.transfers.peer_bytes()),
+                static_cast<unsigned long long>(report.cache.global_peak()));
+  return buf;
+}
+
+}  // namespace hepvine::exec

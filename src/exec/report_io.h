@@ -1,0 +1,18 @@
+// Human-readable and CSV renderings of a RunReport — one place for
+// examples, benches, and downstream users to print consistent summaries.
+#pragma once
+
+#include <string>
+
+#include "exec/scheduler.h"
+
+namespace hepvine::exec {
+
+/// Multi-line human-readable summary of one run.
+[[nodiscard]] std::string summarize(const RunReport& report);
+
+/// One CSV row (plus a static header) for run-comparison tables.
+[[nodiscard]] std::string csv_header();
+[[nodiscard]] std::string csv_row(const RunReport& report);
+
+}  // namespace hepvine::exec

@@ -1,0 +1,15 @@
+#include "exec/scheduler.h"
+
+namespace hepvine::exec {
+
+const char* to_string(ExecMode mode) {
+  switch (mode) {
+    case ExecMode::kStandardTasks:
+      return "standard-tasks";
+    case ExecMode::kFunctionCalls:
+      return "function-calls";
+  }
+  return "unknown";
+}
+
+}  // namespace hepvine::exec

@@ -1,0 +1,114 @@
+// Scheduler backend interface (the paper's "scheduler layer") plus the run
+// options and report shared by Work Queue, TaskVine, and Dask.Distributed.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "dag/task_graph.h"
+#include "metrics/cache_trace.h"
+#include "metrics/task_trace.h"
+#include "metrics/transfer_matrix.h"
+#include "pyrt/python_runtime.h"
+#include "util/units.h"
+
+namespace hepvine::exec {
+
+using util::Tick;
+
+/// Task execution paradigm (paper Section IV-B, "Serverless Execution").
+enum class ExecMode : std::uint8_t {
+  /// Serialize function + args per task; worker spawns a fresh interpreter.
+  kStandardTasks,
+  /// Persistent LibraryTask per worker; tasks become FunctionCalls that
+  /// fork from it.
+  kFunctionCalls,
+};
+
+[[nodiscard]] const char* to_string(ExecMode mode);
+
+struct RunOptions {
+  ExecMode mode = ExecMode::kStandardTasks;
+  /// Allow direct worker->worker transfers of cached files (TaskVine).
+  bool peer_transfers = true;
+  /// Hoist imports into the LibraryTask preamble (serverless only).
+  bool hoist_imports = true;
+  /// Serve the software environment from the shared filesystem instead of
+  /// the worker's local disk (the Fig 10 comparison axis).
+  bool env_from_shared_fs = false;
+  /// Stream dataset inputs from the wide-area XRootD federation instead of
+  /// the facility's local data store (paper Section IV-A: the option the
+  /// group abandoned as impractical).
+  bool inputs_from_wan = false;
+  /// Max concurrent peer transfers a worker may source (TaskVine throttle);
+  /// 0 = unlimited.
+  std::uint32_t peer_transfer_limit = 3;
+  /// Target number of replicas for intermediate task outputs (TaskVine
+  /// temp-file replication). 1 = no extra copies; higher values let the
+  /// workflow survive preemption without lineage re-execution, at the cost
+  /// of background peer transfers and disk.
+  std::uint32_t intermediate_replicas = 1;
+  /// Multiplicative jitter on task compute times (heterogeneity beyond the
+  /// per-node speed factor); 0 disables.
+  double exec_time_jitter = 0.15;
+  /// Python runtime and import costs.
+  pyrt::PythonRuntimeSpec python = pyrt::default_python_runtime();
+  pyrt::ImportSet imports = pyrt::hep_import_set();
+  /// Give up if simulated time passes this horizon.
+  Tick max_sim_time = 12 * util::kHour;
+  /// Cache-usage sampling period (Fig 11 traces).
+  Tick cache_sample_interval = 5 * util::kSec;
+  /// Task retry budget before the run is declared failed.
+  std::uint32_t max_task_retries = 8;
+  std::uint64_t seed = 42;
+};
+
+struct RunReport {
+  std::string scheduler;
+  bool success = false;
+  std::string failure_reason;
+  Tick makespan = 0;
+
+  std::size_t tasks_total = 0;
+  std::size_t task_attempts = 0;
+  std::size_t task_failures = 0;
+  /// Completed tasks that had to re-execute because their output (and all
+  /// replicas) were lost to worker failures.
+  std::size_t lineage_resets = 0;
+  std::uint32_t worker_preemptions = 0;
+  std::uint32_t worker_crashes = 0;  // non-preemption failures (e.g. disk)
+
+  /// Fraction of the makespan the manager's control loop was busy
+  /// (dispatching, ingesting results, brokering transfers). Near 1.0 means
+  /// the run was dispatch-bound — the Stack-3 regime of Fig 13.
+  double manager_busy_fraction = 0.0;
+
+  metrics::TaskTrace trace;
+  metrics::TransferMatrix transfers;
+  metrics::CacheTrace cache;
+
+  /// Final values of the graph's sink tasks (real physics results).
+  std::map<dag::TaskId, dag::ValuePtr> results;
+
+  [[nodiscard]] double makespan_seconds() const {
+    return util::to_seconds(makespan);
+  }
+};
+
+class SchedulerBackend {
+ public:
+  virtual ~SchedulerBackend() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Execute `graph` on `cluster`. Runs the cluster's event engine to
+  /// completion (or failure) and returns the report. The cluster must be
+  /// freshly constructed (time zero, no workers yet requested).
+  virtual RunReport run(const dag::TaskGraph& graph,
+                        cluster::Cluster& cluster,
+                        const RunOptions& options) = 0;
+};
+
+}  // namespace hepvine::exec

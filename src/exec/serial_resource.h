@@ -1,0 +1,54 @@
+// Single-server FIFO resource modeled as a virtual queue ("busy until").
+//
+// Used for the manager's control loop: dispatching a task, handling a
+// result, and brokering a peer transfer each occupy the single manager
+// thread for some cost. When the offered load exceeds what one thread can
+// serve, the queue grows — exactly the dispatch bottleneck that starves
+// 200-worker Stack 3 in the paper's Fig 13.
+#pragma once
+
+#include <algorithm>
+
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace hepvine::exec {
+
+using util::Tick;
+
+class SerialResource {
+ public:
+  explicit SerialResource(sim::Engine& engine) : engine_(engine) {}
+
+  /// Enqueue `cost` of work; returns the absolute time it completes.
+  Tick acquire(Tick cost) {
+    const Tick start = std::max(engine_.now(), busy_until_);
+    busy_until_ = start + cost;
+    busy_time_ += cost;
+    ++operations_;
+    return busy_until_;
+  }
+
+  /// Enqueue work and invoke `fn` when it completes.
+  void acquire_then(Tick cost, sim::Engine::Callback fn) {
+    engine_.schedule_at(acquire(cost), std::move(fn));
+  }
+
+  /// Current backlog (how far busy_until is past now).
+  [[nodiscard]] Tick backlog() const {
+    return std::max<Tick>(0, busy_until_ - engine_.now());
+  }
+
+  [[nodiscard]] Tick total_busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] std::uint64_t operations() const noexcept {
+    return operations_;
+  }
+
+ private:
+  sim::Engine& engine_;
+  Tick busy_until_ = 0;
+  Tick busy_time_ = 0;
+  std::uint64_t operations_ = 0;
+};
+
+}  // namespace hepvine::exec

@@ -1,0 +1,23 @@
+// Modeled task execution time: declared CPU-seconds scaled by the node's
+// speed factor, with bounded multiplicative jitter for runtime variance.
+#pragma once
+
+#include "dag/task_graph.h"
+#include "sim/rng.h"
+#include "util/units.h"
+
+namespace hepvine::exec {
+
+[[nodiscard]] inline util::Tick modeled_exec_ticks(const dag::Task& task,
+                                                   double node_speed,
+                                                   double jitter_frac,
+                                                   sim::Rng& rng) {
+  double seconds = task.spec.cpu_seconds / (node_speed > 0 ? node_speed : 1.0);
+  if (jitter_frac > 0) {
+    seconds *= rng.uniform(1.0 - jitter_frac, 1.0 + jitter_frac);
+  }
+  const util::Tick t = util::seconds(seconds);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace hepvine::exec

@@ -1,0 +1,76 @@
+// Synthetic NanoEvents-style columnar event data.
+//
+// The paper's datasets are CMS ROOT files we cannot ship; instead every
+// chunk's content is generated deterministically from its seed (derived
+// from dataset name + file + chunk indices), so any re-execution — on any
+// worker, after any failure — reproduces identical physics. Layout is
+// columnar (structure-of-arrays), mirroring how uproot presents ROOT
+// branches to Coffea.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dag/value.h"
+#include "util/hash.h"
+
+namespace hepvine::hep {
+
+/// Columns for one particle collection, flattened across events;
+/// `event_offsets[i]..event_offsets[i+1]` indexes event i's particles.
+struct ParticleColumns {
+  std::vector<std::uint32_t> event_offsets;  // size = events + 1
+  std::vector<float> pt;
+  std::vector<float> eta;
+  std::vector<float> phi;
+  std::vector<float> mass;
+  std::vector<float> quality;  // b-tag score for jets, isolation for photons
+
+  [[nodiscard]] std::size_t count() const noexcept { return pt.size(); }
+  [[nodiscard]] std::uint32_t begin_of(std::size_t event) const {
+    return event_offsets[event];
+  }
+  [[nodiscard]] std::uint32_t end_of(std::size_t event) const {
+    return event_offsets[event + 1];
+  }
+};
+
+/// One chunk of events: MET plus jet and photon collections.
+struct EventChunk {
+  std::uint64_t seed = 0;
+  std::size_t events = 0;
+  std::vector<float> met_pt;
+  ParticleColumns jets;
+  ParticleColumns photons;
+};
+
+/// Deterministically generate `events` collision events from `seed`.
+/// Kinematics are simplified but structured: jets follow falling pT
+/// spectra; a fraction of events carry a Higgs-like dijet resonance at
+/// ~125 GeV; a rarer fraction carry a tri-photon cascade resonance.
+[[nodiscard]] EventChunk generate_chunk(std::uint64_t seed,
+                                        std::size_t events);
+
+/// dag::Value wrapper for a chunk (used when chunks flow between tasks).
+class EventChunkValue final : public dag::Value {
+ public:
+  EventChunkValue(EventChunk chunk, std::uint64_t modeled_bytes)
+      : chunk_(std::move(chunk)), modeled_bytes_(modeled_bytes) {}
+
+  [[nodiscard]] const EventChunk& chunk() const noexcept { return chunk_; }
+  [[nodiscard]] std::uint64_t byte_size() const override {
+    return modeled_bytes_;
+  }
+  [[nodiscard]] util::Digest128 digest() const override {
+    return util::Hasher(0xc4c)
+        .update_u64(chunk_.seed)
+        .update_u64(chunk_.events)
+        .digest();
+  }
+
+ private:
+  EventChunk chunk_;
+  std::uint64_t modeled_bytes_;
+};
+
+}  // namespace hepvine::hep

@@ -1,0 +1,124 @@
+#include "hep/processors.h"
+
+#include <cmath>
+
+namespace hepvine::hep {
+
+double dijet_mass(float pt1, float eta1, float phi1, float pt2, float eta2,
+                  float phi2) {
+  // m^2 = 2 pT1 pT2 (cosh(deta) - cos(dphi)) for massless constituents.
+  const double deta = static_cast<double>(eta1) - static_cast<double>(eta2);
+  const double dphi = static_cast<double>(phi1) - static_cast<double>(phi2);
+  const double m2 = 2.0 * static_cast<double>(pt1) *
+                    static_cast<double>(pt2) *
+                    (std::cosh(deta) - std::cos(dphi));
+  return m2 > 0 ? std::sqrt(m2) : 0.0;
+}
+
+namespace dv3_cuts {
+const char* label(std::uint32_t stage) {
+  switch (stage) {
+    case kAll:
+      return "all events";
+    case kMet25:
+      return "MET > 25 GeV";
+    case kTwoBJets:
+      return ">= 2 b-tagged jets";
+    case kHiggsWindow:
+      return "pair in 100-150 GeV";
+  }
+  return "?";
+}
+}  // namespace dv3_cuts
+
+HistogramSet dv3_process(const EventChunk& chunk) {
+  using namespace binning;
+  HistogramSet out;
+  Histogram1D& met =
+      out.get("met", kMetBins, kMetLo, kMetHi);
+  Histogram1D& mass =
+      out.get("dijet_mass", kDijetBins, kDijetLo, kDijetHi);
+  Histogram1D& njets = out.get("n_btag_jets", 10, 0.0, 10.0);
+  Histogram1D& cutflow = out.get("cutflow", dv3_cuts::kStages, 0.0,
+                                 static_cast<double>(dv3_cuts::kStages));
+
+  for (std::size_t e = 0; e < chunk.events; ++e) {
+    met.fill(chunk.met_pt[e]);
+    cutflow.fill(dv3_cuts::kAll);
+    if (chunk.met_pt[e] > 25.0f) cutflow.fill(dv3_cuts::kMet25);
+
+    // Select b-tagged jets (quality above working point) with pt > 30.
+    const std::uint32_t begin = chunk.jets.begin_of(e);
+    const std::uint32_t end = chunk.jets.end_of(e);
+    std::uint32_t selected[16];
+    std::uint32_t nsel = 0;
+    for (std::uint32_t j = begin; j < end && nsel < 16; ++j) {
+      if (chunk.jets.quality[j] > 0.85f && chunk.jets.pt[j] > 30.0f) {
+        selected[nsel++] = j;
+      }
+    }
+    njets.fill(static_cast<double>(nsel));
+    if (nsel >= 2) cutflow.fill(dv3_cuts::kTwoBJets);
+    // All b-jet pairs: the Higgs candidate is any pair; background pairs
+    // fill combinatorics, signal pairs pile up near 125 GeV.
+    bool in_window = false;
+    for (std::uint32_t a = 0; a < nsel; ++a) {
+      for (std::uint32_t b = a + 1; b < nsel; ++b) {
+        const std::uint32_t j1 = selected[a];
+        const std::uint32_t j2 = selected[b];
+        const double m =
+            dijet_mass(chunk.jets.pt[j1], chunk.jets.eta[j1],
+                       chunk.jets.phi[j1], chunk.jets.pt[j2],
+                       chunk.jets.eta[j2], chunk.jets.phi[j2]);
+        mass.fill(m);
+        in_window |= m > 100.0 && m < 150.0;
+      }
+    }
+    if (in_window) cutflow.fill(dv3_cuts::kHiggsWindow);
+  }
+  return out;
+}
+
+HistogramSet triphoton_process(const EventChunk& chunk) {
+  using namespace binning;
+  HistogramSet out;
+  Histogram1D& mass =
+      out.get("triphoton_mass", kTriphotonBins, kTriphotonLo, kTriphotonHi);
+  Histogram1D& lead_pt = out.get("leading_photon_pt", 100, 0.0, 600.0);
+
+  for (std::size_t e = 0; e < chunk.events; ++e) {
+    const std::uint32_t begin = chunk.photons.begin_of(e);
+    const std::uint32_t end = chunk.photons.end_of(e);
+
+    // Select isolated photons with pt > 75.
+    std::uint32_t selected[8];
+    std::uint32_t nsel = 0;
+    float max_pt = 0.0f;
+    for (std::uint32_t g = begin; g < end && nsel < 8; ++g) {
+      if (chunk.photons.quality[g] > 0.9f && chunk.photons.pt[g] > 75.0f) {
+        selected[nsel++] = g;
+        if (chunk.photons.pt[g] > max_pt) max_pt = chunk.photons.pt[g];
+      }
+    }
+    if (nsel < 3) continue;
+    lead_pt.fill(static_cast<double>(max_pt));
+
+    // Invariant mass of the three leading selected photons (massless).
+    double px = 0, py = 0, pz = 0, energy = 0;
+    for (std::uint32_t i = 0; i < 3; ++i) {
+      const std::uint32_t g = selected[i];
+      const double pt = chunk.photons.pt[g];
+      const double eta = chunk.photons.eta[g];
+      const double phi = chunk.photons.phi[g];
+      px += pt * std::cos(phi);
+      py += pt * std::sin(phi);
+      pz += pt * std::sinh(eta);
+      energy += pt * std::cosh(eta);
+    }
+    const double m2 = energy * energy - (px * px + py * py + pz * pz);
+    mass.fill(m2 > 0 ? std::sqrt(m2) : 0.0);
+  }
+  return out;
+}
+
+}  // namespace hepvine::hep

@@ -1,0 +1,238 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace hepvine::net {
+
+LinkId Network::add_link(std::string name, Bandwidth capacity) {
+  const auto id = static_cast<LinkId>(links_.size());
+  links_.push_back(Link{LinkSpec{std::move(name), capacity}, {}, 0});
+  return id;
+}
+
+FlowId Network::start_flow(std::vector<LinkId> path, std::uint64_t bytes,
+                           Tick latency, std::function<void(FlowId)> done) {
+  const FlowId id = next_flow_id_++;
+  Flow flow;
+  flow.id = id;
+  flow.path = std::move(path);
+  flow.total_bytes = bytes;
+  flow.remaining = static_cast<double>(bytes);
+  flow.done = std::move(done);
+  flow.last_update = engine_.now();
+  for (LinkId link : flow.path) {
+    assert(link >= 0 && static_cast<std::size_t>(link) < links_.size());
+    auto& l = links_[static_cast<std::size_t>(link)];
+    l.stats.flows_carried += 1;
+  }
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
+  (void)inserted;
+  it->second.setup = engine_.schedule_after(
+      latency, [this, id] { begin_transfer(id); });
+  return it->first;
+}
+
+void Network::begin_transfer(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  if (flow.remaining <= 0.0) {
+    finish_flow(id);
+    return;
+  }
+  flow.transferring = true;
+  flow.last_update = engine_.now();
+  for (LinkId link : flow.path) {
+    links_[static_cast<std::size_t>(link)].active += 1;
+  }
+  request_recompute();
+}
+
+void Network::cancel_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  flow.setup.cancel();
+  flow.completion.cancel();
+  if (flow.transferring) {
+    settle_flow(flow);
+    for (LinkId link : flow.path) {
+      links_[static_cast<std::size_t>(link)].active -= 1;
+    }
+    request_recompute();
+  }
+  flows_.erase(it);
+}
+
+Bandwidth Network::flow_rate(FlowId id) const {
+  auto it = flows_.find(id);
+  return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void Network::finish_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  // Charge this flow's progress up to now so link statistics include the
+  // final stretch (settling is per-flow: each flow has its own last_update).
+  settle_flow(flow);
+  flow.setup.cancel();
+  flow.completion.cancel();
+  if (flow.transferring) {
+    // Any sub-byte residue left by rounding is attributed to the links now.
+    if (flow.remaining > 0) {
+      for (LinkId link : flow.path) {
+        links_[static_cast<std::size_t>(link)].stats.bytes_carried +=
+            static_cast<std::uint64_t>(flow.remaining);
+      }
+    }
+    for (LinkId link : flow.path) {
+      links_[static_cast<std::size_t>(link)].active -= 1;
+    }
+  }
+  bytes_completed_ += flow.total_bytes;
+  auto done = std::move(flow.done);
+  flows_.erase(it);
+  flows_completed_ += 1;
+  if (done) done(id);
+  request_recompute();
+}
+
+void Network::request_recompute() {
+  if (recompute_scheduled_) return;
+  recompute_scheduled_ = true;
+  // Batch all same-tick arrivals/departures into one recompute.
+  engine_.schedule_after(0, [this] {
+    recompute_scheduled_ = false;
+    recompute_now();
+  });
+}
+
+void Network::settle_flow(Flow& flow) {
+  const Tick now = engine_.now();
+  if (!flow.transferring) {
+    flow.last_update = now;
+    return;
+  }
+  const Tick elapsed = now - flow.last_update;
+  if (elapsed > 0 && flow.rate > 0) {
+    const double moved = flow.rate * util::to_seconds(elapsed);
+    const double applied = std::min(moved, flow.remaining);
+    flow.remaining -= applied;
+    for (LinkId link : flow.path) {
+      links_[static_cast<std::size_t>(link)].stats.bytes_carried +=
+          static_cast<std::uint64_t>(applied);
+    }
+  }
+  flow.last_update = now;
+}
+
+void Network::settle_progress() {
+  for (auto& [id, flow] : flows_) {
+    settle_flow(flow);
+  }
+}
+
+void Network::recompute_now() {
+  settle_progress();
+
+  // Progressive water-filling. Each pass finds the most-contended link,
+  // freezes its flows at that link's fair share, and removes the consumed
+  // capacity; repeats until every transferring flow has a rate.
+  std::vector<double> capacity(links_.size());
+  std::vector<std::int32_t> unfrozen(links_.size());
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    capacity[i] = links_[i].spec.capacity;
+    unfrozen[i] = links_[i].active;
+  }
+
+  std::vector<Flow*> pending;
+  std::vector<double> old_rates;
+  pending.reserve(flows_.size());
+  old_rates.reserve(flows_.size());
+  for (auto& [id, flow] : flows_) {
+    if (flow.transferring) {
+      old_rates.push_back(flow.rate);
+      flow.rate = 0.0;
+      pending.push_back(&flow);
+    }
+  }
+  const std::vector<Flow*> all_transferring = pending;
+
+  while (!pending.empty()) {
+    double bottleneck_share = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < links_.size(); ++i) {
+      if (unfrozen[i] > 0) {
+        bottleneck_share =
+            std::min(bottleneck_share, capacity[i] / unfrozen[i]);
+      }
+    }
+    if (!std::isfinite(bottleneck_share)) break;  // defensive: no loaded link
+
+    // Freeze every flow that traverses a link whose share equals the
+    // bottleneck (within tolerance); at least one flow freezes per pass.
+    std::vector<Flow*> still_pending;
+    still_pending.reserve(pending.size());
+    for (Flow* flow : pending) {
+      bool frozen = false;
+      for (LinkId link : flow->path) {
+        const auto i = static_cast<std::size_t>(link);
+        if (unfrozen[i] > 0 &&
+            capacity[i] / unfrozen[i] <= bottleneck_share * (1 + 1e-12)) {
+          frozen = true;
+          break;
+        }
+      }
+      if (frozen) {
+        flow->rate = bottleneck_share;
+        for (LinkId link : flow->path) {
+          const auto i = static_cast<std::size_t>(link);
+          capacity[i] -= bottleneck_share;
+          if (capacity[i] < 0) capacity[i] = 0;
+          unfrozen[i] -= 1;
+        }
+      } else {
+        still_pending.push_back(flow);
+      }
+    }
+    if (still_pending.size() == pending.size()) break;  // defensive
+    pending.swap(still_pending);
+  }
+
+  // Reschedule completions at the new rates. Flows whose allocation did
+  // not change keep their existing completion event — without this, a
+  // recompute churns O(flows) cancel/reschedule pairs even when only one
+  // corner of the network changed, which dominates large simulations.
+  for (std::size_t i = 0; i < all_transferring.size(); ++i) {
+    Flow& flow = *all_transferring[i];
+    const double old_rate = old_rates[i];
+    if (flow.remaining <= 0.5) {
+      // Fractional residue from settling; finish immediately.
+      flow.completion.cancel();
+      const FlowId fid = flow.id;
+      flow.completion =
+          engine_.schedule_after(0, [this, fid] { finish_flow(fid); });
+      continue;
+    }
+    const bool rate_unchanged =
+        old_rate > 0.0 &&
+        std::abs(flow.rate - old_rate) <= old_rate * 1e-12;
+    if (rate_unchanged && flow.completion.pending()) {
+      continue;  // completion time is still exact
+    }
+    flow.completion.cancel();
+    if (flow.rate <= 0.0) continue;  // starved; waits for the next recompute
+    const Tick eta = util::transfer_time(
+        static_cast<std::uint64_t>(std::ceil(flow.remaining)), flow.rate);
+    const FlowId fid = flow.id;
+    flow.completion =
+        engine_.schedule_after(eta, [this, fid] { finish_flow(fid); });
+  }
+}
+
+}  // namespace hepvine::net

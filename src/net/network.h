@@ -1,0 +1,123 @@
+// Flow-level network model with max-min fair bandwidth sharing.
+//
+// The cluster is modeled as a set of capacity-limited links (typically one
+// uplink and one downlink per node NIC, plus an aggregate link for the
+// shared filesystem). A transfer is a "flow" over a path of links. Whenever
+// the set of active flows changes, per-flow rates are recomputed by
+// progressive water-filling (the classic max-min fair allocation), progress
+// is settled at the old rates, and each flow's completion event is
+// rescheduled. Rate recomputation is batched per tick: any number of flow
+// arrivals/departures at the same instant trigger a single recompute.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "util/units.h"
+
+namespace hepvine::net {
+
+using util::Bandwidth;
+using util::Tick;
+
+using LinkId = std::int32_t;
+using FlowId = std::int64_t;
+
+inline constexpr FlowId kInvalidFlow = -1;
+
+/// Static description of one link.
+struct LinkSpec {
+  std::string name;
+  Bandwidth capacity = 0;  // bytes/second
+};
+
+/// Cumulative per-link statistics.
+struct LinkStats {
+  std::uint64_t bytes_carried = 0;
+  std::uint64_t flows_carried = 0;
+};
+
+class Network {
+ public:
+  explicit Network(sim::Engine& engine) : engine_(engine) {}
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Register a link; returns its id.
+  LinkId add_link(std::string name, Bandwidth capacity);
+
+  [[nodiscard]] std::size_t link_count() const { return links_.size(); }
+  [[nodiscard]] const LinkSpec& link(LinkId id) const {
+    return links_[static_cast<std::size_t>(id)].spec;
+  }
+  [[nodiscard]] const LinkStats& link_stats(LinkId id) const {
+    return links_[static_cast<std::size_t>(id)].stats;
+  }
+
+  /// Start a flow of `bytes` across `path` after `latency` ticks of setup.
+  /// `done` fires exactly once when the last byte arrives, unless the flow
+  /// is cancelled first. Zero-byte flows complete after `latency` alone.
+  FlowId start_flow(std::vector<LinkId> path, std::uint64_t bytes,
+                    Tick latency, std::function<void(FlowId)> done);
+
+  /// Cancel an in-flight flow (e.g. its endpoint was preempted). The done
+  /// callback is not invoked. Unknown/finished ids are ignored.
+  void cancel_flow(FlowId id);
+
+  /// True if the flow is still pending or transferring.
+  [[nodiscard]] bool flow_active(FlowId id) const {
+    return flows_.contains(id);
+  }
+
+  /// Current rate of an active flow in bytes/second (0 while in setup).
+  [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
+
+  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::uint64_t total_bytes_completed() const {
+    return bytes_completed_;
+  }
+  [[nodiscard]] std::uint64_t flows_completed() const {
+    return flows_completed_;
+  }
+
+ private:
+  struct Flow {
+    FlowId id = kInvalidFlow;
+    std::vector<LinkId> path;
+    std::uint64_t total_bytes = 0;
+    double remaining = 0;  // bytes yet to move
+    Bandwidth rate = 0;    // current allocation; 0 during setup
+    Tick last_update = 0;  // when `remaining` was last settled
+    bool transferring = false;
+    std::function<void(FlowId)> done;
+    sim::Engine::EventHandle completion;
+    sim::Engine::EventHandle setup;
+  };
+
+  struct Link {
+    LinkSpec spec;
+    LinkStats stats;
+    std::int32_t active = 0;  // flows currently allocated on this link
+  };
+
+  void begin_transfer(FlowId id);
+  void finish_flow(FlowId id);
+  void request_recompute();
+  void recompute_now();
+  void settle_flow(Flow& flow);
+  void settle_progress();
+
+  sim::Engine& engine_;
+  std::vector<Link> links_;
+  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+  FlowId next_flow_id_ = 1;
+  bool recompute_scheduled_ = false;
+  std::uint64_t bytes_completed_ = 0;
+  std::uint64_t flows_completed_ = 0;
+};
+
+}  // namespace hepvine::net

@@ -1,0 +1,49 @@
+#include "pyrt/python_runtime.h"
+
+namespace hepvine::pyrt {
+
+LibrarySpec numpy_lib() {
+  return LibrarySpec{"numpy", 30 * util::kMB, 600, 60 * util::kMsec};
+}
+
+LibrarySpec scipy_lib() {
+  return LibrarySpec{"scipy", 80 * util::kMB, 1'400, 120 * util::kMsec};
+}
+
+LibrarySpec coffea_stack() {
+  return LibrarySpec{"coffea-stack", 210 * util::kMB, 5'200,
+                     900 * util::kMsec};
+}
+
+PythonRuntimeSpec default_python_runtime() { return PythonRuntimeSpec{}; }
+
+std::uint64_t ImportSet::total_code_bytes() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& lib : libraries) total += lib.code_bytes;
+  return total;
+}
+
+std::uint64_t ImportSet::total_metadata_ops() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& lib : libraries) total += lib.metadata_ops;
+  return total;
+}
+
+Tick ImportSet::total_cpu_cost() const noexcept {
+  Tick total = 0;
+  for (const auto& lib : libraries) total += lib.cpu_cost;
+  return total;
+}
+
+Tick ImportSet::import_time_local(
+    const storage::DiskSpec& disk) const noexcept {
+  Tick total = 0;
+  for (const auto& lib : libraries) total += lib.import_time_local(disk);
+  return total;
+}
+
+ImportSet hep_import_set() {
+  return ImportSet{{numpy_lib(), coffea_stack()}};
+}
+
+}  // namespace hepvine::pyrt

@@ -1,0 +1,93 @@
+// Cost model for the Python runtime that HEP analysis tasks run inside.
+//
+// The paper's Stack-4 result (tasks → serverless functions, 13x total) and
+// the import-hoisting experiment (Fig 10) are entirely about per-invocation
+// runtime overheads:
+//   * starting a CPython interpreter for every standard task,
+//   * deserializing the function body and its arguments,
+//   * importing libraries — dominated by filesystem *metadata* traffic
+//     (CPython stats hundreds of candidate paths per import), which is
+//     cheap on a node-local disk and expensive on a shared filesystem,
+//   * forking a child per serverless FunctionCall (cheap; imports are
+//     inherited when hoisted into the LibraryTask preamble).
+//
+// This module holds the library catalog and the pure cost formulas; actual
+// asynchronous interaction with the shared filesystem's metadata server is
+// driven by the worker runtime in src/cluster.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/disk.h"
+#include "util/units.h"
+
+namespace hepvine::pyrt {
+
+using util::Tick;
+
+/// One importable Python library (or bundle of libraries).
+struct LibrarySpec {
+  std::string name;
+  std::uint64_t code_bytes = 0;     // bytes read from disk on first import
+  std::uint64_t metadata_ops = 0;   // stat/open calls issued by the import
+  Tick cpu_cost = 0;                // module-level init (pure CPU)
+
+  /// Time to import from a node-local disk, uncontended.
+  [[nodiscard]] Tick import_time_local(
+      const storage::DiskSpec& disk) const noexcept {
+    return static_cast<Tick>(metadata_ops) * disk.op_latency +
+           util::transfer_time(code_bytes, disk.read_bw) + cpu_cost;
+  }
+};
+
+/// numpy: ~30 MB of shared objects, several hundred stats.
+[[nodiscard]] LibrarySpec numpy_lib();
+/// scipy: pulls numpy's tree plus its own.
+[[nodiscard]] LibrarySpec scipy_lib();
+/// The HEP stack Coffea applications import: awkward + uproot + coffea +
+/// hist + friends. Large: thousands of metadata ops, ~200 MB of code.
+[[nodiscard]] LibrarySpec coffea_stack();
+
+struct PythonRuntimeSpec {
+  /// Cold CPython start incl. stdlib, from a warm local disk.
+  Tick interpreter_startup = 350 * util::kMsec;
+  /// fork(2) + child bookkeeping for a serverless FunctionCall.
+  Tick fork_cost = 3 * util::kMsec;
+  /// Fixed cost of (de)serializing a function or argument object.
+  Tick serialize_fixed = 2 * util::kMsec;
+  /// Throughput of cloudpickle-style (de)serialization.
+  double serialize_bytes_per_sec = 200e6;
+  /// Size of a typical serialized processor function closure.
+  std::uint64_t function_body_bytes = 256 * util::kKiB;
+  /// Size of a serialized argument tuple for one task.
+  std::uint64_t argument_bytes = 16 * util::kKiB;
+  /// Size of the packaged software environment (conda-pack style) shipped
+  /// once per worker in serverless mode.
+  std::uint64_t environment_bytes = 600 * util::kMB;
+
+  [[nodiscard]] Tick serialize_time(std::uint64_t bytes) const noexcept {
+    return serialize_fixed +
+           util::transfer_time(bytes, serialize_bytes_per_sec);
+  }
+};
+
+/// Defaults tuned to the paper's cluster (2.5 GHz Xeon workers).
+[[nodiscard]] PythonRuntimeSpec default_python_runtime();
+
+/// The import list of a task/function, with total helpers.
+struct ImportSet {
+  std::vector<LibrarySpec> libraries;
+
+  [[nodiscard]] std::uint64_t total_code_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t total_metadata_ops() const noexcept;
+  [[nodiscard]] Tick total_cpu_cost() const noexcept;
+  [[nodiscard]] Tick import_time_local(
+      const storage::DiskSpec& disk) const noexcept;
+};
+
+/// The standard import set of the paper's Coffea applications.
+[[nodiscard]] ImportSet hep_import_set();
+
+}  // namespace hepvine::pyrt

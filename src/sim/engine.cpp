@@ -1,0 +1,72 @@
+#include "sim/engine.h"
+
+#include <utility>
+
+namespace hepvine::sim {
+
+Engine::EventHandle Engine::schedule_at(Tick at, Callback fn) {
+  if (at < now_) at = now_;
+  maybe_purge_cancelled();
+  auto rec = std::make_shared<EventHandle::Record>();
+  rec->fn = std::move(fn);
+  rec->cancel_counter = &cancelled_pending_;
+  queue_.push(QueueEntry{at, next_seq_++, rec});
+  return EventHandle(std::move(rec));
+}
+
+void Engine::maybe_purge_cancelled() {
+  if (cancelled_pending_ < 4096 || cancelled_pending_ * 2 < queue_.size()) {
+    return;
+  }
+  std::vector<QueueEntry> live;
+  live.reserve(queue_.size() - cancelled_pending_);
+  while (!queue_.empty()) {
+    if (!queue_.top().rec->cancelled) live.push_back(queue_.top());
+    queue_.pop();
+  }
+  for (auto& entry : live) queue_.push(std::move(entry));
+  cancelled_pending_ = 0;
+}
+
+bool Engine::step() {
+  while (!queue_.empty()) {
+    QueueEntry entry = queue_.top();
+    queue_.pop();
+    if (entry.rec->cancelled) {
+      if (cancelled_pending_ > 0) --cancelled_pending_;
+      continue;
+    }
+    now_ = entry.at;
+    entry.rec->fired = true;
+    ++executed_;
+    // Move the callback out so captured state is released promptly even if
+    // the handle outlives the event.
+    Callback fn = std::move(entry.rec->fn);
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Engine::run() {
+  while (step()) {
+  }
+}
+
+std::size_t Engine::run_until(Tick deadline) {
+  std::size_t fired = 0;
+  while (!queue_.empty()) {
+    // Skip cancelled entries without advancing time.
+    if (queue_.top().rec->cancelled) {
+      queue_.pop();
+      if (cancelled_pending_ > 0) --cancelled_pending_;
+      continue;
+    }
+    if (queue_.top().at > deadline) break;
+    if (step()) ++fired;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return fired;
+}
+
+}  // namespace hepvine::sim

@@ -1,0 +1,116 @@
+// Deterministic discrete-event simulation engine.
+//
+// Single-threaded. Events are ordered by (time, sequence number) so runs
+// with identical inputs replay identically. Events are cancellable, which
+// the flow-level network model relies on: a transfer's completion event is
+// rescheduled whenever bandwidth shares change.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/units.h"
+
+namespace hepvine::sim {
+
+using util::Tick;
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Handle to a scheduled event; allows cancellation. Copyable; all copies
+  /// refer to the same underlying event.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+
+    /// Cancel the event if it has not yet fired. Safe to call repeatedly.
+    void cancel() const {
+      if (auto rec = rec_.lock()) {
+        if (!rec->cancelled && !rec->fired) {
+          rec->cancelled = true;
+          if (rec->cancel_counter != nullptr) ++*rec->cancel_counter;
+        }
+      }
+    }
+
+    /// True if the event is still pending (not fired, not cancelled).
+    [[nodiscard]] bool pending() const {
+      auto rec = rec_.lock();
+      return rec && !rec->cancelled && !rec->fired;
+    }
+
+   private:
+    friend class Engine;
+    struct Record {
+      Callback fn;
+      bool cancelled = false;
+      bool fired = false;
+      std::size_t* cancel_counter = nullptr;  // owned by the Engine
+    };
+    explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
+    std::weak_ptr<Record> rec_;
+  };
+
+  /// Current simulated time.
+  [[nodiscard]] Tick now() const noexcept { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (clamped to now()).
+  EventHandle schedule_at(Tick at, Callback fn);
+
+  /// Schedule `fn` to run `delay` ticks from now (delay < 0 clamps to 0).
+  EventHandle schedule_after(Tick delay, Callback fn) {
+    return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Execute the next pending event. Returns false if the queue is empty.
+  bool step();
+
+  /// Run until no events remain.
+  void run();
+
+  /// Run events with time <= `deadline`; advances now() to the later of the
+  /// last fired event and `deadline`. Returns the number of events fired.
+  std::size_t run_until(Tick deadline);
+
+  /// Total events executed so far (diagnostics).
+  [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
+
+  /// Events currently pending (including cancelled-but-not-popped ones).
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct QueueEntry {
+    Tick at;
+    std::uint64_t seq;
+    std::shared_ptr<EventHandle::Record> rec;
+  };
+  struct Later {
+    bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Drop cancelled-but-unpopped entries when they dominate the queue.
+  /// Heavy users (the flow network) cancel and reschedule completion
+  /// events constantly; without compaction those tombstones accumulate.
+  void maybe_purge_cancelled();
+
+  Tick now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::size_t cancelled_pending_ = 0;
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+};
+
+}  // namespace hepvine::sim

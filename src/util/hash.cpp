@@ -1,0 +1,55 @@
+#include "util/hash.h"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace hepvine::util {
+
+std::string Digest128::hex() const {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  for (std::uint64_t word : {hi, lo}) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      out.push_back(kDigits[(word >> shift) & 0xF]);
+    }
+  }
+  return out;
+}
+
+std::uint64_t hash_bytes(std::string_view bytes, std::uint64_t seed) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ mix64(seed);
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return mix64(h);
+}
+
+Digest128 digest128(std::string_view bytes) noexcept {
+  return {hash_bytes(bytes, 0x243f6a8885a308d3ULL),
+          hash_bytes(bytes, 0x13198a2e03707344ULL)};
+}
+
+Hasher& Hasher::update(std::string_view bytes) noexcept {
+  a_ = hash_combine(a_, hash_bytes(bytes, 1));
+  b_ = hash_combine(b_, hash_bytes(bytes, 2));
+  return *this;
+}
+
+Hasher& Hasher::update_u64(std::uint64_t v) noexcept {
+  a_ = hash_combine(a_, mix64(v));
+  b_ = hash_combine(b_, mix64(v ^ 0xa5a5a5a5a5a5a5a5ULL));
+  return *this;
+}
+
+Hasher& Hasher::update_i64(std::int64_t v) noexcept {
+  return update_u64(static_cast<std::uint64_t>(v));
+}
+
+Hasher& Hasher::update_double(double v) noexcept {
+  return update_u64(std::bit_cast<std::uint64_t>(v));
+}
+
+}  // namespace hepvine::util

@@ -1,0 +1,70 @@
+// Content hashing used to derive TaskVine "cachenames".
+//
+// TaskVine names every file in the cluster by a digest of its metadata and
+// content so that replicas on different workers are interchangeable. We use
+// a 128-bit mix built from two independent 64-bit lanes; it is not
+// cryptographic, but collisions are vanishingly unlikely at workflow scale
+// and the digest is deterministic across platforms.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace hepvine::util {
+
+/// 128-bit digest value.
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  friend bool operator==(const Digest128&, const Digest128&) = default;
+  friend auto operator<=>(const Digest128&, const Digest128&) = default;
+
+  /// Render as 32 lowercase hex characters.
+  [[nodiscard]] std::string hex() const;
+};
+
+/// splitmix64 finalizer: the standard 64-bit avalanche mix.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over bytes with a seed, avalanched at the end.
+[[nodiscard]] std::uint64_t hash_bytes(std::string_view bytes,
+                                       std::uint64_t seed = 0) noexcept;
+
+/// Combine two 64-bit hashes order-sensitively.
+[[nodiscard]] constexpr std::uint64_t hash_combine(std::uint64_t a,
+                                                   std::uint64_t b) noexcept {
+  return mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+/// 128-bit digest of a byte string (two independent seeds).
+[[nodiscard]] Digest128 digest128(std::string_view bytes) noexcept;
+
+/// Incremental hasher for building digests out of heterogeneous fields.
+class Hasher {
+ public:
+  Hasher() = default;
+  explicit Hasher(std::uint64_t seed) : a_(mix64(seed)), b_(mix64(~seed)) {}
+
+  Hasher& update(std::string_view bytes) noexcept;
+  Hasher& update_u64(std::uint64_t v) noexcept;
+  Hasher& update_i64(std::int64_t v) noexcept;
+  Hasher& update_double(double v) noexcept;
+
+  [[nodiscard]] Digest128 digest() const noexcept { return {a_, b_}; }
+  [[nodiscard]] std::uint64_t digest64() const noexcept {
+    return hash_combine(a_, b_);
+  }
+
+ private:
+  std::uint64_t a_ = 0x6a09e667f3bcc908ULL;
+  std::uint64_t b_ = 0xbb67ae8584caa73bULL;
+};
+
+}  // namespace hepvine::util

@@ -1,0 +1,45 @@
+#include "util/units.h"
+
+#include <array>
+#include <cstdio>
+
+namespace hepvine::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  static constexpr std::array<const char*, 5> kSuffix = {"B", "KB", "MB",
+                                                         "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  std::size_t idx = 0;
+  while (value >= 1000.0 && idx + 1 < kSuffix.size()) {
+    value /= 1000.0;
+    ++idx;
+  }
+  char buf[32];
+  if (idx == 0) {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1f %s", value, kSuffix[idx]);
+  }
+  return buf;
+}
+
+std::string format_duration(Tick t) {
+  const double total = to_seconds(t);
+  char buf[48];
+  if (total < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.1fs", total);
+  } else if (total < 3600.0) {
+    const int mins = static_cast<int>(total) / 60;
+    std::snprintf(buf, sizeof(buf), "%dm%04.1fs", mins,
+                  total - 60.0 * mins);
+  } else {
+    const int hours = static_cast<int>(total) / 3600;
+    const int mins = (static_cast<int>(total) % 3600) / 60;
+    std::snprintf(buf, sizeof(buf), "%dh%02dm%02.0fs", hours, mins,
+                  total - 3600.0 * hours - 60.0 * mins);
+  }
+  return buf;
+}
+
+}  // namespace hepvine::util

@@ -1,0 +1,72 @@
+// Units and conversions shared across the simulator.
+//
+// Time is kept as integer microseconds (`Tick`) for exact, platform-
+// independent event ordering. Data sizes are bytes in unsigned 64-bit.
+// Bandwidth is bytes-per-second as double (rates are the one quantity we
+// allow to be fractional; durations derived from them are rounded up so a
+// transfer never finishes early).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+namespace hepvine::util {
+
+/// Simulated time in integer microseconds.
+using Tick = std::int64_t;
+
+inline constexpr Tick kUsec = 1;
+inline constexpr Tick kMsec = 1000 * kUsec;
+inline constexpr Tick kSec = 1000 * kMsec;
+inline constexpr Tick kMinute = 60 * kSec;
+inline constexpr Tick kHour = 60 * kMinute;
+
+/// Convert seconds (double) to ticks, rounding to nearest microsecond.
+[[nodiscard]] constexpr Tick seconds(double s) noexcept {
+  return static_cast<Tick>(s * static_cast<double>(kSec) + 0.5);
+}
+
+/// Convert ticks to floating-point seconds (for reporting only).
+[[nodiscard]] constexpr double to_seconds(Tick t) noexcept {
+  return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+inline constexpr std::uint64_t kKB = 1000ULL;
+inline constexpr std::uint64_t kMB = 1000ULL * kKB;
+inline constexpr std::uint64_t kGB = 1000ULL * kMB;
+inline constexpr std::uint64_t kTB = 1000ULL * kGB;
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+
+/// Bandwidth in bytes per second.
+using Bandwidth = double;
+
+/// Gigabits/second to bytes/second.
+[[nodiscard]] constexpr Bandwidth gbps(double g) noexcept {
+  return g * 1e9 / 8.0;
+}
+
+/// Megabytes/second to bytes/second.
+[[nodiscard]] constexpr Bandwidth mbs(double m) noexcept { return m * 1e6; }
+
+/// Time to move `bytes` at `rate`, rounded up to a whole tick (min 1 tick
+/// for any nonzero payload so causality is preserved).
+[[nodiscard]] inline Tick transfer_time(std::uint64_t bytes,
+                                        Bandwidth rate) noexcept {
+  if (bytes == 0) return 0;
+  const double secs = static_cast<double>(bytes) / rate;
+  const auto ticks = static_cast<Tick>(
+      std::ceil(secs * static_cast<double>(kSec)));
+  return ticks > 0 ? ticks : 1;
+}
+
+/// Human-readable byte count, e.g. "1.2 GB".
+[[nodiscard]] std::string format_bytes(std::uint64_t bytes);
+
+/// Human-readable duration, e.g. "12m34.5s".
+[[nodiscard]] std::string format_duration(Tick t);
+
+}  // namespace hepvine::util

@@ -1,0 +1,61 @@
+// Replica tracking: the manager's cluster-wide map of which workers hold
+// which files (by cachename). This is the data structure that enables
+// locality-aware placement and peer transfers (paper Section IV-B,
+// "Retaining Data").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "data/file_catalog.h"
+
+namespace hepvine::vine {
+
+class ReplicaTable {
+ public:
+  ReplicaTable(std::size_t files, std::size_t workers)
+      : holders_(files), at_manager_(files, false), worker_files_(workers) {}
+
+  void add(data::FileId file, cluster::WorkerId worker);
+  void remove(data::FileId file, cluster::WorkerId worker);
+  void set_at_manager(data::FileId file, bool present = true) {
+    at_manager_[static_cast<std::size_t>(file)] = present;
+  }
+
+  [[nodiscard]] bool at_manager(data::FileId file) const {
+    return at_manager_[static_cast<std::size_t>(file)];
+  }
+  [[nodiscard]] bool on_worker(data::FileId file,
+                               cluster::WorkerId worker) const;
+  [[nodiscard]] const std::vector<cluster::WorkerId>& holders(
+      data::FileId file) const {
+    return holders_[static_cast<std::size_t>(file)];
+  }
+  /// Anywhere at all (worker or manager)?
+  [[nodiscard]] bool available(data::FileId file) const {
+    return at_manager(file) || !holders(file).empty();
+  }
+  [[nodiscard]] std::size_t replica_count(data::FileId file) const {
+    return holders(file).size() +
+           (at_manager(file) ? 1u : 0u);
+  }
+
+  /// Drop every replica held by `worker` (preemption). Returns the files
+  /// that lost their last replica (manager copies don't count as lost).
+  std::vector<data::FileId> drop_worker(cluster::WorkerId worker);
+
+  /// Files currently on a worker (for diagnostics/GC).
+  [[nodiscard]] const std::vector<data::FileId>& files_on(
+      cluster::WorkerId worker) const {
+    return worker_files_[static_cast<std::size_t>(worker)];
+  }
+
+ private:
+  // Small vectors: replica counts are 1-3 in practice, so linear scans win.
+  std::vector<std::vector<cluster::WorkerId>> holders_;
+  std::vector<bool> at_manager_;
+  std::vector<std::vector<data::FileId>> worker_files_;
+};
+
+}  // namespace hepvine::vine

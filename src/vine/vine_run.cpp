@@ -1,0 +1,1406 @@
+// Implementation of the manager-worker execution engine behind
+// VineScheduler (and, via DataPolicy, the Work Queue baseline).
+//
+// Everything is event-driven: the manager reacts to worker arrivals,
+// fetch completions, task completions, and failures; `pump()` greedily
+// dispatches ready tasks whenever capacity may have appeared. All
+// callbacks that land after asynchronous delays validate an attempt token
+// (task id + attempt counter) or a worker incarnation before acting, which
+// makes preemption/crash handling uniform: invalidate the token, requeue
+// the task, and let stale events fall on the floor.
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "dag/task_graph.h"
+#include "exec/serial_resource.h"
+#include "net/flow_gate.h"
+#include "exec/task_state.h"
+#include "exec/time_model.h"
+#include "sim/rng.h"
+#include "vine/replica_table.h"
+#include "vine/vine_scheduler.h"
+
+namespace hepvine::vine {
+
+namespace {
+
+using cluster::WorkerId;
+using data::FileId;
+using dag::TaskId;
+using exec::TaskState;
+using util::Tick;
+
+class VineRun {
+ public:
+  VineRun(const dag::TaskGraph& graph, cluster::Cluster& cluster,
+          const exec::RunOptions& options, const DataPolicy& policy,
+          const VineTunables& tunables, std::string name)
+      : graph_(graph),
+        cluster_(cluster),
+        engine_(cluster.engine()),
+        options_(options),
+        policy_(policy),
+        tun_(tunables),
+        name_(std::move(name)),
+        table_(graph, policy.depth_priority),
+        rng_(options.seed, "vine-run"),
+        manager_(cluster.engine()),
+        workers_rt_(cluster.worker_count()) {
+    build_file_table();
+    report_.scheduler = name_;
+    report_.tasks_total = graph.size();
+    report_.transfers = metrics::TransferMatrix(cluster.endpoint_count());
+    report_.cache = metrics::CacheTrace(cluster.worker_count());
+  }
+
+  exec::RunReport execute() {
+    const std::vector<TaskId> sinks = graph_.sinks();
+    sinks_outstanding_ = sinks.size();
+    for (TaskId sink : sinks) {
+      is_sink_[static_cast<std::size_t>(sink)] = true;
+    }
+
+    cluster_.request_workers([this](WorkerId w) { on_worker_up(w); },
+                             [this](WorkerId w) { on_worker_down(w); });
+
+    engine_.schedule_at(options_.max_sim_time, [this] {
+      if (!finished_) fail_run("exceeded max simulated time");
+    });
+    schedule_cache_sample();
+
+    while (!finished_ && engine_.step()) {
+    }
+    if (!finished_) {
+      // Event queue drained without completing: nothing left can make
+      // progress (e.g. no workers ever arrived).
+      fail_run("event queue drained before workflow completion");
+    }
+
+    report_.worker_preemptions = cluster_.batch().preemptions();
+    report_.task_attempts = total_attempts_;
+    report_.task_failures = report_.trace.failures();
+    report_.lineage_resets = lineage_resets_;
+    if (report_.makespan > 0) {
+      report_.manager_busy_fraction =
+          std::min(1.0, static_cast<double>(manager_.total_busy_time()) /
+                            static_cast<double>(report_.makespan));
+    }
+    return std::move(report_);
+  }
+
+ private:
+  // ---------------------------------------------------------------------
+  // File table: catalog files plus runtime files (environment, function
+  // bodies) appended past the catalog's range.
+  // ---------------------------------------------------------------------
+  struct FileInfo {
+    std::uint64_t size = 0;
+    data::FileKind kind = data::FileKind::kIntermediate;
+    TaskId producer = dag::kInvalidTask;  // for intermediates
+  };
+
+  void build_file_table() {
+    const auto& catalog = graph_.catalog();
+    files_.reserve(catalog.size() + 8);
+    for (const auto& f : catalog) {
+      files_.push_back(FileInfo{f.size, f.kind, dag::kInvalidTask});
+    }
+    for (const auto& task : graph_.tasks()) {
+      files_[static_cast<std::size_t>(task.output_file)].producer = task.id;
+      for (data::FileId f : task.spec.input_files) {
+        input_consumers_[f].push_back(task.id);
+      }
+    }
+
+    if (!options_.env_from_shared_fs) {
+      env_file_ = add_runtime_file(options_.python.environment_bytes,
+                                   data::FileKind::kEnvironment);
+    }
+    if (policy_.cache_function_bodies) {
+      for (const auto& task : graph_.tasks()) {
+        auto [it, inserted] = function_bodies_.try_emplace(
+            task.spec.function, data::kInvalidFile);
+        if (inserted) {
+          it->second = add_runtime_file(options_.python.function_body_bytes,
+                                        data::FileKind::kFunctionBody);
+        }
+      }
+    }
+
+    replicas_ = std::make_unique<ReplicaTable>(files_.size(),
+                                               cluster_.worker_count());
+    // Runtime files and nothing else start at the manager.
+    if (env_file_ != data::kInvalidFile) {
+      replicas_->set_at_manager(env_file_);
+    }
+    for (const auto& [fn, file] : function_bodies_) {
+      replicas_->set_at_manager(file);
+    }
+    is_sink_.assign(graph_.size(), false);
+  }
+
+  FileId add_runtime_file(std::uint64_t size, data::FileKind kind) {
+    const auto id = static_cast<FileId>(files_.size());
+    files_.push_back(FileInfo{size, kind, dag::kInvalidTask});
+    return id;
+  }
+
+  [[nodiscard]] const FileInfo& file(FileId id) const {
+    return files_[static_cast<std::size_t>(id)];
+  }
+
+  // ---------------------------------------------------------------------
+  // Attempt tokens.
+  // ---------------------------------------------------------------------
+  struct Token {
+    TaskId task = dag::kInvalidTask;
+    std::uint32_t attempt = 0;
+  };
+
+  [[nodiscard]] bool token_valid(const Token& token) const {
+    const auto& st = table_.at(token.task);
+    return st.attempts == token.attempt &&
+           (st.state == TaskState::kDispatched ||
+            st.state == TaskState::kRunning);
+  }
+
+  struct Attempt {
+    std::uint32_t attempt = 0;
+    std::uint32_t staging_outstanding = 0;
+    std::vector<dag::ValuePtr> inputs;
+    bool resources_released = false;
+    Tick exec_finished_at = 0;  // when the worker-side process exited
+    /// Disk bytes this attempt expects to add to its worker (missing
+    /// inputs + output); reserved logically at dispatch so concurrent
+    /// dispatches cannot over-commit a scratch disk.
+    std::uint64_t disk_committed = 0;
+  };
+
+  // ---------------------------------------------------------------------
+  // Per-worker runtime state (cache membership, library, transfer slots).
+  // ---------------------------------------------------------------------
+  enum class LibState : std::uint8_t { kNone, kInstalling, kReady };
+
+  struct WorkerRt {
+    std::vector<bool> in_cache;  // indexed by FileId
+    LibState lib = LibState::kNone;
+    std::uint64_t mem_in_use = 0;
+    std::uint64_t disk_committed = 0;  // promised to in-flight attempts
+    std::uint32_t active_out = 0;  // peer transfers sourced here
+    std::vector<TaskId> here;      // tasks dispatched/running/returning
+    std::vector<Token> waiting_for_lib;
+  };
+
+  [[nodiscard]] bool in_cache(WorkerId w, FileId f) const {
+    const auto& cache = workers_rt_[static_cast<std::size_t>(w)].in_cache;
+    return static_cast<std::size_t>(f) < cache.size() &&
+           cache[static_cast<std::size_t>(f)];
+  }
+
+  void cache_insert(WorkerId w, FileId f) {
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    if (rt.in_cache.size() < files_.size()) rt.in_cache.resize(files_.size());
+    rt.in_cache[static_cast<std::size_t>(f)] = true;
+    replicas_->add(f, w);
+  }
+
+  // ---------------------------------------------------------------------
+  // Fetches: one active fetch per (file, destination worker).
+  // ---------------------------------------------------------------------
+  using FetchKey = std::pair<FileId, WorkerId>;
+
+  struct Fetch {
+    FileId file = data::kInvalidFile;
+    WorkerId dst = cluster::kNoWorker;
+    WorkerId peer_src = cluster::kNoWorker;  // valid while a peer flow runs
+    net::FlowId flow = net::kInvalidFlow;
+    bool throttled = false;
+    std::vector<std::function<void(bool)>> waiters;  // bool: file arrived
+  };
+
+  std::map<FetchKey, Fetch> fetches_;
+  std::deque<FetchKey> throttle_queue_;
+
+  // ---------------------------------------------------------------------
+  // Worker lifecycle.
+  // ---------------------------------------------------------------------
+  void on_worker_up(WorkerId w) {
+    if (finished_) return;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    rt = WorkerRt{};
+    rt.in_cache.assign(files_.size(), false);
+    if (options_.mode == exec::ExecMode::kFunctionCalls) {
+      install_library(w);
+    }
+    pump();
+  }
+
+  void on_worker_down(WorkerId w) {
+    if (finished_) return;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+
+    // Fail every task attempt on this worker.
+    const std::vector<TaskId> here = std::move(rt.here);
+    rt.here.clear();
+    for (TaskId t : here) {
+      fail_attempt(t, /*requeue=*/true);
+      if (finished_) return;
+    }
+
+    // Drop replicas; lost intermediates are rediscovered lazily at
+    // dispatch pre-check or fetch time (lineage reset).
+    replicas_->drop_worker(w);
+    rt = WorkerRt{};
+    report_.cache.mark_failure(static_cast<std::size_t>(w), engine_.now());
+
+    // Cancel fetches touching this worker.
+    std::vector<FetchKey> to_dst;
+    std::vector<FetchKey> from_src;
+    for (auto& [key, fetch] : fetches_) {
+      if (fetch.dst == w) {
+        to_dst.push_back(key);
+      } else if (fetch.peer_src == w) {
+        from_src.push_back(key);
+      }
+    }
+    for (const FetchKey& key : to_dst) {
+      auto it = fetches_.find(key);
+      if (it == fetches_.end()) continue;  // cascaded away already
+      Fetch& fetch = it->second;
+      if (fetch.flow != net::kInvalidFlow) {
+        cluster_.network().cancel_flow(fetch.flow);
+        if (fetch.peer_src != cluster::kNoWorker) {
+          release_peer_slot(fetch.peer_src);
+        }
+      }
+      // If a peer broker request is still queued (flow not yet started),
+      // the broker callback releases the slot when it finds the fetch gone.
+      fetches_.erase(key);  // waiters' tokens are already invalid
+    }
+    for (const FetchKey& key : from_src) {
+      auto it = fetches_.find(key);
+      if (it == fetches_.end()) continue;
+      Fetch& fetch = it->second;
+      cluster_.network().cancel_flow(fetch.flow);
+      fetch.flow = net::kInvalidFlow;
+      fetch.peer_src = cluster::kNoWorker;
+      start_fetch_transfer(key);  // re-source from another replica
+    }
+
+    // Sink results mid-flight from this worker must be re-fetched (or the
+    // sink recomputed if no replica survives).
+    std::vector<TaskId> broken_sinks;
+    for (const auto& [t, flow_src] : sink_flows_) {
+      if (flow_src.second == w) broken_sinks.push_back(t);
+    }
+    for (TaskId t : broken_sinks) {
+      cluster_.network().cancel_flow(sink_flows_.at(t).first);
+      sink_flows_.erase(t);
+      fetch_sink_result(t);
+    }
+
+    pump();
+  }
+
+  /// A worker destroyed itself (scratch disk overflow). Routed through the
+  /// batch system so replacement matching applies.
+  void crash_worker(WorkerId w, const char* /*reason*/) {
+    if (!cluster_.worker(w).alive) return;
+    report_.worker_crashes += 1;
+    cluster_.batch().force_preempt(static_cast<std::uint32_t>(w));
+  }
+
+  // ---------------------------------------------------------------------
+  // The pump: dispatch ready tasks while capacity allows.
+  // ---------------------------------------------------------------------
+  void pump() {
+    if (finished_ || pumping_) return;
+    pumping_ = true;
+    while (!finished_) {
+      const TaskId t = table_.peek_ready();
+      if (t == dag::kInvalidTask) break;
+      if (!precheck_inputs(t)) continue;  // task was demoted; next
+      const WorkerId w = choose_worker(t);
+      if (w == cluster::kNoWorker) break;  // no capacity right now
+      const TaskId popped = table_.pop_ready();
+      assert(popped == t);
+      (void)popped;
+      dispatch(t, w);
+    }
+    pumping_ = false;
+  }
+
+  /// Verify that every dependency's output still exists somewhere. Done-
+  /// but-lost producers get lineage-reset, which demotes `t` back to
+  /// waiting as a side effect. Returns true if `t` is still dispatchable.
+  bool precheck_inputs(TaskId t) {
+    for (TaskId dep : graph_.task(t).spec.deps) {
+      const FileId f = graph_.task(dep).output_file;
+      if (table_.at(dep).state == TaskState::kDone &&
+          !replicas_->available(f)) {
+        lineage_reset(dep);
+      }
+    }
+    return table_.at(t).state == TaskState::kReady;
+  }
+
+  void lineage_reset(TaskId producer) {
+    const std::size_t reset = table_.reset_lost(
+        producer, engine_.now(), [this](TaskId p) {
+          return replicas_->available(graph_.task(p).output_file);
+        });
+    lineage_resets_ += reset;
+  }
+
+  /// Files the task needs staged into the worker's cache.
+  void needed_files(TaskId t, std::vector<FileId>& out) const {
+    out.clear();
+    const auto& task = graph_.task(t);
+    if (options_.mode == exec::ExecMode::kStandardTasks &&
+        env_file_ != data::kInvalidFile) {
+      out.push_back(env_file_);
+    }
+    if (policy_.cache_function_bodies &&
+        options_.mode == exec::ExecMode::kStandardTasks) {
+      // Serverless function code lives inside the library; only standard
+      // tasks stage serialized bodies as files.
+      out.push_back(function_bodies_.at(task.spec.function));
+    }
+    for (FileId f : task.spec.input_files) out.push_back(f);
+    for (TaskId dep : task.spec.deps) {
+      out.push_back(graph_.task(dep).output_file);
+    }
+  }
+
+  [[nodiscard]] bool worker_eligible(WorkerId w, const dag::Task& task) const {
+    const auto& node = cluster_.worker(w);
+    if (!node.alive || node.cores_free() == 0) return false;
+    const auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    return rt.mem_in_use + task.spec.memory_bytes <= node.memory;
+  }
+
+  [[nodiscard]] std::uint64_t missing_bytes(WorkerId w,
+                                            const std::vector<FileId>& need)
+      const {
+    std::uint64_t bytes = 0;
+    for (FileId f : need) {
+      if (!in_cache(w, f)) bytes += file(f).size;
+    }
+    return bytes;
+  }
+
+  WorkerId choose_worker(TaskId t) {
+    const auto& task = graph_.task(t);
+    needed_files(t, scratch_files_);
+
+    // Locality: score candidate workers by resident input bytes. Replica
+    // lists are tiny, so this is O(inputs x replicas) per dispatch.
+    if (policy_.locality_placement) {
+      WorkerId best = cluster::kNoWorker;
+      std::uint64_t best_bytes = 0;
+      scratch_scores_.clear();
+      for (FileId f : scratch_files_) {
+        if (file(f).kind == data::FileKind::kEnvironment) continue;
+        for (WorkerId holder : replicas_->holders(f)) {
+          if (!worker_eligible(holder, task)) continue;
+          const std::uint64_t score =
+              (scratch_scores_[holder] += file(f).size);
+          if (score > best_bytes ||
+              (score == best_bytes && holder < best)) {
+            best_bytes = score;
+            best = holder;
+          }
+        }
+      }
+      if (best != cluster::kNoWorker &&
+          disk_fits(best, task, scratch_files_)) {
+        return best;
+      }
+    }
+
+    // Round-robin among eligible workers, preferring ones whose disk fits.
+    const auto n = static_cast<WorkerId>(cluster_.worker_count());
+    WorkerId fallback = cluster::kNoWorker;  // eligible but disk-tight
+    std::uint64_t fallback_free = 0;
+    std::uint64_t best_capacity = 0;
+    for (WorkerId i = 0; i < n; ++i) {
+      const WorkerId w = static_cast<WorkerId>((rr_cursor_ + i) % n);
+      if (!worker_eligible(w, task)) continue;
+      if (disk_fits(w, task, scratch_files_)) {
+        rr_cursor_ = static_cast<WorkerId>((w + 1) % n);
+        return w;
+      }
+      const std::uint64_t free = cluster_.worker(w).disk.available();
+      if (fallback == cluster::kNoWorker || free > fallback_free) {
+        fallback = w;
+        fallback_free = free;
+      }
+      best_capacity = std::max(best_capacity,
+                               cluster_.worker(w).disk.capacity());
+    }
+    if (fallback == cluster::kNoWorker) return cluster::kNoWorker;
+
+    // Workers are eligible but their disks are currently tight. If the
+    // task would fit an *empty* scratch disk, wait: running tasks will
+    // finish and pruning will reclaim space. If it cannot fit any disk at
+    // all — the paper's single-node reduction — dispatch to the roomiest
+    // worker anyway and let the overflow surface as the worker failure it
+    // would be in production. Also force progress if nothing is running
+    // (waiting would deadlock).
+    std::uint64_t footprint = task.spec.output_bytes;
+    for (FileId f : scratch_files_) footprint += file(f).size;
+    const bool could_ever_fit = footprint <= best_capacity;
+    if (could_ever_fit && !attempts_.empty()) {
+      return cluster::kNoWorker;  // wait for space
+    }
+    rr_cursor_ = static_cast<WorkerId>((fallback + 1) % n);
+    return fallback;
+  }
+
+  [[nodiscard]] bool disk_fits(WorkerId w, const dag::Task& task,
+                               const std::vector<FileId>& need) const {
+    const std::uint64_t committed =
+        workers_rt_[static_cast<std::size_t>(w)].disk_committed;
+    return missing_bytes(w, need) + task.spec.output_bytes + committed <=
+           cluster_.worker(w).disk.available();
+  }
+
+  // ---------------------------------------------------------------------
+  // Dispatch and staging.
+  // ---------------------------------------------------------------------
+  [[nodiscard]] Tick dispatch_cost() const {
+    return options_.mode == exec::ExecMode::kFunctionCalls
+               ? tun_.dispatch_cost_function_call
+               : tun_.dispatch_cost_standard;
+  }
+  [[nodiscard]] Tick result_cost() const {
+    return options_.mode == exec::ExecMode::kFunctionCalls
+               ? tun_.result_cost_function_call
+               : tun_.result_cost_standard;
+  }
+
+  void dispatch(TaskId t, WorkerId w) {
+    table_.mark_dispatched(t, w, engine_.now());
+    ++total_attempts_;
+    auto& node = cluster_.worker(w);
+    node.cores_in_use += 1;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    rt.mem_in_use += graph_.task(t).spec.memory_bytes;
+    rt.here.push_back(t);
+
+    Attempt attempt;
+    attempt.attempt = table_.at(t).attempts;
+    attempt.inputs = table_.gather_inputs(t);
+    needed_files(t, scratch_files_);
+    attempt.disk_committed =
+        missing_bytes(w, scratch_files_) + graph_.task(t).spec.output_bytes;
+    rt.disk_committed += attempt.disk_committed;
+    attempts_[t] = std::move(attempt);
+    const Token token{t, table_.at(t).attempts};
+
+    // Serialize + enqueue the dispatch on the manager thread. The argument
+    // payload (plus the function body, when bodies are not cacheable
+    // files) is small enough to ride the control channel: we charge the
+    // manager's serial time and the control RTT rather than opening a
+    // dedicated flow per task.
+    std::uint64_t wire_bytes = options_.python.argument_bytes;
+    if (!policy_.cache_function_bodies &&
+        options_.mode == exec::ExecMode::kStandardTasks) {
+      wire_bytes += options_.python.function_body_bytes;
+    }
+    manager_.acquire_then(dispatch_cost(), [this, token, w, wire_bytes] {
+      if (!token_valid(token)) return;
+      record_transfer(cluster_.manager_endpoint(),
+                      cluster_.worker_endpoint(w), wire_bytes);
+      engine_.schedule_after(cluster_.control_rtt() / 2,
+                             [this, token, w] { begin_staging(token, w); });
+    });
+  }
+
+  void begin_staging(const Token& token, WorkerId w) {
+    if (!token_valid(token)) return;
+    needed_files(token.task, scratch_files_);
+    auto& attempt = attempts_[token.task];
+    std::vector<FileId> missing;
+    for (FileId f : scratch_files_) {
+      if (!in_cache(w, f)) missing.push_back(f);
+    }
+    attempt.staging_outstanding = static_cast<std::uint32_t>(missing.size());
+    if (missing.empty()) {
+      maybe_start_exec(token, w);
+      return;
+    }
+    for (FileId f : missing) {
+      stage_file(f, w, [this, token, w](bool ok) {
+        if (!token_valid(token)) return;
+        if (!ok) {
+          // Input is unrecoverable right now: abort this attempt and
+          // lineage-reset the producer; the dependents-fix inside
+          // reset_lost demotes the (now requeued) task back to waiting.
+          abort_attempt_for_lost_input(token);
+          return;
+        }
+        auto& att = attempts_[token.task];
+        assert(att.staging_outstanding > 0);
+        if (--att.staging_outstanding == 0) {
+          maybe_start_exec(token, w);
+        }
+      });
+    }
+  }
+
+  void abort_attempt_for_lost_input(const Token& token) {
+    const TaskId t = token.task;
+    fail_attempt(t, /*requeue=*/true);
+    if (finished_) return;
+    // Every done dep with no surviving replica gets reset; each reset
+    // demotes t (currently kReady from the requeue) back to waiting.
+    for (TaskId dep : graph_.task(t).spec.deps) {
+      const FileId f = graph_.task(dep).output_file;
+      if (table_.at(dep).state == TaskState::kDone &&
+          !replicas_->available(f)) {
+        lineage_reset(dep);
+      }
+    }
+    pump();
+  }
+
+  // --- stage_file: ensure `f` lands in w's cache, then notify ------------
+  void stage_file(FileId f, WorkerId w, std::function<void(bool)> done) {
+    if (in_cache(w, f)) {
+      done(true);
+      return;
+    }
+    const FetchKey key{f, w};
+    auto it = fetches_.find(key);
+    if (it != fetches_.end()) {
+      it->second.waiters.push_back(std::move(done));
+      return;
+    }
+    Fetch fetch;
+    fetch.file = f;
+    fetch.dst = w;
+    fetch.waiters.push_back(std::move(done));
+    fetches_.emplace(key, std::move(fetch));
+    start_fetch_transfer(key);
+  }
+
+  void start_fetch_transfer(const FetchKey& key) {
+    auto it = fetches_.find(key);
+    if (it == fetches_.end()) return;
+    Fetch& fetch = it->second;
+    const FileId f = fetch.file;
+    const WorkerId w = fetch.dst;
+    const std::uint64_t bytes = file(f).size;
+
+    // Dataset inputs are always recoverable from backing storage (the
+    // local data store or the wide-area federation). When replicas already
+    // exist on workers — a chunk cached by an earlier attempt, or
+    // replicated — peer transfer is still preferred below, so only truly
+    // cold chunks hit storage.
+    if (file(f).kind == data::FileKind::kDatasetInput &&
+        pick_peer_source(f) == cluster::kNoWorker) {
+      if (policy_.inputs_via_manager) {
+        ensure_manager_copy(f, [this, key] { transfer_from_manager(key); });
+      } else {
+        (void)w;
+        (void)bytes;
+        fs_gate_.submit([this, key](net::FlowGate::SlotToken slot) {
+          auto fit = fetches_.find(key);
+          if (fit == fetches_.end()) return;  // fetch vanished while queued
+          auto on_done = [this, key, slot = std::move(slot)] {
+            record_transfer(cluster_.fs_endpoint(),
+                            cluster_.worker_endpoint(key.second),
+                            file(key.first).size);
+            complete_fetch(key);
+          };
+          fit->second.flow =
+              options_.inputs_from_wan
+                  ? cluster_.read_wan_to_worker(
+                        key.second, file(key.first).size, std::move(on_done))
+                  : cluster_.read_fs_to_worker(
+                        key.second, file(key.first).size, std::move(on_done));
+        });
+      }
+      return;
+    }
+
+    // Worker-resident replicas: peer transfer if allowed and a source has
+    // a free slot; otherwise relay through the manager.
+    const WorkerId src = pick_peer_source(f);
+    if (src != cluster::kNoWorker) {
+      fetch.peer_src = src;
+      workers_rt_[static_cast<std::size_t>(src)].active_out += 1;
+      // The manager brokers the transfer (small control cost), then the
+      // data flows directly between the workers.
+      manager_.acquire_then(tun_.peer_instruction_cost, [this, key, src] {
+        auto fit = fetches_.find(key);
+        if (fit == fetches_.end() || fit->second.peer_src != src) {
+          // The fetch vanished (destination died) or was re-sourced while
+          // the broker request was queued; the slot we reserved is ours to
+          // give back (the flow-completion path never runs).
+          release_peer_slot(src);
+          return;
+        }
+        fit->second.flow = cluster_.send_peer(
+            src, key.second, file(key.first).size, cluster_.control_rtt(),
+            [this, key, src] {
+              release_peer_slot(src);
+              record_transfer(cluster_.worker_endpoint(src),
+                              cluster_.worker_endpoint(key.second),
+                              file(key.first).size);
+              auto it2 = fetches_.find(key);
+              if (it2 != fetches_.end()) it2->second.peer_src =
+                  cluster::kNoWorker;
+              complete_fetch(key);
+            });
+      });
+      return;
+    }
+
+    if (policy_.peer_transfers && !replicas_->holders(f).empty()) {
+      // All sources are at their transfer cap: wait for a slot.
+      if (!fetch.throttled) {
+        fetch.throttled = true;
+        throttle_queue_.push_back(key);
+      }
+      return;
+    }
+
+    if (replicas_->at_manager(f)) {
+      transfer_from_manager(key);
+      return;
+    }
+
+    if (!replicas_->holders(f).empty()) {
+      // Peer transfers disabled: relay worker -> manager -> worker.
+      ensure_manager_copy_from_worker(f, [this, key](bool ok) {
+        if (ok) {
+          transfer_from_manager(key);
+        } else {
+          fail_fetch(key);
+        }
+      });
+      return;
+    }
+
+    // No replica anywhere: the file is lost.
+    fail_fetch(key);
+  }
+
+  [[nodiscard]] WorkerId pick_peer_source(FileId f) const {
+    if (!policy_.peer_transfers) return cluster::kNoWorker;
+    WorkerId best = cluster::kNoWorker;
+    std::uint32_t best_load = 0;
+    for (WorkerId holder : replicas_->holders(f)) {
+      if (!cluster_.worker(holder).alive) continue;
+      const std::uint32_t load =
+          workers_rt_[static_cast<std::size_t>(holder)].active_out;
+      if (options_.peer_transfer_limit != 0 &&
+          load >= options_.peer_transfer_limit) {
+        continue;
+      }
+      if (best == cluster::kNoWorker || load < best_load) {
+        best = holder;
+        best_load = load;
+      }
+    }
+    return best;
+  }
+
+  void release_peer_slot(WorkerId src) {
+    auto& rt = workers_rt_[static_cast<std::size_t>(src)];
+    if (rt.active_out > 0) rt.active_out -= 1;
+    drain_throttle_queue();
+  }
+
+  void drain_throttle_queue() {
+    // Retry throttled fetches; those still capped re-queue themselves.
+    std::size_t n = throttle_queue_.size();
+    while (n-- > 0 && !throttle_queue_.empty()) {
+      const FetchKey key = throttle_queue_.front();
+      throttle_queue_.pop_front();
+      auto it = fetches_.find(key);
+      if (it == fetches_.end()) continue;
+      it->second.throttled = false;
+      start_fetch_transfer(key);
+      // start_fetch_transfer may have erased or re-throttled the fetch.
+      auto again = fetches_.find(key);
+      if (again != fetches_.end() && again->second.throttled) break;
+    }
+  }
+
+  void transfer_from_manager(const FetchKey& key) {
+    mgr_gate_.submit([this, key](net::FlowGate::SlotToken slot) {
+      auto it = fetches_.find(key);
+      if (it == fetches_.end()) return;  // fetch vanished while queued
+      const std::uint64_t bytes = file(key.first).size;
+      it->second.flow = cluster_.send_manager_to_worker(
+          key.second, bytes, cluster_.control_rtt() / 2,
+          [this, key, bytes, slot = std::move(slot)] {
+            record_transfer(cluster_.manager_endpoint(),
+                            cluster_.worker_endpoint(key.second), bytes);
+            complete_fetch(key);
+          });
+    });
+  }
+
+  /// Stage a dataset input from the shared filesystem to the manager's
+  /// disk (Work Queue pattern), deduplicating concurrent requests. The
+  /// filesystem is always available, so this path cannot fail.
+  void ensure_manager_copy(FileId f, std::function<void()> then) {
+    if (replicas_->at_manager(f)) {
+      then();
+      return;
+    }
+    auto [it, inserted] = manager_inflight_.try_emplace(f);
+    it->second.push_back([then = std::move(then)](bool ok) {
+      if (ok) then();
+    });
+    if (!inserted) return;
+    fs_gate_.submit([this, f](net::FlowGate::SlotToken slot) {
+      cluster_.read_fs_to_manager(
+          file(f).size, [this, f, slot = std::move(slot)] {
+            record_transfer(cluster_.fs_endpoint(),
+                            cluster_.manager_endpoint(), file(f).size);
+            replicas_->set_at_manager(f);
+            auto node = manager_inflight_.extract(f);
+            for (auto& cb : node.mapped()) cb(true);
+          });
+    });
+  }
+
+  /// Relay step 1: pull a worker-resident file back to the manager. The
+  /// source can be preempted while the request is queued or in flight, so
+  /// the continuation receives success/failure.
+  void ensure_manager_copy_from_worker(FileId f,
+                                       std::function<void(bool)> then) {
+    if (replicas_->at_manager(f)) {
+      then(true);
+      return;
+    }
+    auto [it, inserted] = manager_inflight_.try_emplace(f);
+    it->second.push_back(std::move(then));
+    if (!inserted) return;
+    mgr_gate_.submit([this, f](net::FlowGate::SlotToken slot) {
+      start_relay_pull(f, std::move(slot));
+    });
+  }
+
+  void start_relay_pull(FileId f, net::FlowGate::SlotToken slot) {
+    // Re-pick a live holder at start time (the original may be gone).
+    WorkerId holder = cluster::kNoWorker;
+    for (WorkerId h : replicas_->holders(f)) {
+      if (cluster_.worker(h).alive) {
+        holder = h;
+        break;
+      }
+    }
+    if (holder == cluster::kNoWorker) {
+      auto node = manager_inflight_.extract(f);
+      if (!node.empty()) {
+        for (auto& cb : node.mapped()) cb(false);
+      }
+      return;
+    }
+    const std::uint32_t incarnation = cluster_.worker(holder).incarnation;
+    relay_flows_[f] = cluster_.send_worker_to_manager(
+        holder, file(f).size, cluster_.control_rtt() / 2,
+        [this, f, holder, incarnation, slot = std::move(slot)]() mutable {
+          relay_flows_.erase(f);
+          if (!worker_current(holder, incarnation)) {
+            start_relay_pull(f, std::move(slot));  // retry elsewhere
+            return;
+          }
+          record_transfer(cluster_.worker_endpoint(holder),
+                          cluster_.manager_endpoint(), file(f).size);
+          replicas_->set_at_manager(f);
+          auto node = manager_inflight_.extract(f);
+          for (auto& cb : node.mapped()) cb(true);
+        });
+  }
+
+  void complete_fetch(const FetchKey& key) {
+    auto it = fetches_.find(key);
+    if (it == fetches_.end()) return;
+    const FileId f = key.first;
+    const WorkerId w = key.second;
+    auto waiters = std::move(it->second.waiters);
+    fetches_.erase(it);
+
+    auto& node = cluster_.worker(w);
+    if (!node.alive) return;
+    if (node.disk.reserve_unchecked(file(f).size)) {
+      // Scratch partition overflowed: the worker dies (paper Fig 11).
+      crash_worker(w, "cache overflow during staging");
+      return;
+    }
+    cache_insert(w, f);
+    for (auto& cb : waiters) cb(true);
+  }
+
+  void fail_fetch(const FetchKey& key) {
+    auto it = fetches_.find(key);
+    if (it == fetches_.end()) return;
+    auto waiters = std::move(it->second.waiters);
+    fetches_.erase(it);
+    for (auto& cb : waiters) cb(false);
+  }
+
+  // ---------------------------------------------------------------------
+  // Execution.
+  // ---------------------------------------------------------------------
+  void maybe_start_exec(const Token& token, WorkerId w) {
+    if (!token_valid(token)) return;
+    if (options_.mode == exec::ExecMode::kFunctionCalls) {
+      auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+      if (rt.lib != LibState::kReady) {
+        rt.waiting_for_lib.push_back(token);
+        return;
+      }
+    }
+    start_exec(token, w);
+  }
+
+  void start_exec(const Token& token, WorkerId w) {
+    if (!token_valid(token)) return;
+    const TaskId t = token.task;
+    table_.mark_running(t, engine_.now());
+    const auto& task = graph_.task(t);
+    const auto& node = cluster_.worker(w);
+
+    Tick pre = 0;
+    bool shared_imports = false;
+    const auto& py = options_.python;
+    if (options_.mode == exec::ExecMode::kStandardTasks) {
+      pre += py.interpreter_startup;
+      pre += py.serialize_time(py.function_body_bytes + py.argument_bytes);
+      if (options_.env_from_shared_fs) {
+        shared_imports = true;
+      } else {
+        pre += options_.imports.import_time_local(node.disk.spec());
+      }
+    } else {
+      pre += py.fork_cost + py.serialize_time(py.argument_bytes);
+      if (!options_.hoist_imports) {
+        if (options_.env_from_shared_fs) {
+          shared_imports = true;
+        } else {
+          pre += options_.imports.import_time_local(node.disk.spec());
+        }
+      }
+    }
+
+    const Tick compute = exec::modeled_exec_ticks(
+        task, node.speed, options_.exec_time_jitter, rng_);
+    const Tick write = node.disk.write_time(task.spec.output_bytes);
+
+    if (shared_imports) {
+      engine_.schedule_after(pre, [this, token, w, compute, write] {
+        if (!token_valid(token)) return;
+        cluster_.fs().metadata_ops(
+            options_.imports.total_metadata_ops(),
+            [this, token, w, compute, write] {
+              if (!token_valid(token)) return;
+              fs_gate_.submit([this, token, w, compute,
+                               write](net::FlowGate::SlotToken slot) {
+                if (!token_valid(token)) return;
+                const std::uint64_t code =
+                    options_.imports.total_code_bytes();
+                cluster_.read_fs_to_worker(
+                    w, code,
+                    [this, token, w, compute, write, code,
+                     slot = std::move(slot)] {
+                      if (!token_valid(token)) return;
+                      record_transfer(cluster_.fs_endpoint(),
+                                      cluster_.worker_endpoint(w), code);
+                      const Tick cpu = options_.imports.total_cpu_cost();
+                      engine_.schedule_after(
+                          cpu + compute + write,
+                          [this, token, w] { complete_exec(token, w); });
+                    });
+              });
+            });
+      });
+    } else {
+      engine_.schedule_after(pre + compute + write, [this, token, w] {
+        complete_exec(token, w);
+      });
+    }
+  }
+
+  void complete_exec(const Token& token, WorkerId w) {
+    if (!token_valid(token)) return;
+    const TaskId t = token.task;
+    const auto& task = graph_.task(t);
+    auto& node = cluster_.worker(w);
+
+    // Produce the output file on the worker's scratch disk.
+    if (node.disk.reserve_unchecked(task.spec.output_bytes)) {
+      crash_worker(w, "cache overflow writing task output");
+      return;
+    }
+    cache_insert(w, task.output_file);
+    maybe_replicate(task.output_file);
+
+    // Run the real computation.
+    auto& attempt = attempts_.at(t);
+    attempt.exec_finished_at = engine_.now();
+    dag::ValuePtr value =
+        task.spec.fn ? task.spec.fn(attempt.inputs) : nullptr;
+    attempt.inputs.clear();
+
+    // The process exits: core and memory free immediately; the manager
+    // learns of the result after the control hop + its own handling cost.
+    release_resources(t, w);
+
+    if (policy_.retain_outputs_on_worker) {
+      manager_.acquire_then(
+          result_cost() + cluster_.control_rtt() / 2,
+          [this, token, w, value = std::move(value)]() mutable {
+            finalize_task(token, w, std::move(value));
+          });
+    } else {
+      // Work Queue: ship the output back to the manager; the worker's
+      // sandbox copy is deleted on arrival.
+      const std::uint64_t bytes = task.spec.output_bytes;
+      mgr_gate_.submit([this, token, w, bytes, t,
+                        value = std::move(value)](
+                           net::FlowGate::SlotToken slot) mutable {
+        if (!token_valid(token)) return;
+        return_flows_[t] = cluster_.send_worker_to_manager(
+            w, bytes, cluster_.control_rtt() / 2,
+            [this, token, w, bytes, value = std::move(value),
+             slot = std::move(slot)]() mutable {
+              if (!token_valid(token)) return;
+              record_transfer(cluster_.worker_endpoint(w),
+                              cluster_.manager_endpoint(), bytes);
+              const FileId f = graph_.task(token.task).output_file;
+              replicas_->set_at_manager(f);
+              drop_worker_copy(w, f, bytes);
+              manager_.acquire_then(
+                  result_cost(), [this, token, w,
+                                  value = std::move(value)]() mutable {
+                    finalize_task(token, w, std::move(value));
+                  });
+            });
+      });
+    }
+  }
+
+  void drop_worker_copy(WorkerId w, FileId f, std::uint64_t bytes) {
+    auto& node = cluster_.worker(w);
+    if (!node.alive) return;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    if (static_cast<std::size_t>(f) < rt.in_cache.size() &&
+        rt.in_cache[static_cast<std::size_t>(f)]) {
+      rt.in_cache[static_cast<std::size_t>(f)] = false;
+      replicas_->remove(f, w);
+      node.disk.release(bytes);
+    }
+  }
+
+  void finalize_task(const Token& token, WorkerId w, dag::ValuePtr value) {
+    if (!token_valid(token)) return;
+    const TaskId t = token.task;
+    return_flows_.erase(t);
+    remove_from_here(w, t);
+
+    const auto& st = table_.at(t);
+    metrics::TaskRecord rec;
+    rec.task_id = t;
+    rec.worker = w;
+    rec.ready_at = st.ready_at;
+    rec.dispatched_at = st.dispatched_at;
+    rec.started_at = st.started_at;
+    // Execution time is worker-side (process exit), not when the manager
+    // got around to ingesting the result — otherwise manager backlog
+    // masquerades as task time in the Fig 8 distributions.
+    const Tick exec_end = attempts_.at(t).exec_finished_at;
+    rec.finished_at = exec_end > 0 ? exec_end : engine_.now();
+    rec.category = graph_.task(t).spec.category;
+    report_.trace.add(std::move(rec));
+
+    table_.mark_done(t, std::move(value), engine_.now());
+    attempts_.erase(t);
+
+    // Garbage-collect files this completion may have been the last
+    // consumer of (TaskVine prunes cache entries with no pending
+    // consumers; without this, long workflows exhaust worker disks).
+    for (TaskId dep : graph_.task(t).spec.deps) {
+      maybe_prune_task_output(dep);
+    }
+    for (FileId f : graph_.task(t).spec.input_files) {
+      maybe_prune_input(f);
+    }
+
+    if (is_sink_[static_cast<std::size_t>(t)]) {
+      fetch_sink_result(t);
+    }
+    check_completion();
+    pump();
+  }
+
+  /// Drop all worker replicas of `producer`'s output once every dependent
+  /// has completed. Sinks are kept (their output must reach the manager);
+  /// lineage stays sound because a pruned file has no pending consumers,
+  /// and any later reset that needs it re-executes the producer.
+  void maybe_prune_task_output(TaskId producer) {
+    if (is_sink_[static_cast<std::size_t>(producer)]) return;
+    for (TaskId dependent : graph_.task(producer).dependents) {
+      if (table_.at(dependent).state != TaskState::kDone) return;
+    }
+    prune_worker_replicas(graph_.task(producer).output_file);
+  }
+
+  /// Dataset inputs are pruned once every task reading them is done (they
+  /// remain recoverable from the shared filesystem regardless).
+  void maybe_prune_input(FileId f) {
+    auto it = input_consumers_.find(f);
+    if (it == input_consumers_.end()) return;
+    for (TaskId consumer : it->second) {
+      if (table_.at(consumer).state != TaskState::kDone) return;
+    }
+    prune_worker_replicas(f);
+  }
+
+  void prune_worker_replicas(FileId f) {
+    const std::vector<WorkerId> holders = replicas_->holders(f);  // copy
+    for (WorkerId holder : holders) {
+      drop_worker_copy(holder, f, file(f).size);
+    }
+  }
+
+  /// Proactively replicate a freshly produced intermediate onto additional
+  /// workers (TaskVine temp-file replication): preemption of the producer
+  /// then no longer forces lineage re-execution. Reuses the normal fetch
+  /// machinery, so replicas ride throttled peer transfers and register in
+  /// the replica table like any other copy.
+  void maybe_replicate(FileId f) {
+    const std::uint32_t want = options_.intermediate_replicas;
+    if (want <= 1 || !policy_.peer_transfers) return;
+    if (file(f).kind != data::FileKind::kIntermediate) return;
+    std::uint32_t have =
+        static_cast<std::uint32_t>(replicas_->holders(f).size());
+    if (have >= want) return;
+
+    // Spread copies over alive workers with the most free disk, skipping
+    // current holders.
+    std::vector<WorkerId> targets;
+    for (WorkerId w = 0;
+         w < static_cast<WorkerId>(cluster_.worker_count()); ++w) {
+      const auto& node = cluster_.worker(w);
+      if (!node.alive || replicas_->on_worker(f, w)) continue;
+      if (node.disk.available() < file(f).size * 2) continue;
+      targets.push_back(w);
+    }
+    std::sort(targets.begin(), targets.end(), [this](WorkerId a, WorkerId b) {
+      return cluster_.worker(a).disk.available() >
+             cluster_.worker(b).disk.available();
+    });
+    for (WorkerId w : targets) {
+      if (have >= want) break;
+      ++have;
+      stage_file(f, w, [](bool) { /* background copy; best effort */ });
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Sink results must reach the manager for the workflow to complete.
+  // ---------------------------------------------------------------------
+  void fetch_sink_result(TaskId t) {
+    const FileId f = graph_.task(t).output_file;
+    if (replicas_->at_manager(f)) {
+      on_sink_fetched(t);
+      return;
+    }
+    const auto& holders = replicas_->holders(f);
+    if (holders.empty()) {
+      // Output lost between completion and fetch: recompute.
+      lineage_reset(t);
+      pump();
+      return;
+    }
+    const WorkerId src = holders.front();
+    const std::uint64_t bytes = file(f).size;
+    mgr_gate_.submit([this, t, src, bytes](net::FlowGate::SlotToken slot) {
+      if (sink_fetched_[t]) return;
+      if (!cluster_.worker(src).alive) {
+        fetch_sink_result(t);  // re-resolve a live holder
+        return;
+      }
+      sink_flows_[t] = {
+          cluster_.send_worker_to_manager(
+              src, bytes, cluster_.control_rtt() / 2,
+              [this, t, src, bytes, slot = std::move(slot)] {
+                record_transfer(cluster_.worker_endpoint(src),
+                                cluster_.manager_endpoint(), bytes);
+                replicas_->set_at_manager(graph_.task(t).output_file);
+                sink_flows_.erase(t);
+                on_sink_fetched(t);
+              }),
+          src};
+    });
+  }
+
+  void on_sink_fetched(TaskId t) {
+    if (sink_fetched_[t]) return;
+    sink_fetched_[t] = true;
+    assert(sinks_outstanding_ > 0);
+    --sinks_outstanding_;
+    check_completion();
+  }
+
+  void check_completion() {
+    if (finished_) return;
+    if (table_.all_done() && sinks_outstanding_ == 0) {
+      finished_ = true;
+      report_.success = true;
+      report_.makespan = engine_.now();
+      for (TaskId sink : graph_.sinks()) {
+        report_.results[sink] = table_.at(sink).result;
+      }
+      cluster_.batch().drain();
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Serverless library lifecycle.
+  // ---------------------------------------------------------------------
+  void install_library(WorkerId w) {
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    rt.lib = LibState::kInstalling;
+    const std::uint32_t incarnation = cluster_.worker(w).incarnation;
+    auto continue_install = [this, w, incarnation](bool ok) {
+      if (!worker_current(w, incarnation) || !ok) return;
+      library_startup(w, incarnation);
+    };
+    if (env_file_ != data::kInvalidFile) {
+      stage_file(env_file_, w, continue_install);
+    } else {
+      continue_install(true);
+    }
+  }
+
+  void library_startup(WorkerId w, std::uint32_t incarnation) {
+    const auto& py = options_.python;
+    const Tick interpreter = py.interpreter_startup;
+    if (options_.hoist_imports) {
+      if (options_.env_from_shared_fs) {
+        engine_.schedule_after(interpreter, [this, w, incarnation] {
+          if (!worker_current(w, incarnation)) return;
+          cluster_.fs().metadata_ops(
+              options_.imports.total_metadata_ops(),
+              [this, w, incarnation] {
+                if (!worker_current(w, incarnation)) return;
+                fs_gate_.submit([this, w,
+                                 incarnation](net::FlowGate::SlotToken slot) {
+                  if (!worker_current(w, incarnation)) return;
+                  const std::uint64_t code =
+                      options_.imports.total_code_bytes();
+                  cluster_.read_fs_to_worker(
+                      w, code,
+                      [this, w, incarnation, code, slot = std::move(slot)] {
+                        if (!worker_current(w, incarnation)) return;
+                        record_transfer(cluster_.fs_endpoint(),
+                                        cluster_.worker_endpoint(w), code);
+                        engine_.schedule_after(
+                            options_.imports.total_cpu_cost(),
+                            [this, w, incarnation] {
+                              library_ready(w, incarnation);
+                            });
+                      });
+                });
+              });
+        });
+      } else {
+        const Tick imports = options_.imports.import_time_local(
+            cluster_.worker(w).disk.spec());
+        engine_.schedule_after(interpreter + imports, [this, w, incarnation] {
+          library_ready(w, incarnation);
+        });
+      }
+    } else {
+      engine_.schedule_after(interpreter, [this, w, incarnation] {
+        library_ready(w, incarnation);
+      });
+    }
+  }
+
+  void library_ready(WorkerId w, std::uint32_t incarnation) {
+    if (!worker_current(w, incarnation)) return;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    rt.lib = LibState::kReady;
+    auto waiting = std::move(rt.waiting_for_lib);
+    rt.waiting_for_lib.clear();
+    for (const Token& token : waiting) {
+      if (token_valid(token)) start_exec(token, w);
+    }
+    pump();
+  }
+
+  [[nodiscard]] bool worker_current(WorkerId w,
+                                    std::uint32_t incarnation) const {
+    const auto& node = cluster_.worker(w);
+    return node.alive && node.incarnation == incarnation;
+  }
+
+  // ---------------------------------------------------------------------
+  // Failure plumbing.
+  // ---------------------------------------------------------------------
+  void release_resources(TaskId t, WorkerId w) {
+    auto it = attempts_.find(t);
+    if (it == attempts_.end() || it->second.resources_released) return;
+    it->second.resources_released = true;
+    auto& node = cluster_.worker(w);
+    if (node.cores_in_use > 0) node.cores_in_use -= 1;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    const std::uint64_t mem = graph_.task(t).spec.memory_bytes;
+    rt.mem_in_use = mem > rt.mem_in_use ? 0 : rt.mem_in_use - mem;
+    const std::uint64_t committed = it->second.disk_committed;
+    rt.disk_committed =
+        committed > rt.disk_committed ? 0 : rt.disk_committed - committed;
+    pump();
+  }
+
+  void remove_from_here(WorkerId w, TaskId t) {
+    auto& here = workers_rt_[static_cast<std::size_t>(w)].here;
+    here.erase(std::remove(here.begin(), here.end(), t), here.end());
+  }
+
+  /// Fail the current attempt of a dispatched/running task. Records a
+  /// failed trace entry, releases worker resources, cancels any output-
+  /// return flow, and (optionally) requeues the task.
+  void fail_attempt(TaskId t, bool requeue) {
+    const auto& st = table_.at(t);
+    if (st.state != TaskState::kDispatched &&
+        st.state != TaskState::kRunning) {
+      return;
+    }
+    const WorkerId w = st.worker;
+
+    metrics::TaskRecord rec;
+    rec.task_id = t;
+    rec.worker = w;
+    rec.ready_at = st.ready_at;
+    rec.dispatched_at = st.dispatched_at;
+    rec.started_at = st.state == TaskState::kRunning ? st.started_at
+                                                     : st.dispatched_at;
+    rec.finished_at = engine_.now();
+    rec.failed = true;
+    rec.category = graph_.task(t).spec.category;
+    report_.trace.add(std::move(rec));
+
+    if (auto it = return_flows_.find(t); it != return_flows_.end()) {
+      cluster_.network().cancel_flow(it->second);
+      return_flows_.erase(it);
+    }
+    if (w != cluster::kNoWorker) {
+      release_resources(t, w);
+      remove_from_here(w, t);
+    }
+    attempts_.erase(t);
+
+    if (table_.at(t).attempts >= options_.max_task_retries) {
+      fail_run("task " + std::to_string(t) + " (" +
+               graph_.task(t).spec.category + ") exceeded " +
+               std::to_string(options_.max_task_retries) + " attempts");
+      return;
+    }
+    if (requeue) {
+      table_.requeue(t, engine_.now());
+    }
+  }
+
+  void fail_run(std::string reason) {
+    if (finished_) return;
+    finished_ = true;
+    report_.success = false;
+    report_.failure_reason = std::move(reason);
+    report_.makespan = engine_.now();
+    cluster_.batch().drain();
+  }
+
+  // ---------------------------------------------------------------------
+  // Instrumentation.
+  // ---------------------------------------------------------------------
+  void record_transfer(std::size_t src, std::size_t dst,
+                       std::uint64_t bytes) {
+    report_.transfers.record(src, dst, bytes);
+  }
+
+  void schedule_cache_sample() {
+    engine_.schedule_after(options_.cache_sample_interval, [this] {
+      if (finished_) return;
+      const Tick now = engine_.now();
+      for (std::uint32_t w = 0; w < cluster_.worker_count(); ++w) {
+        const auto& node = cluster_.worker(static_cast<WorkerId>(w));
+        if (node.alive) {
+          report_.cache.sample(w, now, node.disk.used());
+        }
+      }
+      schedule_cache_sample();
+    });
+  }
+
+  // ---------------------------------------------------------------------
+  const dag::TaskGraph& graph_;
+  cluster::Cluster& cluster_;
+  sim::Engine& engine_;
+  const exec::RunOptions options_;
+  const DataPolicy policy_;
+  const VineTunables tun_;
+  const std::string name_;
+
+  exec::TaskStateTable table_;
+  sim::Rng rng_;
+  exec::SerialResource manager_;
+  // Transfer-admission gates: the manager serves data over a bounded
+  // socket set; the shared filesystem serves a bounded number of streams.
+  net::FlowGate mgr_gate_{64};
+  net::FlowGate fs_gate_{256};
+  std::vector<WorkerRt> workers_rt_;
+  std::vector<FileInfo> files_;
+  std::unique_ptr<ReplicaTable> replicas_;
+  std::map<std::string, FileId> function_bodies_;
+  FileId env_file_ = data::kInvalidFile;
+
+  std::map<TaskId, Attempt> attempts_;
+  std::map<FileId, std::vector<TaskId>> input_consumers_;
+  std::map<FileId, std::vector<std::function<void(bool)>>> manager_inflight_;
+  std::map<FileId, net::FlowId> relay_flows_;
+  std::map<TaskId, net::FlowId> return_flows_;
+  std::map<TaskId, std::pair<net::FlowId, WorkerId>> sink_flows_;
+  std::map<TaskId, bool> sink_fetched_;
+  std::vector<bool> is_sink_;
+
+  exec::RunReport report_;
+  std::size_t sinks_outstanding_ = 0;
+  std::size_t total_attempts_ = 0;
+  std::size_t lineage_resets_ = 0;
+  WorkerId rr_cursor_ = 0;
+  bool pumping_ = false;
+  bool finished_ = false;
+
+  // Scratch buffers reused across dispatches to avoid per-task allocation.
+  std::vector<FileId> scratch_files_;
+  std::map<WorkerId, std::uint64_t> scratch_scores_;
+};
+
+}  // namespace
+
+exec::RunReport VineScheduler::run(const dag::TaskGraph& graph,
+                                   cluster::Cluster& cluster,
+                                   const exec::RunOptions& options) {
+  VineRun run(graph, cluster, options, policy_, tunables_, name_);
+  return run.execute();
+}
+
+}  // namespace hepvine::vine

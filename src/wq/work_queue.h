@@ -1,0 +1,38 @@
+// Work Queue: the baseline scheduler the paper starts from (Stack 1/2).
+//
+// Work Queue shares its manager/worker architecture with TaskVine (both
+// come from CCTools), but moves *all* data through the manager: dataset
+// inputs are staged shared-fs -> manager -> worker, task outputs are
+// shipped back to the manager's disk, there are no peer transfers, and
+// serialized function bodies are re-sent with every task. That
+// concentration of data movement on the manager's NIC is exactly what the
+// paper's Fig 7 heatmap shows (~40 GB to each worker, all via node 0) and
+// what caps Stacks 1-2 at 3545s/3378s.
+#pragma once
+
+#include "vine/vine_scheduler.h"
+
+namespace hepvine::wq {
+
+class WorkQueueScheduler final : public exec::SchedulerBackend {
+ public:
+  WorkQueueScheduler()
+      : engine_(vine::work_queue_policy(), vine::VineTunables{},
+                "work-queue") {}
+
+  [[nodiscard]] std::string name() const override { return "work-queue"; }
+
+  exec::RunReport run(const dag::TaskGraph& graph, cluster::Cluster& cluster,
+                      const exec::RunOptions& options) override {
+    // Work Queue predates serverless execution: always standard tasks.
+    exec::RunOptions opts = options;
+    opts.mode = exec::ExecMode::kStandardTasks;
+    opts.peer_transfer_limit = 0;
+    return engine_.run(graph, cluster, opts);
+  }
+
+ private:
+  vine::VineScheduler engine_;
+};
+
+}  // namespace hepvine::wq

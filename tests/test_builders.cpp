@@ -1,0 +1,178 @@
+#include "dag/builders.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/evaluate.h"
+
+namespace hepvine::dag {
+namespace {
+
+ValuePtr make_scalar(double v) { return std::make_shared<ScalarValue>(v); }
+
+ComputeFn sum_merge() {
+  return [](const std::vector<ValuePtr>& in) {
+    double sum = 0;
+    for (const auto& v : in) {
+      sum += dynamic_cast<const ScalarValue&>(*v).get();
+    }
+    return make_scalar(sum);
+  };
+}
+
+std::vector<TaskId> make_leaves(TaskGraph& graph, int n) {
+  std::vector<TaskId> leaves;
+  for (int i = 0; i < n; ++i) {
+    TaskSpec spec;
+    spec.category = "leaf";
+    spec.output_bytes = 100;
+    spec.fn = [i](const std::vector<ValuePtr>&) {
+      return make_scalar(static_cast<double>(i + 1));
+    };
+    leaves.push_back(graph.add_task(std::move(spec)));
+  }
+  return leaves;
+}
+
+double sink_value(const TaskGraph& graph) {
+  const auto results = evaluate_serially(graph);
+  EXPECT_EQ(results.size(), 1u);
+  return dynamic_cast<const ScalarValue&>(*results.begin()->second).get();
+}
+
+TEST(Builders, SingleReductionHasOneTaskOverAllInputs) {
+  TaskGraph graph;
+  const auto leaves = make_leaves(graph, 10);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  const TaskId root = add_single_reduction(graph, leaves, spec);
+  EXPECT_EQ(graph.size(), 11u);
+  EXPECT_EQ(graph.task(root).spec.deps.size(), 10u);
+  EXPECT_DOUBLE_EQ(sink_value(graph), 55.0);
+}
+
+TEST(Builders, EmptyReductionRejected) {
+  TaskGraph graph;
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  EXPECT_THROW(add_single_reduction(graph, {}, spec), std::invalid_argument);
+  EXPECT_THROW(add_tree_reduction(graph, {}, 2, spec),
+               std::invalid_argument);
+}
+
+TEST(Builders, TreeArityBelowTwoRejected) {
+  TaskGraph graph;
+  const auto leaves = make_leaves(graph, 4);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  EXPECT_THROW(add_tree_reduction(graph, leaves, 1, spec),
+               std::invalid_argument);
+}
+
+TEST(Builders, BinaryTreeBoundsFanIn) {
+  TaskGraph graph;
+  const auto leaves = make_leaves(graph, 16);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  const TaskId root = add_tree_reduction(graph, leaves, 2, spec);
+  for (const auto& task : graph.tasks()) {
+    EXPECT_LE(task.spec.deps.size(), 2u);
+  }
+  EXPECT_EQ(graph.task(root).dependents.size(), 0u);
+  // 16 leaves binary: 8+4+2+1 = 15 merge tasks.
+  EXPECT_EQ(graph.size(), 31u);
+  EXPECT_DOUBLE_EQ(sink_value(graph), 136.0);
+}
+
+TEST(Builders, SingleLeafNeedsNoMerge) {
+  TaskGraph graph;
+  const auto leaves = make_leaves(graph, 1);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  const TaskId root = add_tree_reduction(graph, leaves, 4, spec);
+  EXPECT_EQ(root, leaves[0]);
+  EXPECT_EQ(graph.size(), 1u);
+}
+
+TEST(Builders, LeftoverLeafPropagatesWithoutMergeTask) {
+  TaskGraph graph;
+  // 5 leaves, arity 4: first level groups (4) + lone leftover -> second
+  // level merges 2.
+  const auto leaves = make_leaves(graph, 5);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  add_tree_reduction(graph, leaves, 4, spec);
+  EXPECT_EQ(graph.size(), 7u);  // 5 leaves + 2 merges
+  EXPECT_DOUBLE_EQ(sink_value(graph), 15.0);
+}
+
+TEST(Builders, TaskCountFormulaMatchesConstruction) {
+  for (std::size_t n : {2u, 3u, 7u, 8u, 9u, 64u, 100u}) {
+    for (std::size_t arity : {2u, 4u, 8u}) {
+      TaskGraph graph;
+      const auto leaves = make_leaves(graph, static_cast<int>(n));
+      ReduceSpec spec;
+      spec.merge = sum_merge();
+      add_tree_reduction(graph, leaves, arity, spec);
+      EXPECT_EQ(graph.size() - n, tree_reduction_task_count(n, arity))
+          << "n=" << n << " arity=" << arity;
+    }
+  }
+}
+
+TEST(Builders, ReduceCostsScaleWithFanIn) {
+  TaskGraph graph;
+  const auto leaves = make_leaves(graph, 8);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  spec.cpu_seconds_fixed = 1.0;
+  spec.cpu_seconds_per_input = 0.5;
+  const TaskId root = add_single_reduction(graph, leaves, spec);
+  EXPECT_DOUBLE_EQ(graph.task(root).spec.cpu_seconds, 1.0 + 0.5 * 8);
+}
+
+TEST(Builders, ReduceOutputObeysScaleAndMin) {
+  TaskGraph graph;
+  const auto leaves = make_leaves(graph, 4);  // 100 B outputs each
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  spec.output_bytes_min = 50;
+  spec.output_scale = 2.0;
+  const TaskId root = add_single_reduction(graph, leaves, spec);
+  EXPECT_EQ(graph.task(root).spec.output_bytes, 800u);  // 4*100*2
+
+  TaskGraph graph2;
+  const auto leaves2 = make_leaves(graph2, 4);
+  spec.output_scale = 0.0;
+  const TaskId root2 = add_single_reduction(graph2, leaves2, spec);
+  EXPECT_EQ(graph2.task(root2).spec.output_bytes, 50u);
+}
+
+class TreeEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, std::size_t>> {};
+
+TEST_P(TreeEquivalence, AnyTreeShapeYieldsSameResultAsSingleReduction) {
+  // Property (the algebraic core of the paper's Fig 11 rewrite): because
+  // merging is associative and commutative, every reduction topology must
+  // produce the same value.
+  const auto [n, arity] = GetParam();
+  TaskGraph flat;
+  const auto flat_leaves = make_leaves(flat, n);
+  ReduceSpec spec;
+  spec.merge = sum_merge();
+  add_single_reduction(flat, flat_leaves, spec);
+
+  TaskGraph tree;
+  const auto tree_leaves = make_leaves(tree, n);
+  add_tree_reduction(tree, tree_leaves, arity, spec);
+
+  EXPECT_DOUBLE_EQ(sink_value(flat), sink_value(tree));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeEquivalence,
+    ::testing::Combine(::testing::Values(2, 5, 17, 64, 100),
+                       ::testing::Values(std::size_t{2}, std::size_t{3},
+                                         std::size_t{8}, std::size_t{16})));
+
+}  // namespace
+}  // namespace hepvine::dag

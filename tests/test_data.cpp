@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+#include "data/file_catalog.h"
+#include "util/units.h"
+
+namespace hepvine::data {
+namespace {
+
+TEST(FileCatalog, AssignsDenseIds) {
+  FileCatalog catalog;
+  const FileId a = catalog.add("a.root", FileKind::kDatasetInput, 100);
+  const FileId b = catalog.add("b.root", FileKind::kDatasetInput, 200);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(catalog.size(), 2u);
+  EXPECT_EQ(catalog.get(a).size, 100u);
+}
+
+TEST(FileCatalog, CachenamesAreDeterministic) {
+  FileCatalog c1;
+  FileCatalog c2;
+  const FileId a = c1.add("x.root", FileKind::kDatasetInput, 100, 7);
+  const FileId b = c2.add("x.root", FileKind::kDatasetInput, 100, 7);
+  EXPECT_EQ(c1.get(a).cachename(), c2.get(b).cachename());
+}
+
+TEST(FileCatalog, CachenamesDependOnContentSeed) {
+  FileCatalog catalog;
+  const FileId a = catalog.add("x.root", FileKind::kDatasetInput, 100, 1);
+  const FileId b = catalog.add("x.root", FileKind::kDatasetInput, 100, 2);
+  EXPECT_NE(catalog.get(a).cachename(), catalog.get(b).cachename());
+}
+
+TEST(FileCatalog, CachenameEncodesKind) {
+  FileCatalog catalog;
+  const FileId a = catalog.add("f", FileKind::kDatasetInput, 10);
+  const FileId b = catalog.add("f", FileKind::kEnvironment, 10);
+  EXPECT_TRUE(catalog.get(a).cachename().starts_with("input-"));
+  EXPECT_TRUE(catalog.get(b).cachename().starts_with("environment-"));
+}
+
+TEST(FileCatalog, TotalBytesByKind) {
+  FileCatalog catalog;
+  catalog.add("a", FileKind::kDatasetInput, 100);
+  catalog.add("b", FileKind::kDatasetInput, 50);
+  catalog.add("c", FileKind::kIntermediate, 999);
+  EXPECT_EQ(catalog.total_bytes(FileKind::kDatasetInput), 150u);
+  EXPECT_EQ(catalog.total_bytes(FileKind::kIntermediate), 999u);
+}
+
+TEST(FileCatalog, SetSizeUpdates) {
+  FileCatalog catalog;
+  const FileId f = catalog.add("x", FileKind::kIntermediate, 10);
+  catalog.set_size(f, 77);
+  EXPECT_EQ(catalog.get(f).size, 77u);
+}
+
+TEST(Dataset, UniformDatasetTotals) {
+  const DatasetSpec spec =
+      make_uniform_dataset("ds", 10, 400 * util::kMB, 5, 1000);
+  EXPECT_EQ(spec.files.size(), 10u);
+  EXPECT_EQ(spec.total_bytes(), 4'000 * util::kMB);
+  EXPECT_EQ(spec.total_chunks(), 50u);
+  EXPECT_EQ(spec.total_events(), 50'000u);
+}
+
+TEST(Dataset, RegisterProducesOneChunkRefPerChunk) {
+  FileCatalog catalog;
+  const DatasetSpec spec =
+      make_uniform_dataset("ds", 4, 100 * util::kMB, 5, 500);
+  const auto chunks = register_dataset(spec, catalog, 42);
+  EXPECT_EQ(chunks.size(), 20u);
+  // Every chunk is its own addressable catalog entry (partial reads), with
+  // the file's bytes split evenly across them.
+  EXPECT_EQ(catalog.size(), 20u);
+  EXPECT_NE(chunks[0].file_id, chunks[1].file_id);
+  EXPECT_EQ(chunks[0].bytes, 20 * util::kMB);
+  EXPECT_EQ(chunks[0].events, 500u);
+  EXPECT_EQ(chunks[0].file_index, 0u);
+  EXPECT_EQ(chunks[5].file_index, 1u);
+  std::uint64_t total = 0;
+  for (const auto& c : chunks) total += c.bytes;
+  EXPECT_EQ(total, spec.total_bytes());
+}
+
+TEST(Dataset, ChunkSeedsAreUniqueAndDeterministic) {
+  FileCatalog c1;
+  FileCatalog c2;
+  const DatasetSpec spec =
+      make_uniform_dataset("ds", 8, 100 * util::kMB, 4, 100);
+  const auto chunks1 = register_dataset(spec, c1, 7);
+  const auto chunks2 = register_dataset(spec, c2, 7);
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < chunks1.size(); ++i) {
+    EXPECT_EQ(chunks1[i].seed, chunks2[i].seed);
+    seeds.insert(chunks1[i].seed);
+  }
+  EXPECT_EQ(seeds.size(), chunks1.size());
+}
+
+TEST(Dataset, DifferentRunSeedsChangeChunkSeeds) {
+  FileCatalog c1;
+  FileCatalog c2;
+  const DatasetSpec spec =
+      make_uniform_dataset("ds", 2, 10 * util::kMB, 2, 10);
+  const auto a = register_dataset(spec, c1, 1);
+  const auto b = register_dataset(spec, c2, 2);
+  EXPECT_NE(a[0].seed, b[0].seed);
+}
+
+TEST(Dataset, ZeroChunksTreatedAsOne) {
+  FileCatalog catalog;
+  DatasetSpec spec = make_uniform_dataset("ds", 1, util::kMB, 1, 10);
+  spec.files[0].chunks = 0;
+  const auto chunks = register_dataset(spec, catalog, 1);
+  EXPECT_EQ(chunks.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hepvine::data

@@ -1,0 +1,169 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hepvine::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule_at(30, [&] { order.push_back(3); });
+  engine.schedule_at(10, [&] { order.push_back(1); });
+  engine.schedule_at(20, [&] { order.push_back(2); });
+  engine.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(Engine, ScheduleAfterIsRelative) {
+  Engine engine;
+  util::Tick fired_at = -1;
+  engine.schedule_at(100, [&] {
+    engine.schedule_after(50, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, 150);
+}
+
+TEST(Engine, PastEventsClampToNow) {
+  Engine engine;
+  util::Tick fired_at = -1;
+  engine.schedule_at(100, [&] {
+    engine.schedule_at(10, [&] { fired_at = engine.now(); });
+  });
+  engine.run();
+  EXPECT_EQ(fired_at, 100);
+}
+
+TEST(Engine, NegativeDelayClampsToZero) {
+  Engine engine;
+  bool fired = false;
+  engine.schedule_after(-5, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(Engine, CancelledEventsDoNotFire) {
+  Engine engine;
+  bool fired = false;
+  auto handle = engine.schedule_at(10, [&] { fired = true; });
+  handle.cancel();
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(engine.executed(), 0u);
+}
+
+TEST(Engine, CancelIsIdempotentAndSafeAfterFire) {
+  Engine engine;
+  auto handle = engine.schedule_at(1, [] {});
+  engine.run();
+  handle.cancel();  // already fired: harmless
+  handle.cancel();
+}
+
+TEST(Engine, PendingReflectsLifecycle) {
+  Engine engine;
+  auto handle = engine.schedule_at(10, [] {});
+  EXPECT_TRUE(handle.pending());
+  engine.run();
+  EXPECT_FALSE(handle.pending());
+}
+
+TEST(Engine, RunUntilStopsAtDeadline) {
+  Engine engine;
+  std::vector<util::Tick> fired;
+  for (util::Tick t = 10; t <= 100; t += 10) {
+    engine.schedule_at(t, [&fired, &engine] { fired.push_back(engine.now()); });
+  }
+  const std::size_t count = engine.run_until(50);
+  EXPECT_EQ(count, 5u);
+  EXPECT_EQ(engine.now(), 50);
+  engine.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(Engine, RunUntilAdvancesTimeWhenIdle) {
+  Engine engine;
+  engine.run_until(1000);
+  EXPECT_EQ(engine.now(), 1000);
+}
+
+TEST(Engine, EventsScheduledDuringRunExecute) {
+  Engine engine;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) engine.schedule_after(1, recurse);
+  };
+  engine.schedule_at(0, recurse);
+  engine.run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(engine.now(), 4);
+}
+
+TEST(Engine, MassCancellationDoesNotAccumulateTombstones) {
+  // The flow network cancels and reschedules completion events constantly;
+  // the queue must compact cancelled entries instead of hoarding them.
+  Engine engine;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Engine::EventHandle> handles;
+    handles.reserve(2000);
+    for (int i = 0; i < 2000; ++i) {
+      handles.push_back(engine.schedule_at(1'000'000'000, [] {}));
+    }
+    for (auto& h : handles) h.cancel();
+  }
+  // 100k cancelled entries were scheduled; compaction keeps the queue far
+  // smaller than that.
+  EXPECT_LT(engine.pending(), 20'000u);
+  int fired = 0;
+  engine.schedule_at(5, [&] { ++fired; });
+  engine.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Engine, CancelledThenPurgedEventsNeverFire) {
+  Engine engine;
+  bool bad = false;
+  std::vector<Engine::EventHandle> handles;
+  for (int i = 0; i < 10'000; ++i) {
+    handles.push_back(engine.schedule_at(100, [&] { bad = true; }));
+  }
+  for (auto& h : handles) h.cancel();
+  for (int i = 0; i < 10'000; ++i) {
+    engine.schedule_at(50, [] {});  // trigger compaction
+  }
+  engine.run();
+  EXPECT_FALSE(bad);
+}
+
+TEST(Engine, ExecutedCountsOnlyFiredEvents) {
+  Engine engine;
+  engine.schedule_at(1, [] {});
+  auto cancelled = engine.schedule_at(2, [] {});
+  cancelled.cancel();
+  engine.run();
+  EXPECT_EQ(engine.executed(), 1u);
+}
+
+}  // namespace
+}  // namespace hepvine::sim

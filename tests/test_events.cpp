@@ -1,0 +1,96 @@
+#include "hep/events.h"
+
+#include <gtest/gtest.h>
+
+namespace hepvine::hep {
+namespace {
+
+TEST(Events, DeterministicForSeed) {
+  const EventChunk a = generate_chunk(42, 500);
+  const EventChunk b = generate_chunk(42, 500);
+  EXPECT_EQ(a.met_pt, b.met_pt);
+  EXPECT_EQ(a.jets.pt, b.jets.pt);
+  EXPECT_EQ(a.photons.pt, b.photons.pt);
+  EXPECT_EQ(a.jets.event_offsets, b.jets.event_offsets);
+}
+
+TEST(Events, DifferentSeedsDiffer) {
+  const EventChunk a = generate_chunk(1, 500);
+  const EventChunk b = generate_chunk(2, 500);
+  EXPECT_NE(a.met_pt, b.met_pt);
+}
+
+TEST(Events, OffsetsAreConsistent) {
+  const EventChunk c = generate_chunk(7, 300);
+  ASSERT_EQ(c.jets.event_offsets.size(), 301u);
+  ASSERT_EQ(c.photons.event_offsets.size(), 301u);
+  EXPECT_EQ(c.jets.event_offsets.front(), 0u);
+  EXPECT_EQ(c.jets.event_offsets.back(), c.jets.count());
+  for (std::size_t e = 0; e < 300; ++e) {
+    EXPECT_LE(c.jets.begin_of(e), c.jets.end_of(e));
+    EXPECT_LE(c.photons.begin_of(e), c.photons.end_of(e));
+  }
+}
+
+TEST(Events, ColumnsHaveUniformLength) {
+  const EventChunk c = generate_chunk(7, 200);
+  EXPECT_EQ(c.jets.pt.size(), c.jets.eta.size());
+  EXPECT_EQ(c.jets.pt.size(), c.jets.phi.size());
+  EXPECT_EQ(c.jets.pt.size(), c.jets.mass.size());
+  EXPECT_EQ(c.jets.pt.size(), c.jets.quality.size());
+  EXPECT_EQ(c.photons.pt.size(), c.photons.quality.size());
+}
+
+TEST(Events, EveryEventHasBackgroundJets) {
+  const EventChunk c = generate_chunk(11, 500);
+  for (std::size_t e = 0; e < c.events; ++e) {
+    EXPECT_GE(c.jets.end_of(e) - c.jets.begin_of(e), 2u);
+  }
+}
+
+TEST(Events, SignalFractionsRoughlyMatch) {
+  // ~3% Higgs-like (adds 2 extra jets), ~0.5% tri-photon (3 photons).
+  const EventChunk c = generate_chunk(123, 50'000);
+  std::size_t triphoton_events = 0;
+  for (std::size_t e = 0; e < c.events; ++e) {
+    if (c.photons.end_of(e) - c.photons.begin_of(e) >= 3) {
+      ++triphoton_events;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(triphoton_events) / 50'000.0, 0.005,
+              0.002);
+}
+
+TEST(Events, KinematicsArePhysical) {
+  const EventChunk c = generate_chunk(5, 1000);
+  for (float met : c.met_pt) EXPECT_GE(met, 0.0f);
+  for (float pt : c.jets.pt) EXPECT_GT(pt, 0.0f);
+  for (float eta : c.jets.eta) {
+    EXPECT_GE(eta, -3.0f);
+    EXPECT_LE(eta, 3.0f);
+  }
+  for (float q : c.jets.quality) {
+    EXPECT_GE(q, 0.0f);
+    EXPECT_LE(q, 1.0f);
+  }
+}
+
+TEST(Events, ZeroEventsIsValid) {
+  const EventChunk c = generate_chunk(1, 0);
+  EXPECT_EQ(c.events, 0u);
+  EXPECT_EQ(c.jets.count(), 0u);
+  ASSERT_EQ(c.jets.event_offsets.size(), 1u);
+}
+
+TEST(EventChunkValue, ReportsModeledBytesAndSeedDigest) {
+  EventChunkValue a(generate_chunk(9, 100), 5000);
+  EventChunkValue b(generate_chunk(9, 100), 5000);
+  EventChunkValue c(generate_chunk(10, 100), 5000);
+  EXPECT_EQ(a.byte_size(), 5000u);
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_NE(a.digest(), c.digest());
+  EXPECT_EQ(a.chunk().events, 100u);
+}
+
+}  // namespace
+}  // namespace hepvine::hep

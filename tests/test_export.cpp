@@ -1,0 +1,82 @@
+#include "dag/export.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/workloads.h"
+#include "exec/report_io.h"
+#include "scheduler_test_util.h"
+#include "vine/vine_scheduler.h"
+
+namespace hepvine::dag {
+namespace {
+
+using namespace hepvine::testutil;
+
+TaskGraph small_graph() {
+  apps::WorkloadSpec spec = tiny_dv3(12);
+  return apps::build_workload(spec, 3);
+}
+
+TEST(DotExport, ContainsNodesAndEdges) {
+  const TaskGraph graph = small_graph();
+  const std::string dot = to_dot(graph);
+  EXPECT_NE(dot.find("digraph workflow"), std::string::npos);
+  EXPECT_NE(dot.find("t0 ["), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("process"), std::string::npos);
+  EXPECT_NE(dot.find("accumulate"), std::string::npos);
+  EXPECT_EQ(dot.find("truncated"), std::string::npos);
+}
+
+TEST(DotExport, TruncatesHugeGraphs) {
+  const TaskGraph graph = small_graph();
+  DotOptions options;
+  options.max_tasks = 4;
+  const std::string dot = to_dot(graph, options);
+  EXPECT_NE(dot.find("truncated"), std::string::npos);
+  EXPECT_EQ(dot.find("t10 ["), std::string::npos);
+}
+
+TEST(DotExport, InputFileNodesOptIn) {
+  const TaskGraph graph = small_graph();
+  EXPECT_EQ(to_dot(graph).find("shape=note"), std::string::npos);
+  DotOptions options;
+  options.show_input_files = true;
+  EXPECT_NE(to_dot(graph, options).find("shape=note"), std::string::npos);
+}
+
+TEST(JsonSummary, ReportsCountsAndBytes) {
+  const TaskGraph graph = small_graph();
+  const std::string json = to_json_summary(graph);
+  EXPECT_NE(json.find("\"tasks\": " + std::to_string(graph.size())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"input_bytes\": " +
+                      std::to_string(graph.input_bytes())),
+            std::string::npos);
+  EXPECT_NE(json.find("\"process\""), std::string::npos);
+  EXPECT_NE(json.find("\"sinks\": 1"), std::string::npos);
+}
+
+TEST(ReportIo, SummaryAndCsvCoverAllFields) {
+  const TaskGraph graph = small_graph();
+  cluster::Cluster cluster(tiny_cluster(2));
+  vine::VineScheduler scheduler;
+  const exec::RunReport report =
+      scheduler.run(graph, cluster, fast_options());
+  ASSERT_TRUE(report.success);
+
+  const std::string summary = exec::summarize(report);
+  EXPECT_NE(summary.find("taskvine"), std::string::npos);
+  EXPECT_NE(summary.find("success"), std::string::npos);
+  EXPECT_NE(summary.find("makespan"), std::string::npos);
+  EXPECT_NE(summary.find("peak cache"), std::string::npos);
+
+  const std::string header = exec::csv_header();
+  const std::string row = exec::csv_row(report);
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+  EXPECT_NE(row.find("taskvine,1,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hepvine::dag

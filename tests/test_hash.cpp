@@ -1,0 +1,82 @@
+#include "util/hash.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace hepvine::util {
+namespace {
+
+TEST(Hash, Mix64AvalanchesZero) {
+  EXPECT_NE(mix64(0), 0u);
+  EXPECT_NE(mix64(0), mix64(1));
+}
+
+TEST(Hash, BytesDeterministic) {
+  EXPECT_EQ(hash_bytes("hello"), hash_bytes("hello"));
+  EXPECT_NE(hash_bytes("hello"), hash_bytes("hellp"));
+  EXPECT_NE(hash_bytes("hello", 1), hash_bytes("hello", 2));
+}
+
+TEST(Hash, EmptyInputIsValid) {
+  EXPECT_EQ(hash_bytes(""), hash_bytes(""));
+  EXPECT_NE(hash_bytes("", 1), hash_bytes("", 2));
+}
+
+TEST(Hash, CombineOrderSensitive) {
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Hash, Digest128HexFormat) {
+  const Digest128 d = digest128("taskvine");
+  EXPECT_EQ(d.hex().size(), 32u);
+  EXPECT_EQ(d.hex(), d.hex());
+  for (char c : d.hex()) {
+    EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'));
+  }
+}
+
+TEST(Hash, Digest128Distinct) {
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    seen.insert(digest128("file-" + std::to_string(i)).hex());
+  }
+  EXPECT_EQ(seen.size(), 1000u);
+}
+
+TEST(Hash, HasherFieldOrderMatters) {
+  Hasher a;
+  a.update("x").update_u64(1);
+  Hasher b;
+  b.update_u64(1).update("x");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, HasherSeedChangesDigest) {
+  Hasher a(1);
+  Hasher b(2);
+  a.update("same");
+  b.update("same");
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(Hash, HasherDoubleAndInt) {
+  Hasher a;
+  a.update_double(1.5);
+  Hasher b;
+  b.update_double(1.5);
+  EXPECT_EQ(a.digest(), b.digest());
+  Hasher c;
+  c.update_i64(-12);
+  EXPECT_NE(c.digest(), a.digest());
+}
+
+TEST(Hash, Digest64StableAcrossCalls) {
+  Hasher h;
+  h.update("abc").update_u64(42);
+  EXPECT_EQ(h.digest64(), h.digest64());
+}
+
+}  // namespace
+}  // namespace hepvine::util

@@ -1,0 +1,218 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "metrics/cache_trace.h"
+#include "metrics/task_trace.h"
+#include "metrics/transfer_matrix.h"
+#include "util/units.h"
+
+namespace hepvine::metrics {
+namespace {
+
+using util::seconds;
+
+TEST(TransferMatrix, RecordsAndTotals) {
+  TransferMatrix m(4);
+  m.record(0, 1, 100);
+  m.record(0, 2, 50);
+  m.record(2, 3, 25);
+  EXPECT_EQ(m.at(0, 1), 100u);
+  EXPECT_EQ(m.total(), 175u);
+  EXPECT_EQ(m.row_total(0), 150u);
+  EXPECT_EQ(m.col_total(3), 25u);
+  EXPECT_EQ(m.max_pair(), 100u);
+}
+
+TEST(TransferMatrix, ManagerVsPeerSplit) {
+  // Convention: endpoint 0 = manager, last = shared filesystem.
+  TransferMatrix m(4);
+  m.record(0, 1, 100);  // manager -> worker
+  m.record(1, 0, 40);   // worker -> manager
+  m.record(1, 2, 30);   // worker peer transfer
+  m.record(3, 2, 20);   // fs -> worker (not peer traffic)
+  EXPECT_EQ(m.manager_bytes(), 140u);
+  EXPECT_EQ(m.peer_bytes(), 30u);
+  EXPECT_EQ(m.between(1, 3), 30u);
+}
+
+TEST(TransferMatrix, OutOfRangeIsIgnored) {
+  TransferMatrix m(2);
+  m.record(5, 1, 100);
+  m.record(1, 7, 100);
+  EXPECT_EQ(m.total(), 0u);
+  EXPECT_EQ(m.at(9, 9), 0u);
+  EXPECT_EQ(m.row_total(9), 0u);
+}
+
+TEST(TransferMatrix, AccumulatesRepeatedRecords) {
+  TransferMatrix m(2);
+  m.record(0, 1, 10);
+  m.record(0, 1, 15);
+  EXPECT_EQ(m.at(0, 1), 25u);
+}
+
+TEST(TransferMatrix, HeatmapAndCsvRender) {
+  TransferMatrix m(8);
+  m.record(0, 1, 1000000);
+  m.record(3, 4, 500);
+  const std::string heat = m.render_heatmap(8);
+  EXPECT_NE(heat.find("max pair"), std::string::npos);
+  const std::string csv = m.to_csv();
+  EXPECT_NE(csv.find("0,1,1000000"), std::string::npos);
+  EXPECT_NE(csv.find("3,4,500"), std::string::npos);
+}
+
+TaskRecord rec(std::int64_t id, std::int32_t worker, double ready,
+               double start, double finish, bool failed = false) {
+  TaskRecord r;
+  r.task_id = id;
+  r.worker = worker;
+  r.ready_at = seconds(ready);
+  r.dispatched_at = seconds(ready);
+  r.started_at = seconds(start);
+  r.finished_at = seconds(finish);
+  r.failed = failed;
+  r.category = "test";
+  return r;
+}
+
+TEST(TaskTrace, ConcurrencySeriesCountsRunningAndWaiting) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0.0, 1.0, 5.0));
+  trace.add(rec(1, 1, 0.0, 2.0, 6.0));
+  const auto series = trace.concurrency_series(seconds(1.0), seconds(8.0));
+  ASSERT_EQ(series.size(), 9u);
+  EXPECT_EQ(series[0].waiting, 2);  // both ready, none started
+  EXPECT_EQ(series[0].running, 0);
+  EXPECT_EQ(series[1].running, 1);  // task 0 started at t=1
+  EXPECT_EQ(series[1].waiting, 1);
+  EXPECT_EQ(series[3].running, 2);
+  EXPECT_EQ(series[5].running, 1);  // task 0 finished at t=5
+  EXPECT_EQ(series[7].running, 0);
+}
+
+TEST(TaskTrace, PeakConcurrency) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0, 0.0, 10.0));
+  trace.add(rec(1, 1, 0, 2.0, 4.0));
+  trace.add(rec(2, 2, 0, 3.0, 5.0));
+  EXPECT_EQ(trace.peak_concurrency(), 3);
+}
+
+TEST(TaskTrace, FailureCounting) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0, 0, 1));
+  trace.add(rec(1, 0, 0, 0, 1, /*failed=*/true));
+  EXPECT_EQ(trace.failures(), 1u);
+}
+
+TEST(TaskTrace, WorkerOccupancyMeasuresBusyFraction) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0, 0.0, 5.0));   // worker 0 busy 5 of 10 s
+  trace.add(rec(1, 1, 0, 0.0, 10.0));  // worker 1 busy all 10 s
+  const auto occ = trace.worker_occupancy(3, 0, seconds(10.0));
+  ASSERT_EQ(occ.size(), 3u);
+  EXPECT_NEAR(occ[0], 0.5, 1e-9);
+  EXPECT_NEAR(occ[1], 1.0, 1e-9);
+  EXPECT_NEAR(occ[2], 0.0, 1e-9);
+}
+
+TEST(TaskTrace, OccupancyMergesOverlappingIntervals) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0, 0.0, 6.0));
+  trace.add(rec(1, 0, 0, 4.0, 8.0));  // overlaps the first
+  const auto occ = trace.worker_occupancy(1, 0, seconds(10.0));
+  EXPECT_NEAR(occ[0], 0.8, 1e-9);
+}
+
+TEST(TaskTrace, ExecTimeHistogramBucketsLogarithmically) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0, 0.0, 0.05));  // 0.05 s
+  trace.add(rec(1, 0, 0, 0.0, 1.2));   // 1.2 s
+  trace.add(rec(2, 0, 0, 0.0, 3.0));   // 3.0 s: same half-decade as 1.2
+  trace.add(rec(3, 0, 0, 0.0, 200.0, true));  // failed: excluded
+  const auto buckets = trace.exec_time_histogram(0.01, 100.0, 2);
+  std::uint64_t total = 0;
+  for (const auto& b : buckets) total += b.count;
+  EXPECT_EQ(total, 3u);
+  // 1.2 and 3.0 s land in the same half-decade bucket [1, 3.16).
+  std::uint64_t maxc = 0;
+  for (const auto& b : buckets) maxc = std::max(maxc, b.count);
+  EXPECT_EQ(maxc, 2u);
+}
+
+TEST(TaskTrace, RendersProduceNonEmptyOutput) {
+  TaskTrace trace;
+  trace.add(rec(0, 0, 0, 0.0, 2.0));
+  const auto buckets = trace.exec_time_histogram();
+  EXPECT_FALSE(TaskTrace::render_histogram(buckets).empty());
+  const auto occ = trace.worker_occupancy(4, 0, seconds(2.0));
+  EXPECT_FALSE(TaskTrace::render_occupancy(occ).empty());
+  const auto series = trace.concurrency_series(seconds(0.5), seconds(4.0));
+  EXPECT_FALSE(render_concurrency(series).empty());
+  EXPECT_FALSE(trace.to_csv().empty());
+}
+
+TEST(Render, SeriesSpansFullWidthWhenPointsExceedColumns) {
+  // Regression: 73 points into 72 columns once collapsed into the left
+  // half of the chart. The final samples must land near the right edge.
+  std::vector<double> values(73, 5.0);
+  const std::string chart = render_series(values, 100.0, 4, 72);
+  std::istringstream lines(chart);
+  std::string line;
+  std::getline(lines, line);  // top row: all at/below threshold boundary
+  bool found_tail = false;
+  while (std::getline(lines, line)) {
+    const auto last = line.find_last_of('*');
+    if (last != std::string::npos && last > 60) found_tail = true;
+  }
+  EXPECT_TRUE(found_tail);
+}
+
+TEST(Render, ConcurrencySpansFullWidth) {
+  std::vector<TaskTrace::ConcurrencyPoint> series;
+  for (int i = 0; i <= 72; ++i) {
+    series.push_back({seconds(i), 10, 0});
+  }
+  const std::string chart = render_concurrency(series, 4, 72);
+  std::istringstream lines(chart);
+  std::string line;
+  bool found_tail = false;
+  while (std::getline(lines, line)) {
+    const auto last = line.find_last_of('r');
+    if (last != std::string::npos && last > 60) found_tail = true;
+  }
+  EXPECT_TRUE(found_tail);
+}
+
+TEST(CacheTrace, PeaksAndSkew) {
+  CacheTrace cache(4);
+  cache.sample(0, seconds(1), 100);
+  cache.sample(0, seconds(2), 300);
+  cache.sample(1, seconds(1), 100);
+  cache.sample(2, seconds(1), 120);
+  cache.sample(3, seconds(1), 90);
+  const auto peaks = cache.peak_per_worker();
+  EXPECT_EQ(peaks[0], 300u);
+  EXPECT_EQ(cache.global_peak(), 300u);
+  EXPECT_NEAR(cache.peak_skew(), 300.0 / 120.0, 1e-9);
+}
+
+TEST(CacheTrace, FailureMarks) {
+  CacheTrace cache(2);
+  cache.sample(0, seconds(1), 50);
+  cache.mark_failure(0, seconds(2));
+  EXPECT_EQ(cache.failure_count(), 1u);
+  const std::string render = cache.render(seconds(10));
+  EXPECT_NE(render.find('X'), std::string::npos);
+}
+
+TEST(CacheTrace, OutOfRangeWorkerIgnored) {
+  CacheTrace cache(2);
+  cache.sample(7, seconds(1), 50);
+  EXPECT_EQ(cache.global_peak(), 0u);
+}
+
+}  // namespace
+}  // namespace hepvine::metrics

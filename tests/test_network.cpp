@@ -1,0 +1,236 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace hepvine::net {
+namespace {
+
+using util::gbps;
+using util::Tick;
+
+struct NetFixture : public ::testing::Test {
+  sim::Engine engine;
+  Network net{engine};
+};
+
+TEST_F(NetFixture, SingleFlowTakesBytesOverBandwidth) {
+  const LinkId a = net.add_link("a", 1e9);  // 1 GB/s
+  const LinkId b = net.add_link("b", 1e9);
+  Tick done_at = -1;
+  net.start_flow({a, b}, 500'000'000, 0,
+                 [&](FlowId) { done_at = engine.now(); });
+  engine.run();
+  // 0.5 GB at 1 GB/s = 0.5 s (plus the zero-delay recompute tick).
+  EXPECT_NEAR(util::to_seconds(done_at), 0.5, 0.001);
+}
+
+TEST_F(NetFixture, LatencyDelaysStart) {
+  const LinkId a = net.add_link("a", 1e9);
+  Tick done_at = -1;
+  net.start_flow({a}, 1'000'000, util::seconds(2.0),
+                 [&](FlowId) { done_at = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(util::to_seconds(done_at), 2.001, 0.001);
+}
+
+TEST_F(NetFixture, ZeroByteFlowCompletesAfterLatency) {
+  const LinkId a = net.add_link("a", 1e9);
+  Tick done_at = -1;
+  net.start_flow({a}, 0, util::seconds(1.0),
+                 [&](FlowId) { done_at = engine.now(); });
+  engine.run();
+  EXPECT_EQ(done_at, util::seconds(1.0));
+}
+
+TEST_F(NetFixture, TwoFlowsShareBottleneckEqually) {
+  const LinkId shared = net.add_link("shared", 1e9);
+  std::vector<Tick> done;
+  for (int i = 0; i < 2; ++i) {
+    net.start_flow({shared}, 500'000'000, 0,
+                   [&](FlowId) { done.push_back(engine.now()); });
+  }
+  engine.run();
+  ASSERT_EQ(done.size(), 2u);
+  // Both flows share 1 GB/s: each gets 0.5 GB/s -> 1 s.
+  EXPECT_NEAR(util::to_seconds(done[0]), 1.0, 0.01);
+  EXPECT_NEAR(util::to_seconds(done[1]), 1.0, 0.01);
+}
+
+TEST_F(NetFixture, RatesRecomputeWhenFlowFinishes) {
+  const LinkId shared = net.add_link("shared", 1e9);
+  Tick small_done = -1;
+  Tick big_done = -1;
+  net.start_flow({shared}, 100'000'000, 0,
+                 [&](FlowId) { small_done = engine.now(); });
+  net.start_flow({shared}, 500'000'000, 0,
+                 [&](FlowId) { big_done = engine.now(); });
+  engine.run();
+  // Small: 0.1 GB at 0.5 GB/s = 0.2 s. Big: 0.1 GB at 0.5 GB/s by then,
+  // remaining 0.4 GB at full 1 GB/s = 0.2 + 0.4 = 0.6 s.
+  EXPECT_NEAR(util::to_seconds(small_done), 0.2, 0.01);
+  EXPECT_NEAR(util::to_seconds(big_done), 0.6, 0.01);
+}
+
+TEST_F(NetFixture, MaxMinAllocatesSlackToUnconstrainedFlows) {
+  // Flow A crosses both links; flow B only the second. Link 1 = 1 GB/s,
+  // link 2 = 3 GB/s. Max-min: A gets 1 (bottlenecked by link 1), B gets
+  // the remaining 2 on link 2 — NOT an equal 1.5/1.5 split.
+  const LinkId l1 = net.add_link("l1", 1e9);
+  const LinkId l2 = net.add_link("l2", 3e9);
+  Tick a_done = -1;
+  Tick b_done = -1;
+  net.start_flow({l1, l2}, 1'000'000'000, 0,
+                 [&](FlowId) { a_done = engine.now(); });
+  net.start_flow({l2}, 2'000'000'000, 0,
+                 [&](FlowId) { b_done = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(util::to_seconds(a_done), 1.0, 0.02);
+  EXPECT_NEAR(util::to_seconds(b_done), 1.0, 0.02);
+}
+
+TEST_F(NetFixture, ManyFlowsThroughOneLinkSerializeFairly) {
+  const LinkId hub = net.add_link("hub", 1e9);
+  int completed = 0;
+  for (int i = 0; i < 10; ++i) {
+    const LinkId leaf = net.add_link("leaf" + std::to_string(i), 10e9);
+    net.start_flow({hub, leaf}, 100'000'000, 0,
+                   [&](FlowId) { ++completed; });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 10);
+  // 10 x 0.1 GB through a 1 GB/s hub: all finish together at ~1 s.
+  EXPECT_NEAR(util::to_seconds(engine.now()), 1.0, 0.02);
+}
+
+TEST_F(NetFixture, CancelledFlowNeverCompletes) {
+  const LinkId a = net.add_link("a", 1e9);
+  bool fired = false;
+  const FlowId id = net.start_flow({a}, 1'000'000'000, 0,
+                                   [&](FlowId) { fired = true; });
+  engine.schedule_at(util::seconds(0.2), [&] { net.cancel_flow(id); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST_F(NetFixture, CancelFreesBandwidthForOthers) {
+  const LinkId shared = net.add_link("shared", 1e9);
+  Tick done = -1;
+  const FlowId victim =
+      net.start_flow({shared}, 10'000'000'000ULL, 0, [](FlowId) {});
+  net.start_flow({shared}, 500'000'000, 0,
+                 [&](FlowId) { done = engine.now(); });
+  engine.schedule_at(util::seconds(0.5), [&] { net.cancel_flow(victim); });
+  engine.run();
+  // Survivor: 0.25 GB in first 0.5 s (half rate), then 0.25 GB at full
+  // rate -> total 0.75 s.
+  EXPECT_NEAR(util::to_seconds(done), 0.75, 0.02);
+}
+
+TEST_F(NetFixture, LinkStatsAccumulateBytes) {
+  const LinkId a = net.add_link("a", 1e9);
+  net.start_flow({a}, 300'000'000, 0, [](FlowId) {});
+  engine.run();
+  EXPECT_NEAR(static_cast<double>(net.link_stats(a).bytes_carried),
+              300'000'000.0, 1'000'000.0);
+  EXPECT_EQ(net.link_stats(a).flows_carried, 1u);
+}
+
+TEST_F(NetFixture, CompletionCountersTrack) {
+  const LinkId a = net.add_link("a", 1e9);
+  net.start_flow({a}, 1'000, 0, [](FlowId) {});
+  net.start_flow({a}, 2'000, 0, [](FlowId) {});
+  engine.run();
+  EXPECT_EQ(net.flows_completed(), 2u);
+  EXPECT_EQ(net.total_bytes_completed(), 3'000u);
+}
+
+TEST_F(NetFixture, FlowRateVisibleWhileTransferring) {
+  const LinkId a = net.add_link("a", 1e9);
+  const FlowId id = net.start_flow({a}, 1'000'000'000, 0, [](FlowId) {});
+  engine.run_until(util::seconds(0.1));
+  EXPECT_NEAR(net.flow_rate(id), 1e9, 1e6);
+}
+
+TEST_F(NetFixture, SameTickBurstTriggersSingleRecomputeBatch) {
+  const LinkId hub = net.add_link("hub", 1e9);
+  int completed = 0;
+  for (int i = 0; i < 100; ++i) {
+    net.start_flow({hub}, 10'000'000, 0, [&](FlowId) { ++completed; });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 100);
+  // 100 x 10 MB = 1 GB over 1 GB/s -> ~1 s regardless of batching.
+  EXPECT_NEAR(util::to_seconds(engine.now()), 1.0, 0.05);
+}
+
+TEST_F(NetFixture, CancelDuringSetupPhaseIsClean) {
+  const LinkId a = net.add_link("a", 1e9);
+  bool fired = false;
+  const FlowId id = net.start_flow({a}, 1'000'000, util::seconds(5.0),
+                                   [&](FlowId) { fired = true; });
+  engine.schedule_at(util::seconds(1.0), [&] { net.cancel_flow(id); });
+  engine.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(net.active_flows(), 0u);
+  EXPECT_EQ(net.link_stats(a).bytes_carried, 0u);
+}
+
+TEST_F(NetFixture, ThreeLinkPathBottlenecksOnNarrowest) {
+  const LinkId a = net.add_link("a", 4e9);
+  const LinkId b = net.add_link("b", 1e9);  // narrowest
+  const LinkId c = net.add_link("c", 2e9);
+  Tick done = -1;
+  net.start_flow({a, b, c}, 1'000'000'000, 0,
+                 [&](FlowId) { done = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(util::to_seconds(done), 1.0, 0.01);
+}
+
+TEST_F(NetFixture, CancelUnknownFlowIsNoop) {
+  net.cancel_flow(999);
+  net.cancel_flow(kInvalidFlow);
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST_F(NetFixture, StaggeredArrivalsSettleProgressCorrectly) {
+  // Flow A runs alone for 0.5 s (0.5 GB done), then B joins and halves
+  // A's rate: A finishes its second 0.5 GB in 1 s -> total 1.5 s.
+  const LinkId shared = net.add_link("shared", 1e9);
+  Tick a_done = -1;
+  net.start_flow({shared}, 1'000'000'000, 0,
+                 [&](FlowId) { a_done = engine.now(); });
+  engine.schedule_at(util::seconds(0.5), [&] {
+    net.start_flow({shared}, 2'000'000'000, 0, [](FlowId) {});
+  });
+  engine.run();
+  EXPECT_NEAR(util::to_seconds(a_done), 1.5, 0.02);
+}
+
+class FlowCountParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowCountParam, AggregateThroughputConservedUnderSharing) {
+  // Property: N equal flows through one link finish in N * (bytes/bw),
+  // i.e. the link is never over- or under-committed.
+  sim::Engine engine;
+  Network net(engine);
+  const LinkId hub = net.add_link("hub", 1e9);
+  const int n = GetParam();
+  int completed = 0;
+  for (int i = 0; i < n; ++i) {
+    net.start_flow({hub}, 50'000'000, 0, [&](FlowId) { ++completed; });
+  }
+  engine.run();
+  EXPECT_EQ(completed, n);
+  EXPECT_NEAR(util::to_seconds(engine.now()), 0.05 * n, 0.002 * n + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sharing, FlowCountParam,
+                         ::testing::Values(1, 2, 4, 8, 16, 64));
+
+}  // namespace
+}  // namespace hepvine::net

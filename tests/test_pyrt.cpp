@@ -1,0 +1,61 @@
+#include "pyrt/python_runtime.h"
+
+#include <gtest/gtest.h>
+
+namespace hepvine::pyrt {
+namespace {
+
+TEST(PyRuntime, LibraryPresetsAreOrdered) {
+  // The Coffea stack dwarfs numpy: more code, more metadata traffic.
+  EXPECT_GT(coffea_stack().code_bytes, numpy_lib().code_bytes);
+  EXPECT_GT(coffea_stack().metadata_ops, numpy_lib().metadata_ops);
+  EXPECT_GT(scipy_lib().metadata_ops, numpy_lib().metadata_ops);
+}
+
+TEST(PyRuntime, LocalImportFasterOnNvmeThanSpinning) {
+  const LibrarySpec lib = numpy_lib();
+  EXPECT_LT(lib.import_time_local(storage::nvme_disk()),
+            lib.import_time_local(storage::spinning_disk()));
+}
+
+TEST(PyRuntime, ImportTimeDominatedByMetadataOnSlowDisks) {
+  const LibrarySpec lib = numpy_lib();
+  const auto spin = storage::spinning_disk();
+  const util::Tick metadata_part =
+      static_cast<util::Tick>(lib.metadata_ops) * spin.op_latency;
+  EXPECT_GT(metadata_part, util::transfer_time(lib.code_bytes, spin.read_bw));
+}
+
+TEST(PyRuntime, SerializeTimeHasFixedAndLinearParts) {
+  const PythonRuntimeSpec py = default_python_runtime();
+  const util::Tick small = py.serialize_time(1);
+  const util::Tick big = py.serialize_time(200'000'000);
+  EXPECT_GE(small, py.serialize_fixed);
+  EXPECT_NEAR(util::to_seconds(big - small), 1.0, 0.05);
+}
+
+TEST(PyRuntime, ImportSetAggregates) {
+  const ImportSet set = hep_import_set();
+  ASSERT_EQ(set.libraries.size(), 2u);
+  EXPECT_EQ(set.total_code_bytes(),
+            numpy_lib().code_bytes + coffea_stack().code_bytes);
+  EXPECT_EQ(set.total_metadata_ops(),
+            numpy_lib().metadata_ops + coffea_stack().metadata_ops);
+  EXPECT_EQ(set.total_cpu_cost(),
+            numpy_lib().cpu_cost + coffea_stack().cpu_cost);
+  EXPECT_EQ(set.import_time_local(storage::nvme_disk()),
+            numpy_lib().import_time_local(storage::nvme_disk()) +
+                coffea_stack().import_time_local(storage::nvme_disk()));
+}
+
+TEST(PyRuntime, DefaultsAreSane) {
+  const PythonRuntimeSpec py = default_python_runtime();
+  EXPECT_GT(py.interpreter_startup, 0);
+  EXPECT_GT(py.fork_cost, 0);
+  EXPECT_LT(py.fork_cost, py.interpreter_startup)
+      << "forking a warm library must beat a cold interpreter";
+  EXPECT_GT(py.environment_bytes, py.function_body_bytes);
+}
+
+}  // namespace
+}  // namespace hepvine::pyrt

@@ -1,0 +1,51 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+namespace hepvine::util {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedWork) {
+  ThreadPool pool(4);
+  auto fut = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(fut.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i) {
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  }
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SizeReflectsThreadCount) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.size(), 3u);
+}
+
+TEST(ParallelFor, CoversAllIndicesExactlyOnce) {
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(100, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor, ZeroIterationsIsNoop) {
+  parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+}
+
+}  // namespace
+}  // namespace hepvine::util

@@ -1,0 +1,49 @@
+#include "util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hepvine::util {
+namespace {
+
+TEST(Units, SecondsRoundTrip) {
+  EXPECT_EQ(seconds(1.0), kSec);
+  EXPECT_EQ(seconds(0.001), kMsec);
+  EXPECT_DOUBLE_EQ(to_seconds(kMinute), 60.0);
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(12.5)), 12.5);
+}
+
+TEST(Units, BandwidthConversions) {
+  EXPECT_DOUBLE_EQ(gbps(8.0), 1e9);     // 8 Gbit/s = 1 GB/s
+  EXPECT_DOUBLE_EQ(mbs(100.0), 100e6);  // 100 MB/s
+}
+
+TEST(Units, TransferTimeBasics) {
+  // 1 GB at 1 GB/s = 1 s.
+  EXPECT_EQ(transfer_time(1'000'000'000, 1e9), kSec);
+  EXPECT_EQ(transfer_time(0, 1e9), 0);
+}
+
+TEST(Units, TransferTimeNeverZeroForNonzeroBytes) {
+  EXPECT_GE(transfer_time(1, 1e12), 1);
+}
+
+TEST(Units, TransferTimeRoundsUp) {
+  // 1.5 us worth of bytes must take 2 ticks.
+  EXPECT_EQ(transfer_time(1500, 1e9), 2);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1500), "1.5 KB");
+  EXPECT_EQ(format_bytes(2 * kGB), "2.0 GB");
+  EXPECT_EQ(format_bytes(3 * kTB + 500 * kGB), "3.5 TB");
+}
+
+TEST(Units, FormatDuration) {
+  EXPECT_EQ(format_duration(seconds(5.25)), "5.2s");
+  EXPECT_EQ(format_duration(seconds(125.0)), "2m05.0s");
+  EXPECT_EQ(format_duration(seconds(3725.0)), "1h02m05s");
+}
+
+}  // namespace
+}  // namespace hepvine::util
