@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_hash[1]_include.cmake")
+include("/root/repo/build/tests/test_units[1]_include.cmake")
+include("/root/repo/build/tests/test_thread_pool[1]_include.cmake")
+include("/root/repo/build/tests/test_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_network[1]_include.cmake")
+include("/root/repo/build/tests/test_storage[1]_include.cmake")
+include("/root/repo/build/tests/test_data[1]_include.cmake")
+include("/root/repo/build/tests/test_pyrt[1]_include.cmake")
+include("/root/repo/build/tests/test_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_cluster[1]_include.cmake")
+include("/root/repo/build/tests/test_metrics[1]_include.cmake")
+include("/root/repo/build/tests/test_task_graph[1]_include.cmake")
+include("/root/repo/build/tests/test_builders[1]_include.cmake")
+include("/root/repo/build/tests/test_histogram[1]_include.cmake")
+include("/root/repo/build/tests/test_events[1]_include.cmake")
+include("/root/repo/build/tests/test_processors[1]_include.cmake")
+include("/root/repo/build/tests/test_task_state[1]_include.cmake")
+include("/root/repo/build/tests/test_vine[1]_include.cmake")
+include("/root/repo/build/tests/test_vine_features[1]_include.cmake")
+include("/root/repo/build/tests/test_coffea[1]_include.cmake")
+include("/root/repo/build/tests/test_exec_util[1]_include.cmake")
+include("/root/repo/build/tests/test_export[1]_include.cmake")
+include("/root/repo/build/tests/test_stats[1]_include.cmake")
+include("/root/repo/build/tests/test_wq[1]_include.cmake")
+include("/root/repo/build/tests/test_dd[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
