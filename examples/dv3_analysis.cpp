@@ -36,6 +36,12 @@ int main() {
   exec::RunOptions options;
   options.mode = exec::ExecMode::kFunctionCalls;
   options.seed = 2024;
+  // Full observability: transactions log, perf time-series, and a
+  // Perfetto-loadable trace, written next to the binary.
+  options.observability.enabled = true;
+  options.observability.txn_path = "dv3_txn.log";
+  options.observability.perf_path = "dv3_perf.log";
+  options.observability.trace_path = "dv3_trace.json";
 
   vine::VineScheduler scheduler;
   const exec::RunReport report = scheduler.run(graph, cluster, options);
@@ -80,5 +86,14 @@ int main() {
               metrics::TaskTrace::render_histogram(
                   report.trace.exec_time_histogram(0.5, 50, 3))
                   .c_str());
+
+  if (report.observation) {
+    std::printf("\nlogs written: dv3_txn.log (%llu events), dv3_perf.log "
+                "(%zu samples), dv3_trace.json (open in ui.perfetto.dev)\n",
+                static_cast<unsigned long long>(
+                    report.observation->txn().events()),
+                report.observation->perf().rows().size());
+    std::printf("inspect with: tools/txn_query dv3_txn.log summary\n");
+  }
   return 0;
 }

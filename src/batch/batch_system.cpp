@@ -48,6 +48,16 @@ void BatchSystem::arm_preemption(std::uint32_t slot) {
       engine_.schedule_after(lifetime, [this, slot] { preempt_slot(slot); });
 }
 
+void BatchSystem::register_stats(obs::StatsRegistry& registry,
+                                 const std::string& prefix) const {
+  registry.gauge(prefix + ".active_workers",
+                 [this] { return static_cast<double>(active_); });
+  registry.gauge(prefix + ".preemptions",
+                 [this] { return static_cast<double>(preemptions_); });
+  registry.gauge(prefix + ".slots",
+                 [this] { return static_cast<double>(slot_states_.size()); });
+}
+
 void BatchSystem::preempt_slot(std::uint32_t slot) {
   if (draining_) return;
   SlotState& state = slot_states_[slot];

@@ -10,8 +10,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "obs/stats_registry.h"
 #include "sim/engine.h"
 #include "sim/rng.h"
 #include "util/units.h"
@@ -61,6 +63,12 @@ class BatchSystem {
   }
   [[nodiscard]] std::uint32_t preemptions() const { return preemptions_; }
   [[nodiscard]] std::uint32_t active_workers() const { return active_; }
+
+  /// Register gauges (`<prefix>.active_workers`, `<prefix>.preemptions`,
+  /// `<prefix>.slots`) into a per-run stats registry. The gauges read live
+  /// state; the registry detaches them when the run finalizes.
+  void register_stats(obs::StatsRegistry& registry,
+                      const std::string& prefix = "batch") const;
 
  private:
   struct SlotState {

@@ -11,6 +11,7 @@
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
+#include "obs/observer.h"
 #include "sim/rng.h"
 
 namespace hepvine::dd {
@@ -36,7 +37,8 @@ class DaskRun {
         tun_(tun),
         table_(graph),
         rng_(options.seed, "dask-run"),
-        scheduler_(cluster.engine()) {
+        scheduler_(cluster.engine()),
+        obs_(obs::make_observation(options.observability)) {
     report_.scheduler = "dask.distributed";
     report_.tasks_total = graph.size();
     report_.transfers = metrics::TransferMatrix(cluster.endpoint_count());
@@ -49,6 +51,7 @@ class DaskRun {
       is_sink_[static_cast<std::size_t>(sink)] = true;
       ++sinks_outstanding_;
     }
+    begin_observation();
     cluster_.request_workers([this](WorkerId w) { on_node_up(w); },
                              [this](WorkerId w) { on_node_down(w); });
     engine_.schedule_at(options_.max_sim_time, [this] {
@@ -72,7 +75,102 @@ class DaskRun {
           std::min(1.0, static_cast<double>(scheduler_.total_busy_time()) /
                             static_cast<double>(report_.makespan));
     }
+    if (obs_->enabled()) {
+      obs_->txn().manager_end(engine_.now());
+      obs_->finalize(engine_.now());
+      report_.observation = obs_;
+    }
     return std::move(report_);
+  }
+
+  [[nodiscard]] bool txn_on() const { return obs_->txn_enabled(); }
+  [[nodiscard]] bool trace_on() const { return obs_->trace_enabled(); }
+
+  void begin_observation() {
+    if (!obs_->enabled()) return;
+
+    if (txn_on()) {
+      obs_->txn().manager_start(engine_.now());
+      table_.set_ready_listener([this](TaskId t, Tick now) {
+        obs_->txn().task_waiting(now, t, graph_.task(t).spec.category,
+                                 table_.at(t).attempts);
+      });
+      for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+        const auto& st = table_.at(t);
+        if (st.state == TaskState::kReady) {
+          obs_->txn().task_waiting(st.ready_at, t,
+                                   graph_.task(t).spec.category, st.attempts);
+        }
+      }
+    }
+
+    if (trace_on()) {
+      obs_->trace().set_lane_name(
+          static_cast<std::int32_t>(cluster_.manager_endpoint()),
+          "scheduler");
+      for (WorkerId w = 0;
+           w < static_cast<WorkerId>(cluster_.worker_count()); ++w) {
+        obs_->trace().set_lane_name(
+            static_cast<std::int32_t>(cluster_.worker_endpoint(w)),
+            "node " + std::to_string(w));
+      }
+      obs_->trace().set_lane_name(
+          static_cast<std::int32_t>(cluster_.fs_endpoint()), "shared-fs");
+    }
+
+    if (obs_->perf_enabled()) {
+      auto& stats = obs_->stats();
+      stats.gauge("tasks.total",
+                  [this] { return static_cast<double>(graph_.size()); });
+      stats.gauge("tasks.done", [this] {
+        return static_cast<double>(table_.done_count());
+      });
+      stats.gauge("tasks.ready", [this] {
+        return static_cast<double>(table_.ready_count());
+      });
+      stats.gauge("tasks.inflight", [this] {
+        return static_cast<double>(attempts_.size());
+      });
+      stats.gauge("procs.alive", [this] {
+        std::size_t n = 0;
+        for (const Proc& p : procs_) n += p.alive ? 1 : 0;
+        return static_cast<double>(n);
+      });
+      stats.gauge("procs.busy", [this] {
+        std::size_t n = 0;
+        for (const Proc& p : procs_) n += (p.alive && p.busy) ? 1 : 0;
+        return static_cast<double>(n);
+      });
+      stats.gauge("scheduler.backlog", [this] {
+        return static_cast<double>(scheduler_.backlog());
+      });
+      stats.gauge("scheduler.busy_fraction", [this] {
+        const Tick now = engine_.now();
+        if (now <= 0) return 0.0;
+        return std::min(1.0,
+                        static_cast<double>(scheduler_.total_busy_time()) /
+                            static_cast<double>(now));
+      });
+      stats.gauge("engine.events_executed", [this] {
+        return static_cast<double>(engine_.executed());
+      });
+      stats.gauge("engine.events_pending", [this] {
+        return static_cast<double>(engine_.pending());
+      });
+      cluster_.batch().register_stats(stats);
+      cluster_.network().register_stats(stats);
+      cluster_.fs().register_stats(stats);
+      obs_->perf().bind(stats);
+      schedule_perf_sample();
+    }
+  }
+
+  void schedule_perf_sample() {
+    engine_.schedule_after(obs_->config().perf_sample_interval, [this] {
+      if (finished_) return;
+      obs_->perf().sample(engine_.now(), obs_->stats());
+      schedule_perf_sample();
+    });
   }
 
  private:
@@ -159,6 +257,7 @@ class DaskRun {
   // --------------------------------------------------------------------
   void on_node_up(WorkerId w) {
     if (finished_) return;
+    if (txn_on()) obs_->txn().worker_connection(engine_.now(), w);
     for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
       auto& p = proc(proc_id(w, k));
       p = Proc{};
@@ -170,6 +269,9 @@ class DaskRun {
 
   void on_node_down(WorkerId w) {
     if (finished_) return;
+    if (txn_on()) {
+      obs_->txn().worker_disconnection(engine_.now(), w, "PREEMPTED");
+    }
     for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
       kill_proc(proc_id(w, k), /*restart=*/false);
       if (finished_) return;
@@ -437,12 +539,22 @@ class DaskRun {
     if (is_dataset) {
       fs_gate_.submit([this, f, dst_node,
                        arrival](net::FlowGate::SlotToken slot) {
+        if (txn_on()) {
+          obs_->txn().transfer_start(engine_.now(), cluster_.fs_endpoint(),
+                                     cluster_.worker_endpoint(dst_node), f,
+                                     file(f).size);
+        }
         cluster_.read_fs_to_worker(
             dst_node, file(f).size,
             [this, f, dst_node, arrival, slot = std::move(slot)] {
               record_transfer(cluster_.fs_endpoint(),
                               cluster_.worker_endpoint(dst_node),
                               file(f).size);
+              if (txn_on()) {
+                obs_->txn().transfer_done(
+                    engine_.now(), cluster_.fs_endpoint(),
+                    cluster_.worker_endpoint(dst_node), f, file(f).size);
+              }
               arrival(true);
             });
       });
@@ -481,12 +593,35 @@ class DaskRun {
       engine_.schedule_after(copy, [arrival] { arrival(true); });
       return;
     }
+    if (txn_on()) {
+      obs_->txn().transfer_start(engine_.now(),
+                                 cluster_.worker_endpoint(src_node),
+                                 cluster_.worker_endpoint(dst_node), f,
+                                 file(f).size);
+    }
+    const Tick t0 = engine_.now();
     cluster_.send_peer(src_node, dst_node, file(f).size,
                        cluster_.control_rtt() / 2,
-                       [this, f, src_node, dst_node, arrival] {
+                       [this, f, src_node, dst_node, arrival, t0] {
                          record_transfer(cluster_.worker_endpoint(src_node),
                                          cluster_.worker_endpoint(dst_node),
                                          file(f).size);
+                         if (txn_on()) {
+                           obs_->txn().transfer_done(
+                               engine_.now(),
+                               cluster_.worker_endpoint(src_node),
+                               cluster_.worker_endpoint(dst_node), f,
+                               file(f).size);
+                         }
+                         if (trace_on()) {
+                           obs_->trace().add_flow(
+                               static_cast<std::int32_t>(
+                                   cluster_.worker_endpoint(src_node)),
+                               static_cast<std::int32_t>(
+                                   cluster_.worker_endpoint(dst_node)),
+                               "peer key " + std::to_string(f), t0,
+                               engine_.now());
+                         }
                          arrival(true);
                        });
   }
@@ -494,6 +629,9 @@ class DaskRun {
   void start_exec(const Token& token, std::int32_t pid) {
     if (!token_valid(token)) return;
     table_.mark_running(token.task, engine_.now());
+    if (txn_on()) {
+      obs_->txn().task_running(engine_.now(), token.task, node_of(pid));
+    }
     const auto& task = graph_.task(token.task);
     const auto& node = cluster_.worker(node_of(pid));
     Proc& p = proc(pid);
@@ -598,10 +736,21 @@ class DaskRun {
     rec.started_at = st.started_at;
     rec.finished_at = engine_.now();
     rec.category = graph_.task(t).spec.category;
+    if (txn_on()) obs_->txn().task_retrieved(engine_.now(), t, "SUCCESS");
+    if (trace_on() && rec.started_at > 0) {
+      obs_->trace().add_span(
+          static_cast<std::int32_t>(
+              cluster_.worker_endpoint(node_of(pid))),
+          rec.category, rec.category, rec.started_at,
+          rec.finished_at - rec.started_at,
+          "{\"task\":" + std::to_string(t) + ",\"proc\":" +
+              std::to_string(pid) + "}");
+    }
     report_.trace.add(std::move(rec));
 
     table_.mark_done(t, std::move(value), engine_.now());
     attempts_.erase(t);
+    if (txn_on()) obs_->txn().task_done(engine_.now(), t, "SUCCESS");
 
     // Release dependency keys whose consumers are all finished.
     for (TaskId dep : graph_.task(t).spec.deps) {
@@ -635,12 +784,24 @@ class DaskRun {
     const FileId f = graph_.task(t).output_file;
     const WorkerId node = node_of(pid);
     mgr_gate_.submit([this, t, f, node](net::FlowGate::SlotToken slot) {
+      if (txn_on()) {
+        obs_->txn().transfer_start(engine_.now(),
+                                   cluster_.worker_endpoint(node),
+                                   cluster_.manager_endpoint(), f,
+                                   file(f).size);
+      }
       cluster_.send_worker_to_manager(
           node, file(f).size, cluster_.control_rtt() / 2,
           [this, t, node, slot = std::move(slot)] {
             record_transfer(cluster_.worker_endpoint(node),
                             cluster_.manager_endpoint(),
                             file(graph_.task(t).output_file).size);
+            if (txn_on()) {
+              obs_->txn().transfer_done(
+                  engine_.now(), cluster_.worker_endpoint(node),
+                  cluster_.manager_endpoint(), graph_.task(t).output_file,
+                  file(graph_.task(t).output_file).size);
+            }
             file(graph_.task(t).output_file).at_client = true;
             if (!sink_gathered_[t]) {
               sink_gathered_[t] = true;
@@ -685,6 +846,7 @@ class DaskRun {
     rec.finished_at = engine_.now();
     rec.failed = true;
     rec.category = graph_.task(t).spec.category;
+    if (txn_on()) obs_->txn().task_retrieved(engine_.now(), t, "FAILURE");
     report_.trace.add(std::move(rec));
 
     if (auto it = attempts_.find(t); it != attempts_.end()) {
@@ -733,6 +895,8 @@ class DaskRun {
   std::map<std::int32_t, TaskId> running_on_;
   std::map<TaskId, bool> sink_gathered_;
   std::vector<bool> is_sink_;
+
+  std::shared_ptr<obs::RunObservation> obs_;
 
   exec::RunReport report_;
   std::uint32_t cores_per_node_ = 1;

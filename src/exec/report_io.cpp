@@ -37,23 +37,37 @@ std::string summarize(const RunReport& report) {
   std::snprintf(buf, sizeof(buf), "peak cache:     %s\n",
                 util::format_bytes(report.cache.global_peak()).c_str());
   out += buf;
+  std::snprintf(buf, sizeof(buf), "manager busy:   %.1f%% of makespan\n",
+                report.manager_busy_fraction * 100.0);
+  out += buf;
+  if (report.observation && report.observation->enabled()) {
+    const auto& obs = *report.observation;
+    std::snprintf(buf, sizeof(buf),
+                  "observability:  %llu txn events (%llu rotated out), "
+                  "%zu perf samples, %zu trace events\n",
+                  static_cast<unsigned long long>(obs.txn().events()),
+                  static_cast<unsigned long long>(obs.txn().dropped()),
+                  obs.perf().rows().size(), obs.trace().events());
+    out += buf;
+  }
   return out;
 }
 
 std::string csv_header() {
   return "scheduler,success,makespan_s,tasks,attempts,failures,"
-         "lineage_resets,preemptions,crashes,manager_bytes,peer_bytes,"
-         "peak_cache_bytes\n";
+         "lineage_resets,preemptions,crashes,manager_busy_fraction,"
+         "manager_bytes,peer_bytes,peak_cache_bytes\n";
 }
 
 std::string csv_row(const RunReport& report) {
   char buf[512];
-  std::snprintf(buf, sizeof(buf), "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%llu,%llu,%llu\n",
+  std::snprintf(buf, sizeof(buf),
+                "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%.4f,%llu,%llu,%llu\n",
                 report.scheduler.c_str(), report.success ? 1 : 0,
                 report.makespan_seconds(), report.tasks_total,
                 report.task_attempts, report.task_failures,
                 report.lineage_resets, report.worker_preemptions,
-                report.worker_crashes,
+                report.worker_crashes, report.manager_busy_fraction,
                 static_cast<unsigned long long>(
                     report.transfers.manager_bytes()),
                 static_cast<unsigned long long>(

@@ -12,6 +12,7 @@
 #include "metrics/cache_trace.h"
 #include "metrics/task_trace.h"
 #include "metrics/transfer_matrix.h"
+#include "obs/observer.h"
 #include "pyrt/python_runtime.h"
 #include "util/units.h"
 
@@ -64,6 +65,9 @@ struct RunOptions {
   /// Task retry budget before the run is declared failed.
   std::uint32_t max_task_retries = 8;
   std::uint64_t seed = 42;
+  /// Observability sinks (transactions log, performance log, Chrome trace).
+  /// Disabled by default; see obs/observer.h.
+  obs::ObsConfig observability;
 };
 
 struct RunReport {
@@ -89,6 +93,12 @@ struct RunReport {
   metrics::TaskTrace trace;
   metrics::TransferMatrix transfers;
   metrics::CacheTrace cache;
+
+  /// Observability capture for this run (never null when the backend ran;
+  /// a disabled config yields an empty observation). Holds the transaction
+  /// ring tail, the perf-log time series with final counter values, and
+  /// the Chrome-trace builder.
+  std::shared_ptr<obs::RunObservation> observation;
 
   /// Final values of the graph's sink tasks (real physics results).
   std::map<dag::TaskId, dag::ValuePtr> results;

@@ -36,6 +36,7 @@ void TaskStateTable::enqueue_ready(dag::TaskId id, Tick now) {
   st.ready_at = now;
   ready_queue_.push(
       ReadyEntry{depths_[static_cast<std::size_t>(id)], ready_seq_++, id});
+  if (on_ready_) on_ready_(id, now);
 }
 
 dag::TaskId TaskStateTable::pop_ready() {

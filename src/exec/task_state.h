@@ -105,6 +105,14 @@ class TaskStateTable {
   /// Gather dependency values in declaration order (all deps must be done).
   [[nodiscard]] std::vector<dag::ValuePtr> gather_inputs(dag::TaskId id) const;
 
+  /// Observe every waiting->ready transition (initial readiness, dependency
+  /// completion, requeue after failure, lineage reset). Fires after the
+  /// task's state is updated; used by schedulers to emit TASK WAITING
+  /// transaction-log records at the exact transition time. Tasks already
+  /// ready when the listener is installed are not replayed.
+  using ReadyListener = std::function<void(dag::TaskId, Tick)>;
+  void set_ready_listener(ReadyListener fn) { on_ready_ = std::move(fn); }
+
  private:
   void enqueue_ready(dag::TaskId id, Tick now);
 
@@ -127,6 +135,7 @@ class TaskStateTable {
       ready_queue_;
   std::uint64_t ready_seq_ = 0;
   std::size_t done_count_ = 0;
+  ReadyListener on_ready_;
 };
 
 }  // namespace hepvine::exec

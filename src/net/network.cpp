@@ -235,4 +235,14 @@ void Network::recompute_now() {
   }
 }
 
+void Network::register_stats(obs::StatsRegistry& registry,
+                             const std::string& prefix) const {
+  registry.gauge(prefix + ".active_flows",
+                 [this] { return static_cast<double>(flows_.size()); });
+  registry.gauge(prefix + ".flows_completed",
+                 [this] { return static_cast<double>(flows_completed_); });
+  registry.gauge(prefix + ".bytes_completed",
+                 [this] { return static_cast<double>(bytes_completed_); });
+}
+
 }  // namespace hepvine::net

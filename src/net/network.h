@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/stats_registry.h"
 #include "sim/engine.h"
 #include "util/units.h"
 
@@ -83,6 +84,11 @@ class Network {
   [[nodiscard]] std::uint64_t flows_completed() const {
     return flows_completed_;
   }
+
+  /// Register gauges (`<prefix>.active_flows`, `<prefix>.flows_completed`,
+  /// `<prefix>.bytes_completed`) into a per-run stats registry.
+  void register_stats(obs::StatsRegistry& registry,
+                      const std::string& prefix = "net") const;
 
  private:
   struct Flow {

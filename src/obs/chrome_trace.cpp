@@ -1,0 +1,114 @@
+#include "obs/chrome_trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hepvine::obs {
+
+std::string ChromeTraceBuilder::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeTraceBuilder::set_lane_name(std::int32_t pid,
+                                       const std::string& name) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,"
+                "\"tid\":0,\"args\":{\"name\":\"%s\"}}",
+                pid, escape(name).c_str());
+  events_.emplace_back(buf);
+}
+
+void ChromeTraceBuilder::add_span(std::int32_t pid, const std::string& name,
+                                  const std::string& category, Tick start,
+                                  Tick duration,
+                                  const std::string& args_json) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"pid\":%d,"
+                "\"tid\":0,\"ts\":%" PRId64 ",\"dur\":%" PRId64 "%s%s%s}",
+                escape(name).c_str(),
+                escape(category.empty() ? "task" : category).c_str(), pid,
+                start, duration > 0 ? duration : 1,
+                args_json.empty() ? "" : ",\"args\":", args_json.c_str(),
+                "");
+  events_.emplace_back(buf);
+}
+
+void ChromeTraceBuilder::add_flow(std::int32_t src, std::int32_t dst,
+                                  const std::string& name, Tick start,
+                                  Tick end) {
+  const std::uint64_t id = next_flow_id_++;
+  if (end <= start) end = start + 1;
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"transfer\",\"ph\":\"s\","
+                "\"id\":%" PRIu64 ",\"pid\":%d,\"tid\":0,\"ts\":%" PRId64 "}",
+                escape(name).c_str(), id, src, start);
+  events_.emplace_back(buf);
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"transfer\",\"ph\":\"f\","
+                "\"bp\":\"e\",\"id\":%" PRIu64 ",\"pid\":%d,\"tid\":0,"
+                "\"ts\":%" PRId64 "}",
+                escape(name).c_str(), id, dst, end);
+  events_.emplace_back(buf);
+}
+
+void ChromeTraceBuilder::add_counter(std::int32_t pid, const std::string& name,
+                                     Tick t, double value) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":%d,\"tid\":0,"
+                "\"ts\":%" PRId64 ",\"args\":{\"value\":%.6g}}",
+                escape(name).c_str(), pid, t, value);
+  events_.emplace_back(buf);
+}
+
+std::string ChromeTraceBuilder::to_json() const {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += events_[i];
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool ChromeTraceBuilder::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_json();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hepvine::obs

@@ -1,0 +1,61 @@
+// Chrome trace-event JSON exporter (chrome://tracing / Perfetto format).
+//
+// Renders a run as one process per endpoint — pid 0 is the manager, each
+// worker gets its own pid — with task executions as complete ("X") events
+// on the worker's lane and peer/manager transfers as flow arrows
+// ("s"/"f" pairs) connecting source and destination lanes. Counter ("C")
+// events chart time series (e.g. tasks running) in the same view.
+//
+// Times are simulated microseconds, which is exactly the trace format's
+// native unit, so no scaling is needed and a simulated second reads as a
+// second in the viewer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace hepvine::obs {
+
+using util::Tick;
+
+class ChromeTraceBuilder {
+ public:
+  ChromeTraceBuilder() = default;
+
+  /// Name a lane (trace "process"): pid 0 = manager, 1..N = workers.
+  void set_lane_name(std::int32_t pid, const std::string& name);
+
+  /// Complete event: `name` ran on lane `pid` over [start, start+dur].
+  void add_span(std::int32_t pid, const std::string& name,
+                const std::string& category, Tick start, Tick duration,
+                const std::string& args_json = {});
+
+  /// Flow arrow from lane `src` at `start` to lane `dst` at `end` (e.g. a
+  /// peer transfer). Rendered as an arrow connecting the two lanes.
+  void add_flow(std::int32_t src, std::int32_t dst, const std::string& name,
+                Tick start, Tick end);
+
+  /// Counter sample: `name` had integer `value` at time `t` on lane `pid`.
+  void add_counter(std::int32_t pid, const std::string& name, Tick t,
+                   double value);
+
+  [[nodiscard]] std::size_t events() const noexcept { return events_.size(); }
+
+  /// The complete trace as a JSON object `{"traceEvents":[...]}`.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Write to_json() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+  /// Escape a string for embedding in a JSON literal (no quotes added).
+  [[nodiscard]] static std::string escape(const std::string& s);
+
+ private:
+  std::vector<std::string> events_;  // each a complete JSON object
+  std::uint64_t next_flow_id_ = 1;
+};
+
+}  // namespace hepvine::obs

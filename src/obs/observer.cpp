@@ -1,0 +1,32 @@
+#include "obs/observer.h"
+
+namespace hepvine::obs {
+
+RunObservation::RunObservation(const ObsConfig& config) : config_(config) {
+  if (config_.enabled && config_.txn_log) {
+    txn_ = std::make_unique<TxnLog>(config_.txn_ring_capacity,
+                                    config_.txn_path);
+  } else {
+    txn_ = std::make_unique<TxnLog>();  // disabled no-op
+  }
+}
+
+void RunObservation::finalize(Tick now) {
+  if (finalized_) return;
+  finalized_ = true;
+  if (perf_enabled()) {
+    perf_.sample(now, stats_);
+    if (!config_.perf_path.empty()) perf_.write_file(config_.perf_path);
+  }
+  stats_.detach_gauges();
+  txn_->flush();
+  if (trace_enabled() && !config_.trace_path.empty()) {
+    trace_.write_file(config_.trace_path);
+  }
+}
+
+std::shared_ptr<RunObservation> make_observation(const ObsConfig& config) {
+  return std::make_shared<RunObservation>(config);
+}
+
+}  // namespace hepvine::obs

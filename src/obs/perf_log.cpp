@@ -1,0 +1,60 @@
+#include "obs/perf_log.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace hepvine::obs {
+
+void PerfLog::sample(Tick t, const StatsRegistry& registry) {
+  Row row;
+  row.t = t;
+  row.values = registry.sample();
+  row.values.resize(columns_.size(), 0.0);  // registry may have grown
+  rows_.push_back(std::move(row));
+}
+
+double PerfLog::final_value(const std::string& column) const {
+  if (rows_.empty()) return 0.0;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == column) return rows_.back().values[i];
+  }
+  return 0.0;
+}
+
+std::string PerfLog::to_text() const {
+  std::string out = "# time_us";
+  for (const auto& c : columns_) {
+    out += ' ';
+    out += c;
+  }
+  out += '\n';
+  char buf[64];
+  for (const auto& row : rows_) {
+    std::snprintf(buf, sizeof(buf), "%" PRId64, row.t);
+    out += buf;
+    for (double v : row.values) {
+      // Integers (the common case) print exactly; fractions keep 6 digits.
+      if (v == static_cast<double>(static_cast<std::int64_t>(v))) {
+        std::snprintf(buf, sizeof(buf), " %" PRId64,
+                      static_cast<std::int64_t>(v));
+      } else {
+        std::snprintf(buf, sizeof(buf), " %.6f", v);
+      }
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool PerfLog::write_file(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string text = to_text();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace hepvine::obs

@@ -1,0 +1,57 @@
+// Performance log: periodic snapshots of manager-side metrics, the
+// analogue of TaskVine's `performance` log.
+//
+// The scheduler arms an Engine timer at a fixed cadence; every firing
+// samples the whole StatsRegistry (queue depths, workers connected/busy,
+// bytes moved, dispatch-loop busy fraction, event-engine stats) into one
+// row. The text rendering is the TaskVine shape: a `# time col...` header
+// line followed by one space-separated row per sample, trivially
+// consumable by awk/pandas.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/stats_registry.h"
+#include "util/units.h"
+
+namespace hepvine::obs {
+
+using util::Tick;
+
+class PerfLog {
+ public:
+  struct Row {
+    Tick t = 0;
+    std::vector<double> values;  // registry order at sample time
+  };
+
+  /// Freeze the column set from the registry's current contents. Metrics
+  /// registered later are ignored (columns must be stable across rows).
+  void bind(const StatsRegistry& registry) { columns_ = registry.names(); }
+
+  /// Sample every bound column into a new row at time `t`.
+  void sample(Tick t, const StatsRegistry& registry);
+
+  [[nodiscard]] const std::vector<std::string>& columns() const noexcept {
+    return columns_;
+  }
+  [[nodiscard]] const std::vector<Row>& rows() const noexcept { return rows_; }
+  [[nodiscard]] bool empty() const noexcept { return rows_.empty(); }
+  [[nodiscard]] const Row& last() const { return rows_.back(); }
+
+  /// Value of `column` in the final row (0 if absent / no rows).
+  [[nodiscard]] double final_value(const std::string& column) const;
+
+  /// `# time_us col...` header plus one row per sample.
+  [[nodiscard]] std::string to_text() const;
+
+  /// Write to_text() to `path`; returns false on I/O failure.
+  bool write_file(const std::string& path) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hepvine::obs

@@ -1,0 +1,66 @@
+#include "obs/stats_registry.h"
+
+namespace hepvine::obs {
+
+std::uint64_t* StatsRegistry::counter(const std::string& name) {
+  auto it = index_.find(name);
+  if (it != index_.end()) return &entries_[it->second]->count;
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->is_counter = true;
+  entries_.push_back(std::move(entry));
+  index_.emplace(name, entries_.size() - 1);
+  return &entries_.back()->count;
+}
+
+void StatsRegistry::gauge(const std::string& name, GaugeFn fn) {
+  auto it = index_.find(name);
+  if (it != index_.end()) {
+    Entry& e = *entries_[it->second];
+    e.fn = std::move(fn);
+    e.detached = false;
+    return;
+  }
+  auto entry = std::make_unique<Entry>();
+  entry->name = name;
+  entry->fn = std::move(fn);
+  entries_.push_back(std::move(entry));
+  index_.emplace(name, entries_.size() - 1);
+}
+
+std::vector<std::string> StatsRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(e->name);
+  return out;
+}
+
+double StatsRegistry::read(const Entry& e) const {
+  if (e.is_counter) return static_cast<double>(e.count);
+  if (e.detached || !e.fn) return e.last;
+  return e.fn();
+}
+
+std::vector<double> StatsRegistry::sample() const {
+  std::vector<double> out;
+  out.reserve(entries_.size());
+  for (const auto& e : entries_) out.push_back(read(*e));
+  return out;
+}
+
+double StatsRegistry::value(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? 0.0 : read(*entries_[it->second]);
+}
+
+void StatsRegistry::detach_gauges() {
+  for (auto& e : entries_) {
+    if (!e->is_counter) {
+      e->last = read(*e);
+      e->detached = true;
+      e->fn = nullptr;
+    }
+  }
+}
+
+}  // namespace hepvine::obs

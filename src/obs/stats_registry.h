@@ -1,0 +1,69 @@
+// Counter/gauge registry backing the performance log.
+//
+// Subsystems (scheduler, batch system, flow network, shared filesystem)
+// register named metrics once per run; the PerfLog samples every metric on
+// a fixed simulated-time cadence. Counters are monotonically increasing
+// integers owned by the registry (emitters hold a stable pointer); gauges
+// are read-on-sample callbacks into live subsystem state. Registration
+// order is preserved so perf-log columns are stable across runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace hepvine::obs {
+
+class StatsRegistry {
+ public:
+  using GaugeFn = std::function<double()>;
+
+  StatsRegistry() = default;
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  /// Register (or re-fetch) a counter. The returned pointer is stable for
+  /// the registry's lifetime; increment it directly on the hot path.
+  std::uint64_t* counter(const std::string& name);
+
+  /// Register a gauge sampled via `fn`. Re-registering a name replaces the
+  /// callback (a fresh run re-binds gauges to fresh subsystem objects).
+  void gauge(const std::string& name, GaugeFn fn);
+
+  /// Column names, registration order (counters and gauges interleaved).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Current value of every metric, in names() order.
+  [[nodiscard]] std::vector<double> sample() const;
+
+  /// Current value of one metric by name (0 if unknown).
+  [[nodiscard]] double value(const std::string& name) const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Drop gauge callbacks (they capture references into subsystems that may
+  /// not outlive the report) while keeping their last sampled values.
+  void detach_gauges();
+
+ private:
+  struct Entry {
+    std::string name;
+    bool is_counter = false;
+    std::uint64_t count = 0;   // counters (stable address via deque-like use)
+    GaugeFn fn;                // gauges
+    double last = 0.0;         // value frozen by detach_gauges()
+    bool detached = false;
+  };
+
+  [[nodiscard]] double read(const Entry& e) const;
+
+  // Entries are held by pointer so counter addresses stay stable as the
+  // registry grows.
+  std::vector<std::unique_ptr<Entry>> entries_;
+  std::map<std::string, std::size_t> index_;
+};
+
+}  // namespace hepvine::obs

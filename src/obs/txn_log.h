@@ -1,0 +1,110 @@
+// Transactions log: structured lifecycle events in TaskVine's
+// transactions-log text format, driven off simulated time.
+//
+// One line per event, `time_us SUBJECT id EVENT ...`, mirroring the real
+// manager's always-on log that `vine_plot_txn_log` consumes:
+//
+//   time MANAGER START|END
+//   time TASK id WAITING category attempt
+//   time TASK id RUNNING worker_id
+//   time TASK id RETRIEVED reason
+//   time TASK id DONE reason
+//   time WORKER id CONNECTION|DISCONNECTION reason
+//   time CACHE file_id INSERT|EVICT size_bytes worker_id
+//   time TRANSFER src dst file_id size_bytes START|DONE|FAILED
+//   time LIBRARY worker_id SENT|STARTED
+//
+// Endpoints in TRANSFER lines use the transfer-matrix numbering
+// (0 = manager, 1..N = workers, N+1 = shared filesystem).
+//
+// The writer is a bounded ring buffer so million-task runs don't blow
+// memory: `tail()` returns the most recent `capacity` lines; when a file
+// path is configured, every line also streams to disk as it is recorded,
+// so the on-disk log is always complete.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace hepvine::obs {
+
+using util::Tick;
+
+class TxnLog {
+ public:
+  /// Disabled log: every record call is a cheap no-op.
+  TxnLog() = default;
+
+  /// Enabled log keeping at most `ring_capacity` lines in memory and, if
+  /// `path` is non-empty, streaming every line to that file.
+  TxnLog(std::size_t ring_capacity, const std::string& path);
+
+  ~TxnLog();
+  TxnLog(const TxnLog&) = delete;
+  TxnLog& operator=(const TxnLog&) = delete;
+
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  // --- typed emitters ----------------------------------------------------
+  void manager_start(Tick t) { line(t, "MANAGER 0 START"); }
+  void manager_end(Tick t) { line(t, "MANAGER 0 END"); }
+
+  void task_waiting(Tick t, std::int64_t task, const std::string& category,
+                    std::uint32_t attempt);
+  void task_running(Tick t, std::int64_t task, std::int32_t worker);
+  void task_retrieved(Tick t, std::int64_t task, const char* reason);
+  void task_done(Tick t, std::int64_t task, const char* reason);
+
+  void worker_connection(Tick t, std::int32_t worker);
+  void worker_disconnection(Tick t, std::int32_t worker, const char* reason);
+
+  void cache_insert(Tick t, std::int32_t worker, std::int64_t file,
+                    std::uint64_t bytes);
+  void cache_evict(Tick t, std::int32_t worker, std::int64_t file,
+                   std::uint64_t bytes);
+
+  void transfer_start(Tick t, std::size_t src, std::size_t dst,
+                      std::int64_t file, std::uint64_t bytes);
+  void transfer_done(Tick t, std::size_t src, std::size_t dst,
+                     std::int64_t file, std::uint64_t bytes);
+  void transfer_failed(Tick t, std::size_t src, std::size_t dst,
+                       std::int64_t file, std::uint64_t bytes);
+
+  void library_sent(Tick t, std::int32_t worker);
+  void library_started(Tick t, std::int32_t worker);
+
+  // --- inspection --------------------------------------------------------
+  /// Total events recorded (including lines already rotated out of the
+  /// ring).
+  [[nodiscard]] std::uint64_t events() const noexcept { return events_; }
+
+  /// Events dropped from the in-memory ring (still on disk if streaming).
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+  /// The most recent lines, oldest first.
+  [[nodiscard]] std::vector<std::string> tail() const;
+
+  /// All retained lines joined with newlines (a full log when the run was
+  /// smaller than the ring).
+  [[nodiscard]] std::string text() const;
+
+  void flush();
+
+ private:
+  void line(Tick t, const char* body);
+  void push(std::string line);
+
+  bool enabled_ = false;
+  std::size_t capacity_ = 0;
+  std::deque<std::string> ring_;
+  std::uint64_t events_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace hepvine::obs

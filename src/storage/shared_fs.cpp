@@ -94,4 +94,14 @@ void SharedFilesystem::metadata_ops(std::uint64_t count,
   });
 }
 
+void SharedFilesystem::register_stats(obs::StatsRegistry& registry,
+                                      const std::string& prefix) const {
+  registry.gauge(prefix + ".bytes_read",
+                 [this] { return static_cast<double>(bytes_read_); });
+  registry.gauge(prefix + ".bytes_written",
+                 [this] { return static_cast<double>(bytes_written_); });
+  registry.gauge(prefix + ".metadata_ops",
+                 [this] { return static_cast<double>(metadata_served_); });
+}
+
 }  // namespace hepvine::storage

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "net/network.h"
+#include "obs/stats_registry.h"
 #include "sim/engine.h"
 #include "util/units.h"
 
@@ -85,6 +86,11 @@ class SharedFilesystem {
   [[nodiscard]] std::uint64_t metadata_ops_served() const noexcept {
     return metadata_served_;
   }
+
+  /// Register gauges (`<prefix>.bytes_read`, `<prefix>.bytes_written`,
+  /// `<prefix>.metadata_ops`) into a per-run stats registry.
+  void register_stats(obs::StatsRegistry& registry,
+                      const std::string& prefix = "fs") const;
 
  private:
   sim::Engine& engine_;

@@ -23,6 +23,7 @@
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
+#include "obs/observer.h"
 #include "sim/rng.h"
 #include "vine/replica_table.h"
 #include "vine/vine_scheduler.h"
@@ -52,7 +53,9 @@ class VineRun {
         table_(graph, policy.depth_priority),
         rng_(options.seed, "vine-run"),
         manager_(cluster.engine()),
-        workers_rt_(cluster.worker_count()) {
+        workers_rt_(cluster.worker_count()),
+        obs_(obs::make_observation(options.observability)),
+        pending_crash_(cluster.worker_count(), false) {
     build_file_table();
     report_.scheduler = name_;
     report_.tasks_total = graph.size();
@@ -66,6 +69,8 @@ class VineRun {
     for (TaskId sink : sinks) {
       is_sink_[static_cast<std::size_t>(sink)] = true;
     }
+
+    begin_observation();
 
     cluster_.request_workers([this](WorkerId w) { on_worker_up(w); },
                              [this](WorkerId w) { on_worker_down(w); });
@@ -91,6 +96,11 @@ class VineRun {
       report_.manager_busy_fraction =
           std::min(1.0, static_cast<double>(manager_.total_busy_time()) /
                             static_cast<double>(report_.makespan));
+    }
+    if (obs_->enabled()) {
+      obs_->txn().manager_end(engine_.now());
+      obs_->finalize(engine_.now());
+      report_.observation = obs_;
     }
     return std::move(report_);
   }
@@ -209,6 +219,9 @@ class VineRun {
     if (rt.in_cache.size() < files_.size()) rt.in_cache.resize(files_.size());
     rt.in_cache[static_cast<std::size_t>(f)] = true;
     replicas_->add(f, w);
+    if (txn_on()) {
+      obs_->txn().cache_insert(engine_.now(), w, f, file(f).size);
+    }
   }
 
   // ---------------------------------------------------------------------
@@ -222,6 +235,9 @@ class VineRun {
     WorkerId peer_src = cluster::kNoWorker;  // valid while a peer flow runs
     net::FlowId flow = net::kInvalidFlow;
     bool throttled = false;
+    // Transfer-matrix endpoint the running flow is sourced from, for txn
+    // TRANSFER attribution (SIZE_MAX until a flow starts).
+    std::size_t src_ep = static_cast<std::size_t>(-1);
     std::vector<std::function<void(bool)>> waiters;  // bool: file arrived
   };
 
@@ -233,6 +249,7 @@ class VineRun {
   // ---------------------------------------------------------------------
   void on_worker_up(WorkerId w) {
     if (finished_) return;
+    if (txn_on()) obs_->txn().worker_connection(engine_.now(), w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt = WorkerRt{};
     rt.in_cache.assign(files_.size(), false);
@@ -244,6 +261,12 @@ class VineRun {
 
   void on_worker_down(WorkerId w) {
     if (finished_) return;
+    if (txn_on()) {
+      const bool crashed = pending_crash_[static_cast<std::size_t>(w)];
+      obs_->txn().worker_disconnection(engine_.now(), w,
+                                       crashed ? "FAILURE" : "PREEMPTED");
+    }
+    pending_crash_[static_cast<std::size_t>(w)] = false;
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
 
     // Fail every task attempt on this worker.
@@ -276,6 +299,10 @@ class VineRun {
       Fetch& fetch = it->second;
       if (fetch.flow != net::kInvalidFlow) {
         cluster_.network().cancel_flow(fetch.flow);
+        if (fetch.src_ep != static_cast<std::size_t>(-1)) {
+          txn_xfer_failed(fetch.src_ep, cluster_.worker_endpoint(w),
+                          fetch.file, file(fetch.file).size);
+        }
         if (fetch.peer_src != cluster::kNoWorker) {
           release_peer_slot(fetch.peer_src);
         }
@@ -289,8 +316,12 @@ class VineRun {
       if (it == fetches_.end()) continue;
       Fetch& fetch = it->second;
       cluster_.network().cancel_flow(fetch.flow);
+      txn_xfer_failed(cluster_.worker_endpoint(w),
+                      cluster_.worker_endpoint(fetch.dst), fetch.file,
+                      file(fetch.file).size);
       fetch.flow = net::kInvalidFlow;
       fetch.peer_src = cluster::kNoWorker;
+      fetch.src_ep = static_cast<std::size_t>(-1);
       start_fetch_transfer(key);  // re-source from another replica
     }
 
@@ -302,6 +333,10 @@ class VineRun {
     }
     for (TaskId t : broken_sinks) {
       cluster_.network().cancel_flow(sink_flows_.at(t).first);
+      txn_xfer_failed(cluster_.worker_endpoint(w),
+                      cluster_.manager_endpoint(),
+                      graph_.task(t).output_file,
+                      file(graph_.task(t).output_file).size);
       sink_flows_.erase(t);
       fetch_sink_result(t);
     }
@@ -314,6 +349,7 @@ class VineRun {
   void crash_worker(WorkerId w, const char* /*reason*/) {
     if (!cluster_.worker(w).alive) return;
     report_.worker_crashes += 1;
+    pending_crash_[static_cast<std::size_t>(w)] = true;
     cluster_.batch().force_preempt(static_cast<std::uint32_t>(w));
   }
 
@@ -615,10 +651,17 @@ class VineRun {
         fs_gate_.submit([this, key](net::FlowGate::SlotToken slot) {
           auto fit = fetches_.find(key);
           if (fit == fetches_.end()) return;  // fetch vanished while queued
+          fit->second.src_ep = cluster_.fs_endpoint();
+          txn_xfer_start(cluster_.fs_endpoint(),
+                         cluster_.worker_endpoint(key.second), key.first,
+                         file(key.first).size);
           auto on_done = [this, key, slot = std::move(slot)] {
             record_transfer(cluster_.fs_endpoint(),
                             cluster_.worker_endpoint(key.second),
                             file(key.first).size);
+            txn_xfer_done(cluster_.fs_endpoint(),
+                          cluster_.worker_endpoint(key.second), key.first,
+                          file(key.first).size);
             complete_fetch(key);
           };
           fit->second.flow =
@@ -649,13 +692,28 @@ class VineRun {
           release_peer_slot(src);
           return;
         }
+        fit->second.src_ep = cluster_.worker_endpoint(src);
+        txn_xfer_start(cluster_.worker_endpoint(src),
+                       cluster_.worker_endpoint(key.second), key.first,
+                       file(key.first).size);
+        const Tick t0 = engine_.now();
         fit->second.flow = cluster_.send_peer(
             src, key.second, file(key.first).size, cluster_.control_rtt(),
-            [this, key, src] {
+            [this, key, src, t0] {
               release_peer_slot(src);
               record_transfer(cluster_.worker_endpoint(src),
                               cluster_.worker_endpoint(key.second),
                               file(key.first).size);
+              txn_xfer_done(cluster_.worker_endpoint(src),
+                            cluster_.worker_endpoint(key.second), key.first,
+                            file(key.first).size);
+              if (trace_on()) {
+                obs_->trace().add_flow(
+                    lane(cluster_.worker_endpoint(src)),
+                    lane(cluster_.worker_endpoint(key.second)),
+                    "peer file " + std::to_string(key.first), t0,
+                    engine_.now());
+              }
               auto it2 = fetches_.find(key);
               if (it2 != fetches_.end()) it2->second.peer_src =
                   cluster::kNoWorker;
@@ -742,11 +800,17 @@ class VineRun {
       auto it = fetches_.find(key);
       if (it == fetches_.end()) return;  // fetch vanished while queued
       const std::uint64_t bytes = file(key.first).size;
+      it->second.src_ep = cluster_.manager_endpoint();
+      txn_xfer_start(cluster_.manager_endpoint(),
+                     cluster_.worker_endpoint(key.second), key.first, bytes);
       it->second.flow = cluster_.send_manager_to_worker(
           key.second, bytes, cluster_.control_rtt() / 2,
           [this, key, bytes, slot = std::move(slot)] {
             record_transfer(cluster_.manager_endpoint(),
                             cluster_.worker_endpoint(key.second), bytes);
+            txn_xfer_done(cluster_.manager_endpoint(),
+                          cluster_.worker_endpoint(key.second), key.first,
+                          bytes);
             complete_fetch(key);
           });
     });
@@ -766,10 +830,14 @@ class VineRun {
     });
     if (!inserted) return;
     fs_gate_.submit([this, f](net::FlowGate::SlotToken slot) {
+      txn_xfer_start(cluster_.fs_endpoint(), cluster_.manager_endpoint(), f,
+                     file(f).size);
       cluster_.read_fs_to_manager(
           file(f).size, [this, f, slot = std::move(slot)] {
             record_transfer(cluster_.fs_endpoint(),
                             cluster_.manager_endpoint(), file(f).size);
+            txn_xfer_done(cluster_.fs_endpoint(), cluster_.manager_endpoint(),
+                          f, file(f).size);
             replicas_->set_at_manager(f);
             auto node = manager_inflight_.extract(f);
             for (auto& cb : node.mapped()) cb(true);
@@ -811,16 +879,22 @@ class VineRun {
       return;
     }
     const std::uint32_t incarnation = cluster_.worker(holder).incarnation;
+    txn_xfer_start(cluster_.worker_endpoint(holder),
+                   cluster_.manager_endpoint(), f, file(f).size);
     relay_flows_[f] = cluster_.send_worker_to_manager(
         holder, file(f).size, cluster_.control_rtt() / 2,
         [this, f, holder, incarnation, slot = std::move(slot)]() mutable {
           relay_flows_.erase(f);
           if (!worker_current(holder, incarnation)) {
+            txn_xfer_failed(cluster_.worker_endpoint(holder),
+                            cluster_.manager_endpoint(), f, file(f).size);
             start_relay_pull(f, std::move(slot));  // retry elsewhere
             return;
           }
           record_transfer(cluster_.worker_endpoint(holder),
                           cluster_.manager_endpoint(), file(f).size);
+          txn_xfer_done(cluster_.worker_endpoint(holder),
+                        cluster_.manager_endpoint(), f, file(f).size);
           replicas_->set_at_manager(f);
           auto node = manager_inflight_.extract(f);
           for (auto& cb : node.mapped()) cb(true);
@@ -873,6 +947,7 @@ class VineRun {
     if (!token_valid(token)) return;
     const TaskId t = token.task;
     table_.mark_running(t, engine_.now());
+    if (txn_on()) obs_->txn().task_running(engine_.now(), t, w);
     const auto& task = graph_.task(t);
     const auto& node = cluster_.worker(w);
 
@@ -975,6 +1050,9 @@ class VineRun {
                         value = std::move(value)](
                            net::FlowGate::SlotToken slot) mutable {
         if (!token_valid(token)) return;
+        txn_xfer_start(cluster_.worker_endpoint(w),
+                       cluster_.manager_endpoint(),
+                       graph_.task(t).output_file, bytes);
         return_flows_[t] = cluster_.send_worker_to_manager(
             w, bytes, cluster_.control_rtt() / 2,
             [this, token, w, bytes, value = std::move(value),
@@ -983,6 +1061,8 @@ class VineRun {
               record_transfer(cluster_.worker_endpoint(w),
                               cluster_.manager_endpoint(), bytes);
               const FileId f = graph_.task(token.task).output_file;
+              txn_xfer_done(cluster_.worker_endpoint(w),
+                            cluster_.manager_endpoint(), f, bytes);
               replicas_->set_at_manager(f);
               drop_worker_copy(w, f, bytes);
               manager_.acquire_then(
@@ -1004,6 +1084,7 @@ class VineRun {
       rt.in_cache[static_cast<std::size_t>(f)] = false;
       replicas_->remove(f, w);
       node.disk.release(bytes);
+      if (txn_on()) obs_->txn().cache_evict(engine_.now(), w, f, bytes);
     }
   }
 
@@ -1026,10 +1107,20 @@ class VineRun {
     const Tick exec_end = attempts_.at(t).exec_finished_at;
     rec.finished_at = exec_end > 0 ? exec_end : engine_.now();
     rec.category = graph_.task(t).spec.category;
+    if (txn_on()) {
+      obs_->txn().task_retrieved(engine_.now(), t, "SUCCESS");
+    }
+    if (trace_on() && rec.started_at > 0) {
+      obs_->trace().add_span(
+          lane(cluster_.worker_endpoint(w)), rec.category, rec.category,
+          rec.started_at, rec.finished_at - rec.started_at,
+          "{\"task\":" + std::to_string(t) + "}");
+    }
     report_.trace.add(std::move(rec));
 
     table_.mark_done(t, std::move(value), engine_.now());
     attempts_.erase(t);
+    if (txn_on()) obs_->txn().task_done(engine_.now(), t, "SUCCESS");
 
     // Garbage-collect files this completion may have been the last
     // consumer of (TaskVine prunes cache entries with no pending
@@ -1136,12 +1227,18 @@ class VineRun {
         fetch_sink_result(t);  // re-resolve a live holder
         return;
       }
+      txn_xfer_start(cluster_.worker_endpoint(src),
+                     cluster_.manager_endpoint(),
+                     graph_.task(t).output_file, bytes);
       sink_flows_[t] = {
           cluster_.send_worker_to_manager(
               src, bytes, cluster_.control_rtt() / 2,
               [this, t, src, bytes, slot = std::move(slot)] {
                 record_transfer(cluster_.worker_endpoint(src),
                                 cluster_.manager_endpoint(), bytes);
+                txn_xfer_done(cluster_.worker_endpoint(src),
+                              cluster_.manager_endpoint(),
+                              graph_.task(t).output_file, bytes);
                 replicas_->set_at_manager(graph_.task(t).output_file);
                 sink_flows_.erase(t);
                 on_sink_fetched(t);
@@ -1177,6 +1274,7 @@ class VineRun {
   void install_library(WorkerId w) {
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt.lib = LibState::kInstalling;
+    if (txn_on()) obs_->txn().library_sent(engine_.now(), w);
     const std::uint32_t incarnation = cluster_.worker(w).incarnation;
     auto continue_install = [this, w, incarnation](bool ok) {
       if (!worker_current(w, incarnation) || !ok) return;
@@ -1236,6 +1334,7 @@ class VineRun {
 
   void library_ready(WorkerId w, std::uint32_t incarnation) {
     if (!worker_current(w, incarnation)) return;
+    if (txn_on()) obs_->txn().library_started(engine_.now(), w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt.lib = LibState::kReady;
     auto waiting = std::move(rt.waiting_for_lib);
@@ -1296,10 +1395,24 @@ class VineRun {
     rec.finished_at = engine_.now();
     rec.failed = true;
     rec.category = graph_.task(t).spec.category;
+    if (txn_on()) obs_->txn().task_retrieved(engine_.now(), t, "FAILURE");
+    if (trace_on() && w != cluster::kNoWorker &&
+        st.state == TaskState::kRunning) {
+      obs_->trace().add_span(
+          lane(cluster_.worker_endpoint(w)), rec.category + " (failed)",
+          rec.category, rec.started_at, rec.finished_at - rec.started_at,
+          "{\"task\":" + std::to_string(t) + ",\"failed\":true}");
+    }
     report_.trace.add(std::move(rec));
 
     if (auto it = return_flows_.find(t); it != return_flows_.end()) {
       cluster_.network().cancel_flow(it->second);
+      if (w != cluster::kNoWorker) {
+        txn_xfer_failed(cluster_.worker_endpoint(w),
+                        cluster_.manager_endpoint(),
+                        graph_.task(t).output_file,
+                        graph_.task(t).spec.output_bytes);
+      }
       return_flows_.erase(it);
     }
     if (w != cluster::kNoWorker) {
@@ -1334,6 +1447,154 @@ class VineRun {
   void record_transfer(std::size_t src, std::size_t dst,
                        std::uint64_t bytes) {
     report_.transfers.record(src, dst, bytes);
+    if (bytes_via_manager_ != nullptr) {
+      if (src == cluster_.manager_endpoint() ||
+          dst == cluster_.manager_endpoint()) {
+        *bytes_via_manager_ += bytes;
+      } else if (src == cluster_.fs_endpoint() ||
+                 dst == cluster_.fs_endpoint()) {
+        *bytes_via_fs_ += bytes;
+      } else {
+        *bytes_peer_ += bytes;
+      }
+    }
+  }
+
+  void txn_xfer_start(std::size_t src, std::size_t dst, FileId f,
+                      std::uint64_t bytes) {
+    if (txn_on()) obs_->txn().transfer_start(engine_.now(), src, dst, f, bytes);
+  }
+  void txn_xfer_done(std::size_t src, std::size_t dst, FileId f,
+                     std::uint64_t bytes) {
+    if (txn_on()) obs_->txn().transfer_done(engine_.now(), src, dst, f, bytes);
+  }
+  void txn_xfer_failed(std::size_t src, std::size_t dst, FileId f,
+                       std::uint64_t bytes) {
+    if (txn_on()) {
+      obs_->txn().transfer_failed(engine_.now(), src, dst, f, bytes);
+    }
+  }
+
+  [[nodiscard]] bool txn_on() const { return obs_->txn_enabled(); }
+  [[nodiscard]] bool trace_on() const { return obs_->trace_enabled(); }
+  [[nodiscard]] std::int32_t lane(std::size_t endpoint) const {
+    return static_cast<std::int32_t>(endpoint);
+  }
+
+  void begin_observation() {
+    if (!obs_->enabled()) return;
+
+    if (txn_on()) {
+      obs_->txn().manager_start(engine_.now());
+      // WAITING lines fire on every waiting->ready transition; replay the
+      // tasks that were already ready when the table was built (the
+      // listener cannot see those).
+      table_.set_ready_listener([this](TaskId t, Tick now) {
+        obs_->txn().task_waiting(now, t, graph_.task(t).spec.category,
+                                 table_.at(t).attempts);
+      });
+      for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+        const auto& st = table_.at(t);
+        if (st.state == TaskState::kReady) {
+          obs_->txn().task_waiting(st.ready_at, t,
+                                   graph_.task(t).spec.category, st.attempts);
+        }
+      }
+    }
+
+    if (trace_on()) {
+      obs_->trace().set_lane_name(lane(cluster_.manager_endpoint()),
+                                  "manager");
+      for (WorkerId w = 0;
+           w < static_cast<WorkerId>(cluster_.worker_count()); ++w) {
+        obs_->trace().set_lane_name(
+            lane(cluster_.worker_endpoint(w)),
+            "worker " + std::to_string(w));
+      }
+      obs_->trace().set_lane_name(lane(cluster_.fs_endpoint()), "shared-fs");
+    }
+
+    if (obs_->perf_enabled()) {
+      auto& stats = obs_->stats();
+      stats.gauge("tasks.total",
+                  [this] { return static_cast<double>(graph_.size()); });
+      stats.gauge("tasks.done", [this] {
+        return static_cast<double>(table_.done_count());
+      });
+      stats.gauge("tasks.ready", [this] {
+        return static_cast<double>(table_.ready_count());
+      });
+      stats.gauge("tasks.inflight", [this] {
+        return static_cast<double>(attempts_.size());
+      });
+      stats.gauge("tasks.waiting", [this] {
+        const std::size_t accounted =
+            table_.done_count() + table_.ready_count() + attempts_.size();
+        return accounted >= graph_.size()
+                   ? 0.0
+                   : static_cast<double>(graph_.size() - accounted);
+      });
+      stats.gauge("workers.connected", [this] {
+        std::size_t n = 0;
+        for (WorkerId w = 0;
+             w < static_cast<WorkerId>(cluster_.worker_count()); ++w) {
+          if (cluster_.worker(w).alive) ++n;
+        }
+        return static_cast<double>(n);
+      });
+      stats.gauge("workers.busy", [this] {
+        std::size_t n = 0;
+        for (WorkerId w = 0;
+             w < static_cast<WorkerId>(cluster_.worker_count()); ++w) {
+          const auto& node = cluster_.worker(w);
+          if (node.alive && node.cores_in_use > 0) ++n;
+        }
+        return static_cast<double>(n);
+      });
+      stats.gauge("manager.backlog", [this] {
+        return static_cast<double>(manager_.backlog());
+      });
+      stats.gauge("manager.ops", [this] {
+        return static_cast<double>(manager_.operations());
+      });
+      stats.gauge("manager.busy_fraction", [this] {
+        const Tick now = engine_.now();
+        if (now <= 0) return 0.0;
+        return std::min(1.0, static_cast<double>(manager_.total_busy_time()) /
+                                 static_cast<double>(now));
+      });
+      stats.gauge("engine.events_executed", [this] {
+        return static_cast<double>(engine_.executed());
+      });
+      stats.gauge("engine.events_pending", [this] {
+        return static_cast<double>(engine_.pending());
+      });
+      bytes_via_manager_ = stats.counter("xfer.bytes_via_manager");
+      bytes_peer_ = stats.counter("xfer.bytes_peer");
+      bytes_via_fs_ = stats.counter("xfer.bytes_via_fs");
+      cluster_.batch().register_stats(stats);
+      cluster_.network().register_stats(stats);
+      cluster_.fs().register_stats(stats);
+      obs_->perf().bind(stats);
+      schedule_perf_sample();
+    }
+  }
+
+  void schedule_perf_sample() {
+    engine_.schedule_after(obs_->config().perf_sample_interval, [this] {
+      if (finished_) return;
+      const Tick now = engine_.now();
+      obs_->perf().sample(now, obs_->stats());
+      if (trace_on()) {
+        obs_->trace().add_counter(
+            lane(cluster_.manager_endpoint()), "tasks inflight", now,
+            static_cast<double>(attempts_.size()));
+        obs_->trace().add_counter(
+            lane(cluster_.manager_endpoint()), "tasks done", now,
+            static_cast<double>(table_.done_count()));
+      }
+      schedule_perf_sample();
+    });
   }
 
   void schedule_cache_sample() {
@@ -1380,6 +1641,15 @@ class VineRun {
   std::map<TaskId, std::pair<net::FlowId, WorkerId>> sink_flows_;
   std::map<TaskId, bool> sink_fetched_;
   std::vector<bool> is_sink_;
+
+  std::shared_ptr<obs::RunObservation> obs_;
+  // Workers destroyed by the run itself (disk overflow) rather than batch
+  // preemption; consulted when the disconnect lands to attribute a reason.
+  std::vector<bool> pending_crash_;
+  // Perf counters (owned by the stats registry; null when perf is off).
+  std::uint64_t* bytes_via_manager_ = nullptr;
+  std::uint64_t* bytes_peer_ = nullptr;
+  std::uint64_t* bytes_via_fs_ = nullptr;
 
   exec::RunReport report_;
   std::size_t sinks_outstanding_ = 0;

@@ -214,5 +214,90 @@ TEST(CacheTrace, OutOfRangeWorkerIgnored) {
   EXPECT_EQ(cache.global_peak(), 0u);
 }
 
+TEST(Render, HistogramHandlesEmptySinglePointAndAllEqual) {
+  // Empty bucket list: must not crash or emit garbage.
+  EXPECT_TRUE(TaskTrace::render_histogram({}).empty());
+
+  // All-zero counts: rendering is defined (no divide-by-zero on max=0).
+  std::vector<TaskTrace::TimeBucket> zeros(3);
+  zeros[0] = {0.1, 1.0, 0};
+  zeros[1] = {1.0, 10.0, 0};
+  zeros[2] = {10.0, 100.0, 0};
+  const std::string z = TaskTrace::render_histogram(zeros);
+  EXPECT_EQ(z.find('#'), std::string::npos);
+
+  // Single populated bucket gets the full bar width.
+  std::vector<TaskTrace::TimeBucket> one(1);
+  one[0] = {1.0, 10.0, 7};
+  const std::string s = TaskTrace::render_histogram(one, 10);
+  EXPECT_NE(s.find("##########"), std::string::npos);
+
+  // All-equal counts: every bucket renders an identical full-width bar.
+  std::vector<TaskTrace::TimeBucket> eq(3);
+  eq[0] = {0.1, 1.0, 5};
+  eq[1] = {1.0, 10.0, 5};
+  eq[2] = {10.0, 100.0, 5};
+  const std::string e = TaskTrace::render_histogram(eq, 8);
+  std::istringstream lines(e);
+  std::string line;
+  int full = 0;
+  while (std::getline(lines, line)) {
+    if (line.find("########") != std::string::npos) ++full;
+  }
+  EXPECT_EQ(full, 3);
+}
+
+// The chart body is everything before the axis line (the footer legend
+// itself contains 'r'/'w'/'*' characters, so marks must be counted in the
+// body only).
+std::string chart_body(const std::string& chart) {
+  const auto axis = chart.find("+--");
+  return axis == std::string::npos ? chart : chart.substr(0, axis);
+}
+
+TEST(Render, ConcurrencyHandlesEmptySinglePointAndAllEqual) {
+  // Empty series renders a placeholder (and does not crash).
+  EXPECT_EQ(render_concurrency({}), "(no data)\n");
+
+  // A single point must produce a chart with a running mark in the body.
+  std::vector<TaskTrace::ConcurrencyPoint> single = {{seconds(1), 3, 1}};
+  const std::string s = render_concurrency(single, 4, 20);
+  EXPECT_NE(chart_body(s).find('r'), std::string::npos);
+
+  // All-equal running/waiting: flat line, rendered as '*' (both series),
+  // with no divide-by-zero on the value range.
+  std::vector<TaskTrace::ConcurrencyPoint> flat;
+  for (int i = 0; i < 10; ++i) flat.push_back({seconds(i), 4, 4});
+  const std::string f = render_concurrency(flat, 4, 20);
+  EXPECT_NE(chart_body(f).find('*'), std::string::npos);
+
+  // All-zero values: defined output, no marks above the axis.
+  std::vector<TaskTrace::ConcurrencyPoint> zero;
+  for (int i = 0; i < 10; ++i) zero.push_back({seconds(i), 0, 0});
+  const std::string body = chart_body(render_concurrency(zero, 4, 20));
+  EXPECT_EQ(body.find('r'), std::string::npos);
+  EXPECT_EQ(body.find('w'), std::string::npos);
+  EXPECT_EQ(body.find('*'), std::string::npos);
+}
+
+TEST(Render, SeriesHandlesEmptySinglePointAndAllEqual) {
+  // Empty input renders a placeholder.
+  EXPECT_EQ(render_series({}, 10.0), "(no data)\n");
+
+  // Single point: chart exists and carries exactly the one mark column.
+  const std::string s = render_series({5.0}, 10.0, 4, 20);
+  EXPECT_FALSE(s.empty());
+  EXPECT_NE(s.find('*'), std::string::npos);
+
+  // All-equal values: flat series must not divide by a zero range.
+  const std::string f = render_series(std::vector<double>(16, 2.5), 10.0, 4, 20);
+  EXPECT_FALSE(f.empty());
+  EXPECT_NE(f.find('*'), std::string::npos);
+
+  // All-zero values: defined, no marks.
+  const std::string z = render_series(std::vector<double>(16, 0.0), 10.0, 4, 20);
+  EXPECT_EQ(z.find('*'), std::string::npos);
+}
+
 }  // namespace
 }  // namespace hepvine::metrics
