@@ -31,6 +31,7 @@ int main() {
     options.seed = 45;
     options.mode = exec::ExecMode::kFunctionCalls;
     options.max_task_retries = 40;
+    apply_txn_capture(options);
     vine::VineScheduler scheduler;
     const auto report = run_workload(scheduler, workload, config, options);
     std::printf("  %-14.2f %11.1fs %12u %12zu %10zu %s\n", rate,

@@ -33,6 +33,23 @@ namespace hepvine::bench {
   return fast_mode() ? fast : full;
 }
 
+/// CI determinism hook: when HEPVINE_TXN_LOG is set, stream each run's
+/// transaction log to "<prefix>.<n>.txn" (n increments per run, in launch
+/// order). Invoking the same bench twice with the same seeds and diffing
+/// the files proves the whole run — faults, recovery, scheduling — replays
+/// bit-identically.
+inline void apply_txn_capture(exec::RunOptions& options) {
+  const char* prefix = std::getenv("HEPVINE_TXN_LOG");
+  if (prefix == nullptr || *prefix == '\0') return;
+  static int run_index = 0;
+  options.observability.enabled = true;
+  options.observability.txn_log = true;
+  options.observability.perf_log = false;
+  options.observability.chrome_trace = false;
+  options.observability.txn_path =
+      std::string(prefix) + "." + std::to_string(run_index++) + ".txn";
+}
+
 struct RunConfig {
   std::uint32_t workers = 200;
   cluster::NodeSpec node = cluster::paper_worker_node();

@@ -58,6 +58,13 @@ void BatchSystem::register_stats(obs::StatsRegistry& registry,
                  [this] { return static_cast<double>(slot_states_.size()); });
 }
 
+void BatchSystem::force_preempt(std::uint32_t slot) {
+  if (draining_ || slot >= slot_states_.size()) return;
+  if (!slot_states_[slot].running) return;
+  ++forced_evictions_;
+  preempt_slot(slot);
+}
+
 void BatchSystem::preempt_slot(std::uint32_t slot) {
   if (draining_) return;
   SlotState& state = slot_states_[slot];

@@ -53,15 +53,20 @@ class BatchSystem {
   /// Stop scheduling further preemptions/replacements (workflow finished).
   void drain();
 
-  /// Evict a running slot immediately (e.g. the node's scratch disk
-  /// overflowed and the job was killed). Follows the normal preemption
-  /// path, including resubmission if configured.
-  void force_preempt(std::uint32_t slot) { preempt_slot(slot); }
+  /// Evict a running slot immediately (the node's scratch disk overflowed,
+  /// or a fault schedule crashed the worker). Follows the normal preemption
+  /// path, including resubmission if configured, but is counted separately
+  /// so crash-kills stay distinguishable from stochastic preemption.
+  void force_preempt(std::uint32_t slot);
 
   [[nodiscard]] std::uint32_t slots() const {
     return static_cast<std::uint32_t>(slot_states_.size());
   }
   [[nodiscard]] std::uint32_t preemptions() const { return preemptions_; }
+  /// Subset of `preemptions()` that were forced evictions (crashes).
+  [[nodiscard]] std::uint32_t forced_evictions() const {
+    return forced_evictions_;
+  }
   [[nodiscard]] std::uint32_t active_workers() const { return active_; }
 
   /// Register gauges (`<prefix>.active_workers`, `<prefix>.preemptions`,
@@ -88,6 +93,7 @@ class BatchSystem {
   SlotCallback on_preempt_;
   std::vector<SlotState> slot_states_;
   std::uint32_t preemptions_ = 0;
+  std::uint32_t forced_evictions_ = 0;
   std::uint32_t active_ = 0;
   bool draining_ = false;
 };

@@ -66,11 +66,18 @@ struct WorkerNode {
   std::uint64_t memory = 0;
   storage::LocalDisk disk;
   double speed = 1.0;
+  /// Fault-injected straggler factor (1 = nominal). Kept separate from
+  /// `speed` so a window can end by restoring exactly 1.0, drift-free.
+  double speed_scale = 1.0;
   bool alive = false;
   std::uint32_t incarnation = 0;
 
   [[nodiscard]] std::uint32_t cores_free() const noexcept {
     return cores > cores_in_use ? cores - cores_in_use : 0;
+  }
+  /// Speed after any active straggler window; what task runtimes divide by.
+  [[nodiscard]] double effective_speed() const noexcept {
+    return speed * speed_scale;
   }
 };
 

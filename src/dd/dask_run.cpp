@@ -8,6 +8,7 @@
 
 #include "dd/dask_distributed.h"
 #include "exec/serial_resource.h"
+#include "fault/fault_injector.h"
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
@@ -52,6 +53,7 @@ class DaskRun {
       ++sinks_outstanding_;
     }
     begin_observation();
+    begin_fault_injection();
     cluster_.request_workers([this](WorkerId w) { on_node_up(w); },
                              [this](WorkerId w) { on_node_down(w); });
     engine_.schedule_at(options_.max_sim_time, [this] {
@@ -67,9 +69,14 @@ class DaskRun {
     }
     if (!finished_) fail_run("event queue drained before completion");
 
+    if (injector_) {
+      injector_->stop();
+      report_.faults = injector_->stats();
+    }
     report_.worker_preemptions = cluster_.batch().preemptions();
     report_.task_attempts = total_attempts_;
     report_.task_failures = report_.trace.failures();
+    report_.lineage_resets = lineage_resets_;
     if (report_.makespan > 0) {
       report_.manager_busy_fraction =
           std::min(1.0, static_cast<double>(scheduler_.total_busy_time()) /
@@ -217,6 +224,8 @@ class DaskRun {
     procs_.resize(static_cast<std::size_t>(cluster_.worker_count()) *
                   cores_per_node_);
     is_sink_.assign(graph_.size(), false);
+    reset_counts_.assign(graph_.size(), 0);
+    pending_crash_.assign(cluster_.worker_count(), false);
     mem_per_proc_ = cluster_.spec().worker.memory / cores_per_node_;
   }
 
@@ -270,8 +279,11 @@ class DaskRun {
   void on_node_down(WorkerId w) {
     if (finished_) return;
     if (txn_on()) {
-      obs_->txn().worker_disconnection(engine_.now(), w, "PREEMPTED");
+      const bool crashed = pending_crash_[static_cast<std::size_t>(w)];
+      obs_->txn().worker_disconnection(engine_.now(), w,
+                                       crashed ? "FAILURE" : "PREEMPTED");
     }
+    pending_crash_[static_cast<std::size_t>(w)] = false;
     for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
       kill_proc(proc_id(w, k), /*restart=*/false);
       if (finished_) return;
@@ -334,6 +346,80 @@ class DaskRun {
         q.last_heartbeat_served = engine_.now();
         pump();
       });
+    }
+  }
+
+  // --------------------------------------------------------------------
+  // Fault injection. Node crashes route through the batch system like
+  // vine's; "cache loss" drops in-memory result keys; only transfers with
+  // a retry closure (dataset reads, peer key fetches, client pulls, sink
+  // gathers) register as kill targets. Null injector_ = all no-ops.
+  // --------------------------------------------------------------------
+  void begin_fault_injection() {
+    if (options_.faults.empty()) return;
+    injector_ = std::make_unique<fault::FaultInjector>(
+        cluster_, options_.faults, options_.fault_retry, obs_.get());
+    fault::FaultInjector::Hooks hooks;
+    hooks.crash_worker = [this](std::int32_t w) {
+      if (finished_ || !cluster_.worker(w).alive) return false;
+      if (pending_crash_[static_cast<std::size_t>(w)]) return false;
+      report_.worker_crashes += 1;
+      pending_crash_[static_cast<std::size_t>(w)] = true;
+      cluster_.batch().force_preempt(static_cast<std::uint32_t>(w));
+      return true;
+    };
+    hooks.lose_cached_file = [this](std::int32_t w, std::int64_t f) {
+      return lose_held_key(w, static_cast<FileId>(f));
+    };
+    injector_->arm(std::move(hooks));
+  }
+
+  /// Drop the in-memory result key `f` from every process on node `w`
+  /// (w = kNoWorker: from every holder). Lost keys are rediscovered at the
+  /// next precheck or fetch and lineage-reset their producer.
+  std::size_t lose_held_key(WorkerId w, FileId f) {
+    if (finished_ || f < 0 || static_cast<std::size_t>(f) >= files_.size()) {
+      return 0;
+    }
+    auto& info = file(f);
+    std::size_t lost = 0;
+    for (auto it = info.holders.begin(); it != info.holders.end();) {
+      const std::int32_t pid = *it;
+      if (w != cluster::kNoWorker && node_of(pid) != w) {
+        ++it;
+        continue;
+      }
+      Proc& p = proc(pid);
+      p.mem_used = info.size > p.mem_used ? 0 : p.mem_used - info.size;
+      auto& hold = p.holding;
+      hold.erase(std::remove(hold.begin(), hold.end(), f), hold.end());
+      it = info.holders.erase(it);
+      ++lost;
+    }
+    return lost;
+  }
+
+  void forget_flow(net::FlowId flow) {
+    if (injector_ && flow != net::kInvalidFlow) {
+      injector_->forget_transfer(flow);
+    }
+  }
+
+  void lineage_reset(TaskId producer) {
+    const std::size_t reset = table_.reset_lost(
+        producer, engine_.now(), [this](TaskId p) {
+          return key_available(graph_.task(p).output_file);
+        });
+    lineage_resets_ += reset;
+    if (reset == 0) return;
+    auto& count = reset_counts_[static_cast<std::size_t>(producer)];
+    count += 1;
+    const std::uint32_t limit = options_.fault_retry.poisoned_reset_threshold;
+    if (limit > 0 && count > limit) {
+      fail_run("task " + std::to_string(producer) +
+               " poisoned: output lost " + std::to_string(count) +
+               " times, exceeding the reset threshold of " +
+               std::to_string(limit));
     }
   }
 
@@ -411,9 +497,7 @@ class DaskRun {
     for (TaskId dep : graph_.task(t).spec.deps) {
       const FileId f = graph_.task(dep).output_file;
       if (table_.at(dep).state == TaskState::kDone && !key_available(f)) {
-        table_.reset_lost(dep, engine_.now(), [this](TaskId p) {
-          return key_available(graph_.task(p).output_file);
-        });
+        lineage_reset(dep);
       }
     }
     return table_.at(t).state == TaskState::kReady;
@@ -525,9 +609,7 @@ class DaskRun {
         const TaskId producer = file(f).producer;
         if (producer != dag::kInvalidTask &&
             table_.at(producer).state == TaskState::kDone) {
-          table_.reset_lost(producer, engine_.now(), [this](TaskId p) {
-            return key_available(graph_.task(p).output_file);
-          });
+          lineage_reset(producer);
         }
         pump();
         return;
@@ -537,16 +619,18 @@ class DaskRun {
     };
 
     if (is_dataset) {
-      fs_gate_.submit([this, f, dst_node,
-                       arrival](net::FlowGate::SlotToken slot) {
+      fs_gate_.submit([this, f, dst_node, arrival, pid,
+                       token](net::FlowGate::SlotToken slot) {
         if (txn_on()) {
           obs_->txn().transfer_start(engine_.now(), cluster_.fs_endpoint(),
                                      cluster_.worker_endpoint(dst_node), f,
                                      file(f).size);
         }
-        cluster_.read_fs_to_worker(
+        auto flow = std::make_shared<net::FlowId>(net::kInvalidFlow);
+        *flow = cluster_.read_fs_to_worker(
             dst_node, file(f).size,
-            [this, f, dst_node, arrival, slot = std::move(slot)] {
+            [this, f, dst_node, arrival, flow, slot = std::move(slot)] {
+              forget_flow(*flow);
               record_transfer(cluster_.fs_endpoint(),
                               cluster_.worker_endpoint(dst_node),
                               file(f).size);
@@ -557,6 +641,8 @@ class DaskRun {
               }
               arrival(true);
             });
+        offer_key_fetch(*flow, f, /*is_dataset=*/true, pid, token, arrival,
+                        cluster_.fs_endpoint());
       });
       return;
     }
@@ -573,14 +659,18 @@ class DaskRun {
     }
     if (src == kNoProc) {
       if (file(f).at_client) {
-        cluster_.send_manager_to_worker(
+        auto flow = std::make_shared<net::FlowId>(net::kInvalidFlow);
+        *flow = cluster_.send_manager_to_worker(
             dst_node, file(f).size, cluster_.control_rtt() / 2,
-            [this, f, dst_node, arrival] {
+            [this, f, dst_node, arrival, flow] {
+              forget_flow(*flow);
               record_transfer(cluster_.manager_endpoint(),
                               cluster_.worker_endpoint(dst_node),
                               file(f).size);
               arrival(true);
             });
+        offer_key_fetch(*flow, f, /*is_dataset=*/false, pid, token, arrival,
+                        cluster_.manager_endpoint());
       } else {
         arrival(false);
       }
@@ -600,30 +690,61 @@ class DaskRun {
                                  file(f).size);
     }
     const Tick t0 = engine_.now();
-    cluster_.send_peer(src_node, dst_node, file(f).size,
-                       cluster_.control_rtt() / 2,
-                       [this, f, src_node, dst_node, arrival, t0] {
-                         record_transfer(cluster_.worker_endpoint(src_node),
-                                         cluster_.worker_endpoint(dst_node),
-                                         file(f).size);
-                         if (txn_on()) {
-                           obs_->txn().transfer_done(
-                               engine_.now(),
-                               cluster_.worker_endpoint(src_node),
-                               cluster_.worker_endpoint(dst_node), f,
-                               file(f).size);
-                         }
-                         if (trace_on()) {
-                           obs_->trace().add_flow(
-                               static_cast<std::int32_t>(
-                                   cluster_.worker_endpoint(src_node)),
-                               static_cast<std::int32_t>(
-                                   cluster_.worker_endpoint(dst_node)),
-                               "peer key " + std::to_string(f), t0,
-                               engine_.now());
-                         }
-                         arrival(true);
-                       });
+    auto flow = std::make_shared<net::FlowId>(net::kInvalidFlow);
+    *flow = cluster_.send_peer(
+        src_node, dst_node, file(f).size, cluster_.control_rtt() / 2,
+        [this, f, src_node, dst_node, arrival, t0, flow] {
+          forget_flow(*flow);
+          record_transfer(cluster_.worker_endpoint(src_node),
+                          cluster_.worker_endpoint(dst_node), file(f).size);
+          if (txn_on()) {
+            obs_->txn().transfer_done(
+                engine_.now(), cluster_.worker_endpoint(src_node),
+                cluster_.worker_endpoint(dst_node), f, file(f).size);
+          }
+          if (trace_on()) {
+            obs_->trace().add_flow(
+                static_cast<std::int32_t>(cluster_.worker_endpoint(src_node)),
+                static_cast<std::int32_t>(cluster_.worker_endpoint(dst_node)),
+                "peer key " + std::to_string(f), t0, engine_.now());
+          }
+          arrival(true);
+        });
+    offer_key_fetch(*flow, f, /*is_dataset=*/false, pid, token, arrival,
+                    cluster_.worker_endpoint(src_node));
+  }
+
+  /// Register a key/dataset fetch as a kill target. On kill: one unit of
+  /// the attempt's transfer-retry budget is spent and the fetch restarts
+  /// from scratch after backoff — a peer source that was itself preempted
+  /// in the meantime is re-resolved, datasets re-read the durable FS. Past
+  /// the budget the attempt takes the lost-input path.
+  void offer_key_fetch(net::FlowId flow_id, FileId f, bool is_dataset,
+                       std::int32_t pid, const Token& token,
+                       std::function<void(bool)> arrival,
+                       std::size_t src_ep) {
+    if (!injector_ || flow_id == net::kInvalidFlow) return;
+    injector_->offer_transfer(
+        flow_id, file(f).size,
+        [this, f, is_dataset, pid, token, arrival = std::move(arrival),
+         src_ep] {
+          if (txn_on()) {
+            obs_->txn().transfer_failed(
+                engine_.now(), src_ep,
+                cluster_.worker_endpoint(node_of(pid)), f, file(f).size);
+          }
+          if (!token_valid(token)) return;
+          auto& kills = transfer_kill_counts_[token.task];
+          kills += 1;
+          if (kills > options_.fault_retry.max_transfer_retries) {
+            arrival(false);
+            return;
+          }
+          const Tick delay = injector_->backoff_delay(kills);
+          engine_.schedule_after(delay, [this, f, is_dataset, pid, token] {
+            if (token_valid(token)) fetch_key(f, is_dataset, pid, token);
+          });
+        });
   }
 
   void start_exec(const Token& token, std::int32_t pid) {
@@ -639,7 +760,7 @@ class DaskRun {
     const Tick pre =
         options_.python.serialize_time(options_.python.argument_bytes);
     const Tick compute = exec::modeled_exec_ticks(
-        task, node.speed, options_.exec_time_jitter, rng_);
+        task, node.effective_speed(), options_.exec_time_jitter, rng_);
 
     if (!p.imports_loaded) {
       // First task in this process: cold interpreter plus the full import
@@ -758,7 +879,7 @@ class DaskRun {
     }
 
     if (is_sink_[static_cast<std::size_t>(t)]) {
-      gather_sink(t, pid);
+      gather_sink(t, node_of(pid));
     }
     check_completion();
     pump();
@@ -780,9 +901,8 @@ class DaskRun {
     }
   }
 
-  void gather_sink(TaskId t, std::int32_t pid) {
+  void gather_sink(TaskId t, WorkerId node) {
     const FileId f = graph_.task(t).output_file;
-    const WorkerId node = node_of(pid);
     mgr_gate_.submit([this, t, f, node](net::FlowGate::SlotToken slot) {
       if (txn_on()) {
         obs_->txn().transfer_start(engine_.now(),
@@ -790,9 +910,11 @@ class DaskRun {
                                    cluster_.manager_endpoint(), f,
                                    file(f).size);
       }
-      cluster_.send_worker_to_manager(
+      auto flow = std::make_shared<net::FlowId>(net::kInvalidFlow);
+      *flow = cluster_.send_worker_to_manager(
           node, file(f).size, cluster_.control_rtt() / 2,
-          [this, t, node, slot = std::move(slot)] {
+          [this, t, node, flow, slot = std::move(slot)] {
+            forget_flow(*flow);
             record_transfer(cluster_.worker_endpoint(node),
                             cluster_.manager_endpoint(),
                             file(graph_.task(t).output_file).size);
@@ -809,6 +931,27 @@ class DaskRun {
             }
             check_completion();
           });
+      offer_sink_gather(*flow, t, node);
+    });
+  }
+
+  /// Killed sink gathers retry from the same node after backoff, without a
+  /// cap: the result key stays in the source process's memory, so the
+  /// stream can simply re-open.
+  void offer_sink_gather(net::FlowId flow_id, TaskId t, WorkerId node) {
+    if (!injector_ || flow_id == net::kInvalidFlow) return;
+    const FileId f = graph_.task(t).output_file;
+    injector_->offer_transfer(flow_id, file(f).size, [this, t, node, f] {
+      if (txn_on()) {
+        obs_->txn().transfer_failed(engine_.now(),
+                                    cluster_.worker_endpoint(node),
+                                    cluster_.manager_endpoint(), f,
+                                    file(f).size);
+      }
+      const Tick delay = injector_->backoff_delay(++sink_kill_counts_[t]);
+      engine_.schedule_after(delay, [this, t, node] {
+        if (!finished_ && !sink_gathered_[t]) gather_sink(t, node);
+      });
     });
   }
 
@@ -897,6 +1040,14 @@ class DaskRun {
   std::vector<bool> is_sink_;
 
   std::shared_ptr<obs::RunObservation> obs_;
+
+  // Fault-injection state (null/empty when RunOptions::faults is empty).
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<bool> pending_crash_;
+  std::vector<std::uint32_t> reset_counts_;
+  std::map<TaskId, std::uint32_t> transfer_kill_counts_;
+  std::map<TaskId, std::uint32_t> sink_kill_counts_;
+  std::size_t lineage_resets_ = 0;
 
   exec::RunReport report_;
   std::uint32_t cores_per_node_ = 1;

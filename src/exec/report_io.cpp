@@ -40,6 +40,26 @@ std::string summarize(const RunReport& report) {
   std::snprintf(buf, sizeof(buf), "manager busy:   %.1f%% of makespan\n",
                 report.manager_busy_fraction * 100.0);
   out += buf;
+  if (report.faults.faults_injected > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "faults:         %llu injected (%llu crashes, %llu cache losses, "
+        "%llu transfer kills, %llu fs windows, %llu stragglers)\n",
+        static_cast<unsigned long long>(report.faults.faults_injected),
+        static_cast<unsigned long long>(report.faults.worker_crashes),
+        static_cast<unsigned long long>(report.faults.cache_losses),
+        static_cast<unsigned long long>(report.faults.transfers_killed),
+        static_cast<unsigned long long>(report.faults.fs_degradations),
+        static_cast<unsigned long long>(report.faults.stragglers));
+    out += buf;
+    std::snprintf(
+        buf, sizeof(buf),
+        "recovery:       %llu re-fetch retries, %s backoff, %s fs-degraded\n",
+        static_cast<unsigned long long>(report.faults.transfer_retries),
+        util::format_duration(report.faults.backoff_wait).c_str(),
+        util::format_duration(report.faults.fs_degraded_time).c_str());
+    out += buf;
+  }
   if (report.observation && report.observation->enabled()) {
     const auto& obs = *report.observation;
     std::snprintf(buf, sizeof(buf),
@@ -56,23 +76,26 @@ std::string summarize(const RunReport& report) {
 std::string csv_header() {
   return "scheduler,success,makespan_s,tasks,attempts,failures,"
          "lineage_resets,preemptions,crashes,manager_busy_fraction,"
-         "manager_bytes,peer_bytes,peak_cache_bytes\n";
+         "manager_bytes,peer_bytes,peak_cache_bytes,faults_injected,"
+         "transfers_killed,transfer_retries\n";
 }
 
 std::string csv_row(const RunReport& report) {
   char buf[512];
-  std::snprintf(buf, sizeof(buf),
-                "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%.4f,%llu,%llu,%llu\n",
-                report.scheduler.c_str(), report.success ? 1 : 0,
-                report.makespan_seconds(), report.tasks_total,
-                report.task_attempts, report.task_failures,
-                report.lineage_resets, report.worker_preemptions,
-                report.worker_crashes, report.manager_busy_fraction,
-                static_cast<unsigned long long>(
-                    report.transfers.manager_bytes()),
-                static_cast<unsigned long long>(
-                    report.transfers.peer_bytes()),
-                static_cast<unsigned long long>(report.cache.global_peak()));
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%.4f,%llu,%llu,%llu,%llu,%llu,"
+      "%llu\n",
+      report.scheduler.c_str(), report.success ? 1 : 0,
+      report.makespan_seconds(), report.tasks_total, report.task_attempts,
+      report.task_failures, report.lineage_resets, report.worker_preemptions,
+      report.worker_crashes, report.manager_busy_fraction,
+      static_cast<unsigned long long>(report.transfers.manager_bytes()),
+      static_cast<unsigned long long>(report.transfers.peer_bytes()),
+      static_cast<unsigned long long>(report.cache.global_peak()),
+      static_cast<unsigned long long>(report.faults.faults_injected),
+      static_cast<unsigned long long>(report.faults.transfers_killed),
+      static_cast<unsigned long long>(report.faults.transfer_retries));
   return buf;
 }
 

@@ -9,6 +9,7 @@
 
 #include "cluster/cluster.h"
 #include "dag/task_graph.h"
+#include "fault/fault_schedule.h"
 #include "metrics/cache_trace.h"
 #include "metrics/task_trace.h"
 #include "metrics/transfer_matrix.h"
@@ -68,6 +69,13 @@ struct RunOptions {
   /// Observability sinks (transactions log, performance log, Chrome trace).
   /// Disabled by default; see obs/observer.h.
   obs::ObsConfig observability;
+  /// Deterministic fault schedule (crashes, cache loss, transfer kills, FS
+  /// brownouts, stragglers). Empty by default: no injector is constructed
+  /// and the run is byte-identical to one without the hooks.
+  fault::FaultSchedule faults;
+  /// Recovery knobs: capped exponential re-fetch backoff and the
+  /// poisoned-task detector. Always consulted, faults or not.
+  fault::RetryPolicy fault_retry;
 };
 
 struct RunReport {
@@ -84,6 +92,11 @@ struct RunReport {
   std::size_t lineage_resets = 0;
   std::uint32_t worker_preemptions = 0;
   std::uint32_t worker_crashes = 0;  // non-preemption failures (e.g. disk)
+
+  /// What the fault injector did to this run and what recovery cost
+  /// (faults_injected, transfers_killed, backoff_wait, ...). All zero when
+  /// RunOptions::faults was empty.
+  fault::InjectionStats faults;
 
   /// Fraction of the makespan the manager's control loop was busy
   /// (dispatching, ingesting results, brokering transfers). Near 1.0 means

@@ -10,7 +10,7 @@ namespace hepvine::net {
 
 LinkId Network::add_link(std::string name, Bandwidth capacity) {
   const auto id = static_cast<LinkId>(links_.size());
-  links_.push_back(Link{LinkSpec{std::move(name), capacity}, {}, 0});
+  links_.push_back(Link{LinkSpec{std::move(name), capacity}, {}, 0, 1.0});
   return id;
 }
 
@@ -53,25 +53,74 @@ void Network::begin_transfer(FlowId id) {
   request_recompute();
 }
 
+void Network::release_links(Flow& flow) {
+  if (!flow.transferring) return;
+  for (LinkId link : flow.path) {
+    links_[static_cast<std::size_t>(link)].active -= 1;
+  }
+  request_recompute();
+}
+
 void Network::cancel_flow(FlowId id) {
   auto it = flows_.find(id);
   if (it == flows_.end()) return;
   Flow& flow = it->second;
   flow.setup.cancel();
   flow.completion.cancel();
-  if (flow.transferring) {
-    settle_flow(flow);
-    for (LinkId link : flow.path) {
-      links_[static_cast<std::size_t>(link)].active -= 1;
-    }
-    request_recompute();
-  }
+  flow.failure.cancel();
+  if (flow.transferring) settle_flow(flow);
+  release_links(flow);
+  flows_cancelled_ += 1;
+  bytes_abandoned_ += flow.attributed;
   flows_.erase(it);
+}
+
+void Network::fail_flow(FlowId id) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  flow.setup.cancel();
+  flow.completion.cancel();
+  flow.failure.cancel();
+  if (flow.transferring) settle_flow(flow);
+  release_links(flow);
+  flows_failed_ += 1;
+  bytes_abandoned_ += flow.attributed;
+  flows_.erase(it);
+  if (on_fail_) on_fail_(id);
+}
+
+void Network::arm_flow_fault(FlowId id, std::uint64_t fail_after_bytes) {
+  auto it = flows_.find(id);
+  if (it == flows_.end()) return;
+  Flow& flow = it->second;
+  if (flow.total_bytes == 0) return;  // no mid-stream byte to fail on
+  flow.fail_at =
+      std::clamp<std::uint64_t>(fail_after_bytes, 1, flow.total_bytes);
+  // If the flow is live, rates are already assigned and no recompute may be
+  // coming; (re)schedule the failure from here. Flows still in setup pick
+  // up their failure event in the next recompute.
+  if (flow.transferring) request_recompute();
 }
 
 Bandwidth Network::flow_rate(FlowId id) const {
   auto it = flows_.find(id);
   return it == flows_.end() ? 0.0 : it->second.rate;
+}
+
+void Network::set_link_scale(LinkId id, double factor) {
+  auto& l = links_[static_cast<std::size_t>(id)];
+  if (l.scale == factor) return;
+  l.scale = factor;
+  request_recompute();
+}
+
+void Network::attribute_bytes(Flow& flow, std::uint64_t bytes) {
+  if (bytes == 0) return;
+  flow.attributed += bytes;
+  for (LinkId link : flow.path) {
+    links_[static_cast<std::size_t>(link)].stats.bytes_carried += bytes;
+  }
 }
 
 void Network::finish_flow(FlowId id) {
@@ -83,14 +132,12 @@ void Network::finish_flow(FlowId id) {
   settle_flow(flow);
   flow.setup.cancel();
   flow.completion.cancel();
+  flow.failure.cancel();
   if (flow.transferring) {
-    // Any sub-byte residue left by rounding is attributed to the links now.
-    if (flow.remaining > 0) {
-      for (LinkId link : flow.path) {
-        links_[static_cast<std::size_t>(link)].stats.bytes_carried +=
-            static_cast<std::uint64_t>(flow.remaining);
-      }
-    }
+    // Attribute whatever rounding left behind so a completed flow charges
+    // its links exactly total_bytes, no more and no less.
+    assert(flow.attributed <= flow.total_bytes);
+    attribute_bytes(flow, flow.total_bytes - flow.attributed);
     for (LinkId link : flow.path) {
       links_[static_cast<std::size_t>(link)].active -= 1;
     }
@@ -124,10 +171,12 @@ void Network::settle_flow(Flow& flow) {
     const double moved = flow.rate * util::to_seconds(elapsed);
     const double applied = std::min(moved, flow.remaining);
     flow.remaining -= applied;
-    for (LinkId link : flow.path) {
-      links_[static_cast<std::size_t>(link)].stats.bytes_carried +=
-          static_cast<std::uint64_t>(applied);
-    }
+    // Attribute whole bytes only; the sub-byte remainder carries over to the
+    // next settle so long-lived slow flows never under-report bytes_carried.
+    flow.carry += applied;
+    const auto whole = static_cast<std::uint64_t>(flow.carry);
+    flow.carry -= static_cast<double>(whole);
+    attribute_bytes(flow, whole);
   }
   flow.last_update = now;
 }
@@ -147,7 +196,7 @@ void Network::recompute_now() {
   std::vector<double> capacity(links_.size());
   std::vector<std::int32_t> unfrozen(links_.size());
   for (std::size_t i = 0; i < links_.size(); ++i) {
-    capacity[i] = links_[i].spec.capacity;
+    capacity[i] = links_[i].spec.capacity * links_[i].scale;
     unfrozen[i] = links_[i].active;
   }
 
@@ -214,6 +263,7 @@ void Network::recompute_now() {
     if (flow.remaining <= 0.5) {
       // Fractional residue from settling; finish immediately.
       flow.completion.cancel();
+      flow.failure.cancel();
       const FlowId fid = flow.id;
       flow.completion =
           engine_.schedule_after(0, [this, fid] { finish_flow(fid); });
@@ -222,14 +272,33 @@ void Network::recompute_now() {
     const bool rate_unchanged =
         old_rate > 0.0 &&
         std::abs(flow.rate - old_rate) <= old_rate * 1e-12;
-    if (rate_unchanged && flow.completion.pending()) {
-      continue;  // completion time is still exact
+    const bool failure_current =
+        flow.fail_at == 0 || (rate_unchanged && flow.failure.pending());
+    if (rate_unchanged && flow.completion.pending() && failure_current) {
+      continue;  // completion (and failure) times are still exact
     }
     flow.completion.cancel();
+    flow.failure.cancel();
     if (flow.rate <= 0.0) continue;  // starved; waits for the next recompute
+    const FlowId fid = flow.id;
+    if (flow.fail_at > 0) {
+      const double carried =
+          static_cast<double>(flow.total_bytes) - flow.remaining;
+      const double left = static_cast<double>(flow.fail_at) - carried;
+      if (left <= 0.5) {
+        // The armed byte already crossed; fail now.
+        flow.failure =
+            engine_.schedule_after(0, [this, fid] { fail_flow(fid); });
+        continue;  // no completion: the failure removes the flow first
+      }
+      const Tick fail_eta = util::transfer_time(
+          static_cast<std::uint64_t>(std::ceil(left)), flow.rate);
+      flow.failure = engine_.schedule_after(
+          fail_eta, [this, fid] { fail_flow(fid); });
+      // Scheduled before completion: on an exact tie the failure wins.
+    }
     const Tick eta = util::transfer_time(
         static_cast<std::uint64_t>(std::ceil(flow.remaining)), flow.rate);
-    const FlowId fid = flow.id;
     flow.completion =
         engine_.schedule_after(eta, [this, fid] { finish_flow(fid); });
   }
@@ -243,6 +312,11 @@ void Network::register_stats(obs::StatsRegistry& registry,
                  [this] { return static_cast<double>(flows_completed_); });
   registry.gauge(prefix + ".bytes_completed",
                  [this] { return static_cast<double>(bytes_completed_); });
+  registry.gauge(prefix + ".flows_cancelled", [this] {
+    return static_cast<double>(flows_cancelled_ + flows_failed_);
+  });
+  registry.gauge(prefix + ".bytes_abandoned",
+                 [this] { return static_cast<double>(bytes_abandoned_); });
 }
 
 }  // namespace hepvine::net

@@ -8,6 +8,12 @@
 // is settled at the old rates, and each flow's completion event is
 // rescheduled. Rate recomputation is batched per tick: any number of flow
 // arrivals/departures at the same instant trigger a single recompute.
+//
+// Fault injection hooks: a flow can be killed mid-stream (`fail_flow`) or
+// armed to fail once a byte offset has been carried (`arm_flow_fault`), and
+// a link's effective capacity can be scaled by a factor (`set_link_scale`,
+// used for shared-FS brownouts/outages). Killed flows never invoke `done`;
+// the fail listener fires instead so the scheduler can retry.
 #pragma once
 
 #include <cstdint>
@@ -61,13 +67,36 @@ class Network {
 
   /// Start a flow of `bytes` across `path` after `latency` ticks of setup.
   /// `done` fires exactly once when the last byte arrives, unless the flow
-  /// is cancelled first. Zero-byte flows complete after `latency` alone.
+  /// is cancelled or killed first. Zero-byte flows complete after `latency`.
   FlowId start_flow(std::vector<LinkId> path, std::uint64_t bytes,
                     Tick latency, std::function<void(FlowId)> done);
 
   /// Cancel an in-flight flow (e.g. its endpoint was preempted). The done
   /// callback is not invoked. Unknown/finished ids are ignored.
   void cancel_flow(FlowId id);
+
+  /// Kill an in-flight flow as an injected fault. Like cancel_flow the done
+  /// callback is not invoked, but the flow counts toward `flows_failed` and
+  /// the fail listener fires so the owner can schedule a retry.
+  void fail_flow(FlowId id);
+
+  /// Arm the flow to fail once `fail_after_bytes` have been carried
+  /// (clamped to [1, total_bytes]; no-op for unknown or zero-byte flows).
+  /// The failure lands exactly when the armed byte crosses the wire, under
+  /// whatever rates water-filling assigns in the meantime.
+  void arm_flow_fault(FlowId id, std::uint64_t fail_after_bytes);
+
+  /// Observer invoked after a flow is removed by fail_flow (injected kill).
+  void set_fail_listener(std::function<void(FlowId)> cb) {
+    on_fail_ = std::move(cb);
+  }
+
+  /// Scale a link's effective capacity by `factor` (1 = nominal, 0 = full
+  /// outage: flows stall at rate zero and resume when the factor recovers).
+  void set_link_scale(LinkId id, double factor);
+  [[nodiscard]] double link_scale(LinkId id) const {
+    return links_[static_cast<std::size_t>(id)].scale;
+  }
 
   /// True if the flow is still pending or transferring.
   [[nodiscard]] bool flow_active(FlowId id) const {
@@ -84,9 +113,19 @@ class Network {
   [[nodiscard]] std::uint64_t flows_completed() const {
     return flows_completed_;
   }
+  [[nodiscard]] std::uint64_t flows_cancelled() const {
+    return flows_cancelled_;
+  }
+  [[nodiscard]] std::uint64_t flows_failed() const { return flows_failed_; }
+  /// Bytes carried by flows that were cancelled or killed before finishing.
+  /// Invariant: per-link bytes_carried sums completed-flow bytes plus
+  /// abandoned bytes plus in-flight progress — nothing is double-counted.
+  [[nodiscard]] std::uint64_t bytes_abandoned() const {
+    return bytes_abandoned_;
+  }
 
   /// Register gauges (`<prefix>.active_flows`, `<prefix>.flows_completed`,
-  /// `<prefix>.bytes_completed`) into a per-run stats registry.
+  /// `<prefix>.bytes_completed`, ...) into a per-run stats registry.
   void register_stats(obs::StatsRegistry& registry,
                       const std::string& prefix = "net") const;
 
@@ -96,18 +135,23 @@ class Network {
     std::vector<LinkId> path;
     std::uint64_t total_bytes = 0;
     double remaining = 0;  // bytes yet to move
+    double carry = 0;      // sub-byte settle residue not yet attributed
+    std::uint64_t attributed = 0;  // whole bytes charged to links so far
+    std::uint64_t fail_at = 0;     // injected failure offset; 0 = none
     Bandwidth rate = 0;    // current allocation; 0 during setup
     Tick last_update = 0;  // when `remaining` was last settled
     bool transferring = false;
     std::function<void(FlowId)> done;
     sim::Engine::EventHandle completion;
     sim::Engine::EventHandle setup;
+    sim::Engine::EventHandle failure;
   };
 
   struct Link {
     LinkSpec spec;
     LinkStats stats;
     std::int32_t active = 0;  // flows currently allocated on this link
+    double scale = 1.0;       // fault-injected capacity factor
   };
 
   void begin_transfer(FlowId id);
@@ -116,6 +160,8 @@ class Network {
   void recompute_now();
   void settle_flow(Flow& flow);
   void settle_progress();
+  void attribute_bytes(Flow& flow, std::uint64_t bytes);
+  void release_links(Flow& flow);
 
   sim::Engine& engine_;
   std::vector<Link> links_;
@@ -124,6 +170,10 @@ class Network {
   bool recompute_scheduled_ = false;
   std::uint64_t bytes_completed_ = 0;
   std::uint64_t flows_completed_ = 0;
+  std::uint64_t flows_cancelled_ = 0;
+  std::uint64_t flows_failed_ = 0;
+  std::uint64_t bytes_abandoned_ = 0;
+  std::function<void(FlowId)> on_fail_;
 };
 
 }  // namespace hepvine::net

@@ -23,6 +23,7 @@ TxnLog::TxnLog(std::size_t ring_capacity, const std::string& path)
           "# time_us TRANSFER src dst file_id size_bytes START|DONE|FAILED\n",
           file_);
       std::fputs("# time_us LIBRARY worker_id SENT|STARTED\n", file_);
+      std::fputs("# time_us FAULT seq KIND detail\n", file_);
     }
   }
 }
@@ -164,6 +165,15 @@ void TxnLog::library_started(Tick t, std::int32_t worker) {
   if (!enabled_) return;
   char buf[128];
   std::snprintf(buf, sizeof(buf), "%" PRId64 " LIBRARY %d STARTED", t, worker);
+  push(buf);
+}
+
+void TxnLog::fault_injected(Tick t, std::uint64_t seq, const char* kind,
+                            const std::string& detail) {
+  if (!enabled_) return;
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 " FAULT %" PRIu64 " %s %s", t,
+                seq, kind, detail.c_str());
   push(buf);
 }
 

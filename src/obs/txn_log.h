@@ -78,6 +78,11 @@ class TxnLog {
   void library_sent(Tick t, std::int32_t worker);
   void library_started(Tick t, std::int32_t worker);
 
+  /// `time FAULT seq KIND detail` — one line per injected fault, so a
+  /// schedule can be replayed/diffed straight from the transactions log.
+  void fault_injected(Tick t, std::uint64_t seq, const char* kind,
+                      const std::string& detail);
+
   // --- inspection --------------------------------------------------------
   /// Total events recorded (including lines already rotated out of the
   /// ring).

@@ -71,6 +71,16 @@ class SharedFilesystem {
   net::FlowId write(net::LinkId node_uplink, std::uint64_t bytes,
                     std::function<void()> done);
 
+  /// Degrade (or restore) the filesystem's aggregate bandwidth to `factor`
+  /// of nominal — the fault-injection hook for brownouts (0 < factor < 1)
+  /// and full outages (factor 0: reads/writes stall until restored).
+  void set_bandwidth_scale(double factor) {
+    network_.set_link_scale(link_, factor);
+  }
+  [[nodiscard]] double bandwidth_scale() const {
+    return network_.link_scale(link_);
+  }
+
   /// Perform `count` metadata operations (stat/open/lookup) and invoke
   /// `done` when they finish. Latency grows once the server-wide metadata
   /// throughput cap is exceeded (a queueing delay), which is what makes

@@ -20,6 +20,7 @@
 #include "cluster/cluster.h"
 #include "dag/task_graph.h"
 #include "exec/serial_resource.h"
+#include "fault/fault_injector.h"
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
@@ -71,6 +72,7 @@ class VineRun {
     }
 
     begin_observation();
+    begin_fault_injection();
 
     cluster_.request_workers([this](WorkerId w) { on_worker_up(w); },
                              [this](WorkerId w) { on_worker_down(w); });
@@ -88,6 +90,10 @@ class VineRun {
       fail_run("event queue drained before workflow completion");
     }
 
+    if (injector_) {
+      injector_->stop();
+      report_.faults = injector_->stats();
+    }
     report_.worker_preemptions = cluster_.batch().preemptions();
     report_.task_attempts = total_attempts_;
     report_.task_failures = report_.trace.failures();
@@ -154,6 +160,7 @@ class VineRun {
       replicas_->set_at_manager(file);
     }
     is_sink_.assign(graph_.size(), false);
+    reset_counts_.assign(graph_.size(), 0);
   }
 
   FileId add_runtime_file(std::uint64_t size, data::FileKind kind) {
@@ -235,6 +242,7 @@ class VineRun {
     WorkerId peer_src = cluster::kNoWorker;  // valid while a peer flow runs
     net::FlowId flow = net::kInvalidFlow;
     bool throttled = false;
+    std::uint32_t kill_retries = 0;  // injected kills survived so far
     // Transfer-matrix endpoint the running flow is sourced from, for txn
     // TRANSFER attribution (SIZE_MAX until a flow starts).
     std::size_t src_ep = static_cast<std::size_t>(-1);
@@ -298,6 +306,7 @@ class VineRun {
       if (it == fetches_.end()) continue;  // cascaded away already
       Fetch& fetch = it->second;
       if (fetch.flow != net::kInvalidFlow) {
+        forget_flow(fetch.flow);
         cluster_.network().cancel_flow(fetch.flow);
         if (fetch.src_ep != static_cast<std::size_t>(-1)) {
           txn_xfer_failed(fetch.src_ep, cluster_.worker_endpoint(w),
@@ -315,6 +324,7 @@ class VineRun {
       auto it = fetches_.find(key);
       if (it == fetches_.end()) continue;
       Fetch& fetch = it->second;
+      forget_flow(fetch.flow);
       cluster_.network().cancel_flow(fetch.flow);
       txn_xfer_failed(cluster_.worker_endpoint(w),
                       cluster_.worker_endpoint(fetch.dst), fetch.file,
@@ -332,6 +342,7 @@ class VineRun {
       if (flow_src.second == w) broken_sinks.push_back(t);
     }
     for (TaskId t : broken_sinks) {
+      forget_flow(sink_flows_.at(t).first);
       cluster_.network().cancel_flow(sink_flows_.at(t).first);
       txn_xfer_failed(cluster_.worker_endpoint(w),
                       cluster_.manager_endpoint(),
@@ -344,13 +355,110 @@ class VineRun {
     pump();
   }
 
-  /// A worker destroyed itself (scratch disk overflow). Routed through the
-  /// batch system so replacement matching applies.
+  /// A worker destroyed itself (scratch disk overflow) or was crashed by an
+  /// injected fault. Routed through the batch system so replacement
+  /// matching applies. A crash requested while one is already pending for
+  /// the same worker is the same death — counting it again would double
+  /// report_.worker_crashes for one disconnect.
   void crash_worker(WorkerId w, const char* /*reason*/) {
     if (!cluster_.worker(w).alive) return;
+    if (pending_crash_[static_cast<std::size_t>(w)]) return;
     report_.worker_crashes += 1;
     pending_crash_[static_cast<std::size_t>(w)] = true;
     cluster_.batch().force_preempt(static_cast<std::uint32_t>(w));
+  }
+
+  // ---------------------------------------------------------------------
+  // Fault injection. Only flows with a retry path are registered as kill
+  // targets (fetches, relay pulls, output returns, sink gathers); library
+  // pushes and import reads are fire-and-forget with no recovery closure,
+  // so killing them would strand the run. With an empty schedule no
+  // injector exists and every hook below is a null check.
+  // ---------------------------------------------------------------------
+  void begin_fault_injection() {
+    if (options_.faults.empty()) return;
+    injector_ = std::make_unique<fault::FaultInjector>(
+        cluster_, options_.faults, options_.fault_retry, obs_.get());
+    fault::FaultInjector::Hooks hooks;
+    hooks.crash_worker = [this](std::int32_t w) {
+      if (finished_ || !cluster_.worker(w).alive) return false;
+      if (pending_crash_[static_cast<std::size_t>(w)]) return false;
+      crash_worker(w, "injected crash");
+      return true;
+    };
+    hooks.lose_cached_file = [this](std::int32_t w, std::int64_t f) {
+      return lose_cached_file(w, static_cast<FileId>(f));
+    };
+    injector_->arm(std::move(hooks));
+  }
+
+  /// Drop `f` from `w`'s cache (w = kNoWorker: from every holder). Future
+  /// consumers rediscover the loss at precheck/fetch time and lineage-reset
+  /// the producer; values already gathered for dispatched attempts are
+  /// unaffected (they live in the task table, not in the file).
+  std::size_t lose_cached_file(WorkerId w, FileId f) {
+    if (finished_ || f < 0 || static_cast<std::size_t>(f) >= files_.size()) {
+      return 0;
+    }
+    std::vector<WorkerId> targets;
+    if (w == cluster::kNoWorker) {
+      targets = replicas_->holders(f);  // copy: drop mutates the list
+    } else {
+      targets.push_back(w);
+    }
+    std::size_t lost = 0;
+    for (WorkerId holder : targets) {
+      if (!cluster_.worker(holder).alive || !in_cache(holder, f)) continue;
+      drop_worker_copy(holder, f, file(f).size);
+      ++lost;
+    }
+    return lost;
+  }
+
+  [[nodiscard]] const fault::RetryPolicy& retry_policy() const {
+    return options_.fault_retry;
+  }
+
+  void forget_flow(net::FlowId flow) {
+    if (injector_ && flow != net::kInvalidFlow) {
+      injector_->forget_transfer(flow);
+    }
+  }
+
+  /// Register a fetch's live flow as a kill target.
+  void offer_fetch(const FetchKey& key) {
+    if (!injector_) return;
+    auto it = fetches_.find(key);
+    if (it == fetches_.end() || it->second.flow == net::kInvalidFlow) return;
+    injector_->offer_transfer(it->second.flow, file(key.first).size,
+                              [this, key] { on_fetch_killed(key); });
+  }
+
+  /// A fetch's flow was killed mid-stream: retry the fetch from scratch
+  /// after capped exponential backoff (any surviving source is fine), or
+  /// give up after the retry budget and let the lost-input path take over.
+  void on_fetch_killed(const FetchKey& key) {
+    auto it = fetches_.find(key);
+    if (it == fetches_.end()) return;
+    Fetch& fetch = it->second;
+    if (fetch.src_ep != static_cast<std::size_t>(-1)) {
+      txn_xfer_failed(fetch.src_ep, cluster_.worker_endpoint(fetch.dst),
+                      fetch.file, file(fetch.file).size);
+    }
+    if (fetch.peer_src != cluster::kNoWorker) {
+      release_peer_slot(fetch.peer_src);
+      fetch.peer_src = cluster::kNoWorker;
+    }
+    fetch.flow = net::kInvalidFlow;
+    fetch.src_ep = static_cast<std::size_t>(-1);
+    fetch.kill_retries += 1;
+    if (fetch.kill_retries > retry_policy().max_transfer_retries) {
+      fail_fetch(key);
+      pump();
+      return;
+    }
+    const Tick delay = injector_->backoff_delay(fetch.kill_retries);
+    engine_.schedule_after(delay, [this, key] { start_fetch_transfer(key); });
   }
 
   // ---------------------------------------------------------------------
@@ -393,6 +501,20 @@ class VineRun {
           return replicas_->available(graph_.task(p).output_file);
         });
     lineage_resets_ += reset;
+    if (reset == 0) return;
+    // Poisoned-task detector: a task whose output keeps vanishing no matter
+    // how often it re-runs must not loop forever; fail with the exact task
+    // and count so the operator can see what to pin down.
+    auto& count = reset_counts_[static_cast<std::size_t>(producer)];
+    count += 1;
+    const std::uint32_t limit = retry_policy().poisoned_reset_threshold;
+    if (limit > 0 && count > limit) {
+      fail_run("task " + std::to_string(producer) + " (" +
+               graph_.task(producer).spec.category +
+               ") poisoned: output lost " + std::to_string(count) +
+               " times, exceeding the reset threshold of " +
+               std::to_string(limit));
+    }
   }
 
   /// Files the task needs staged into the worker's cache.
@@ -670,6 +792,7 @@ class VineRun {
                         key.second, file(key.first).size, std::move(on_done))
                   : cluster_.read_fs_to_worker(
                         key.second, file(key.first).size, std::move(on_done));
+          offer_fetch(key);
         });
       }
       return;
@@ -719,6 +842,7 @@ class VineRun {
                   cluster::kNoWorker;
               complete_fetch(key);
             });
+        offer_fetch(key);
       });
       return;
     }
@@ -813,6 +937,7 @@ class VineRun {
                           bytes);
             complete_fetch(key);
           });
+      offer_fetch(key);
     });
   }
 
@@ -829,11 +954,20 @@ class VineRun {
       if (ok) then();
     });
     if (!inserted) return;
+    submit_manager_fs_read(f);
+  }
+
+  void submit_manager_fs_read(FileId f) {
     fs_gate_.submit([this, f](net::FlowGate::SlotToken slot) {
       txn_xfer_start(cluster_.fs_endpoint(), cluster_.manager_endpoint(), f,
                      file(f).size);
-      cluster_.read_fs_to_manager(
+      manager_fs_flows_[f] = cluster_.read_fs_to_manager(
           file(f).size, [this, f, slot = std::move(slot)] {
+            if (auto mit = manager_fs_flows_.find(f);
+                mit != manager_fs_flows_.end()) {
+              forget_flow(mit->second);
+              manager_fs_flows_.erase(mit);
+            }
             record_transfer(cluster_.fs_endpoint(),
                             cluster_.manager_endpoint(), file(f).size);
             txn_xfer_done(cluster_.fs_endpoint(), cluster_.manager_endpoint(),
@@ -842,6 +976,29 @@ class VineRun {
             auto node = manager_inflight_.extract(f);
             for (auto& cb : node.mapped()) cb(true);
           });
+      offer_manager_fs_read(f);
+    });
+  }
+
+  /// Manager-side FS reads retry forever: the filesystem is durable, so a
+  /// killed stream just re-opens after backoff. The killed flow's done
+  /// callback dies with it, which releases its fs_gate_ slot; the retry
+  /// queues for a fresh one.
+  void offer_manager_fs_read(FileId f) {
+    if (!injector_) return;
+    auto it = manager_fs_flows_.find(f);
+    if (it == manager_fs_flows_.end()) return;
+    injector_->offer_transfer(it->second, file(f).size, [this, f] {
+      manager_fs_flows_.erase(f);
+      txn_xfer_failed(cluster_.fs_endpoint(), cluster_.manager_endpoint(), f,
+                      file(f).size);
+      const Tick delay =
+          injector_->backoff_delay(++manager_fs_kill_counts_[f]);
+      engine_.schedule_after(delay, [this, f] {
+        if (!finished_ && manager_inflight_.count(f) > 0) {
+          submit_manager_fs_read(f);
+        }
+      });
     });
   }
 
@@ -863,6 +1020,13 @@ class VineRun {
   }
 
   void start_relay_pull(FileId f, net::FlowGate::SlotToken slot) {
+    if (replicas_->at_manager(f)) {
+      // Arrived via another path (e.g. an output return) while this pull
+      // was queued or backing off.
+      auto node = manager_inflight_.extract(f);
+      for (auto& cb : node.mapped()) cb(true);
+      return;
+    }
     // Re-pick a live holder at start time (the original may be gone).
     WorkerId holder = cluster::kNoWorker;
     for (WorkerId h : replicas_->holders(f)) {
@@ -881,24 +1045,54 @@ class VineRun {
     const std::uint32_t incarnation = cluster_.worker(holder).incarnation;
     txn_xfer_start(cluster_.worker_endpoint(holder),
                    cluster_.manager_endpoint(), f, file(f).size);
-    relay_flows_[f] = cluster_.send_worker_to_manager(
-        holder, file(f).size, cluster_.control_rtt() / 2,
-        [this, f, holder, incarnation, slot = std::move(slot)]() mutable {
-          relay_flows_.erase(f);
-          if (!worker_current(holder, incarnation)) {
-            txn_xfer_failed(cluster_.worker_endpoint(holder),
+    relay_flows_[f] = {
+        cluster_.send_worker_to_manager(
+            holder, file(f).size, cluster_.control_rtt() / 2,
+            [this, f, holder, incarnation,
+             slot = std::move(slot)]() mutable {
+              if (auto rit = relay_flows_.find(f); rit != relay_flows_.end()) {
+                forget_flow(rit->second.first);
+                relay_flows_.erase(rit);
+              }
+              if (!worker_current(holder, incarnation)) {
+                txn_xfer_failed(cluster_.worker_endpoint(holder),
+                                cluster_.manager_endpoint(), f, file(f).size);
+                start_relay_pull(f, std::move(slot));  // retry elsewhere
+                return;
+              }
+              record_transfer(cluster_.worker_endpoint(holder),
+                              cluster_.manager_endpoint(), file(f).size);
+              txn_xfer_done(cluster_.worker_endpoint(holder),
                             cluster_.manager_endpoint(), f, file(f).size);
-            start_relay_pull(f, std::move(slot));  // retry elsewhere
-            return;
-          }
-          record_transfer(cluster_.worker_endpoint(holder),
-                          cluster_.manager_endpoint(), file(f).size);
-          txn_xfer_done(cluster_.worker_endpoint(holder),
-                        cluster_.manager_endpoint(), f, file(f).size);
-          replicas_->set_at_manager(f);
-          auto node = manager_inflight_.extract(f);
-          for (auto& cb : node.mapped()) cb(true);
+              replicas_->set_at_manager(f);
+              auto node = manager_inflight_.extract(f);
+              for (auto& cb : node.mapped()) cb(true);
+            }),
+        holder};
+    offer_relay(f);
+  }
+
+  /// Relay pulls also retry without a cap: the holder set is re-resolved on
+  /// each retry, and if every replica is gone by then the pull reports
+  /// failure to its waiters (the lost-input path) rather than spinning.
+  void offer_relay(FileId f) {
+    if (!injector_) return;
+    auto it = relay_flows_.find(f);
+    if (it == relay_flows_.end()) return;
+    const WorkerId holder = it->second.second;
+    injector_->offer_transfer(it->second.first, file(f).size,
+                              [this, f, holder] {
+      relay_flows_.erase(f);
+      txn_xfer_failed(cluster_.worker_endpoint(holder),
+                      cluster_.manager_endpoint(), f, file(f).size);
+      const Tick delay = injector_->backoff_delay(++relay_kill_counts_[f]);
+      engine_.schedule_after(delay, [this, f] {
+        if (finished_ || manager_inflight_.count(f) == 0) return;
+        mgr_gate_.submit([this, f](net::FlowGate::SlotToken slot) {
+          start_relay_pull(f, std::move(slot));
         });
+      });
+    });
   }
 
   void complete_fetch(const FetchKey& key) {
@@ -906,6 +1100,7 @@ class VineRun {
     if (it == fetches_.end()) return;
     const FileId f = key.first;
     const WorkerId w = key.second;
+    forget_flow(it->second.flow);
     auto waiters = std::move(it->second.waiters);
     fetches_.erase(it);
 
@@ -923,6 +1118,7 @@ class VineRun {
   void fail_fetch(const FetchKey& key) {
     auto it = fetches_.find(key);
     if (it == fetches_.end()) return;
+    forget_flow(it->second.flow);
     auto waiters = std::move(it->second.waiters);
     fetches_.erase(it);
     for (auto& cb : waiters) cb(false);
@@ -974,7 +1170,7 @@ class VineRun {
     }
 
     const Tick compute = exec::modeled_exec_ticks(
-        task, node.speed, options_.exec_time_jitter, rng_);
+        task, node.effective_speed(), options_.exec_time_jitter, rng_);
     const Tick write = node.disk.write_time(task.spec.output_bytes);
 
     if (shared_imports) {
@@ -1071,8 +1267,28 @@ class VineRun {
                     finalize_task(token, w, std::move(value));
                   });
             });
+        offer_return(t, token, w, bytes);
       });
     }
+  }
+
+  /// A killed output return destroys the serialized result value riding
+  /// the stream along with the flow, so the only recovery is re-running
+  /// the attempt — there is nothing left to re-send.
+  void offer_return(TaskId t, const Token& token, WorkerId w,
+                    std::uint64_t bytes) {
+    if (!injector_) return;
+    auto it = return_flows_.find(t);
+    if (it == return_flows_.end()) return;
+    injector_->offer_transfer(it->second, bytes, [this, t, token, w, bytes] {
+      return_flows_.erase(t);
+      txn_xfer_failed(cluster_.worker_endpoint(w), cluster_.manager_endpoint(),
+                      graph_.task(t).output_file, bytes);
+      if (token_valid(token)) {
+        fail_attempt(t, /*requeue=*/true);
+        pump();
+      }
+    });
   }
 
   void drop_worker_copy(WorkerId w, FileId f, std::uint64_t bytes) {
@@ -1091,7 +1307,10 @@ class VineRun {
   void finalize_task(const Token& token, WorkerId w, dag::ValuePtr value) {
     if (!token_valid(token)) return;
     const TaskId t = token.task;
-    return_flows_.erase(t);
+    if (auto rit = return_flows_.find(t); rit != return_flows_.end()) {
+      forget_flow(rit->second);
+      return_flows_.erase(rit);
+    }
     remove_from_here(w, t);
 
     const auto& st = table_.at(t);
@@ -1240,10 +1459,34 @@ class VineRun {
                               cluster_.manager_endpoint(),
                               graph_.task(t).output_file, bytes);
                 replicas_->set_at_manager(graph_.task(t).output_file);
+                forget_flow(sink_flows_.at(t).first);
                 sink_flows_.erase(t);
                 on_sink_fetched(t);
               }),
           src};
+      offer_sink(t);
+    });
+  }
+
+  /// Killed sink gathers re-resolve a holder after backoff and retry
+  /// without a cap; if every replica is gone by then, fetch_sink_result
+  /// falls through to a lineage reset of the sink itself.
+  void offer_sink(TaskId t) {
+    if (!injector_) return;
+    auto it = sink_flows_.find(t);
+    if (it == sink_flows_.end()) return;
+    const WorkerId src = it->second.second;
+    const std::uint64_t bytes = file(graph_.task(t).output_file).size;
+    injector_->offer_transfer(it->second.first, bytes,
+                              [this, t, src, bytes] {
+      sink_flows_.erase(t);
+      txn_xfer_failed(cluster_.worker_endpoint(src),
+                      cluster_.manager_endpoint(),
+                      graph_.task(t).output_file, bytes);
+      const Tick delay = injector_->backoff_delay(++sink_kill_counts_[t]);
+      engine_.schedule_after(delay, [this, t] {
+        if (!finished_ && !sink_fetched_[t]) fetch_sink_result(t);
+      });
     });
   }
 
@@ -1636,11 +1879,21 @@ class VineRun {
   std::map<TaskId, Attempt> attempts_;
   std::map<FileId, std::vector<TaskId>> input_consumers_;
   std::map<FileId, std::vector<std::function<void(bool)>>> manager_inflight_;
-  std::map<FileId, net::FlowId> relay_flows_;
+  std::map<FileId, std::pair<net::FlowId, WorkerId>> relay_flows_;
   std::map<TaskId, net::FlowId> return_flows_;
   std::map<TaskId, std::pair<net::FlowId, WorkerId>> sink_flows_;
   std::map<TaskId, bool> sink_fetched_;
   std::vector<bool> is_sink_;
+
+  // Fault-injection state. injector_ stays null (and every hook a no-op)
+  // when RunOptions::faults is empty. The kill-count maps feed the capped
+  // exponential backoff for paths that retry without a cap.
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::vector<std::uint32_t> reset_counts_;  // lineage resets per producer
+  std::map<FileId, net::FlowId> manager_fs_flows_;
+  std::map<FileId, std::uint32_t> manager_fs_kill_counts_;
+  std::map<FileId, std::uint32_t> relay_kill_counts_;
+  std::map<TaskId, std::uint32_t> sink_kill_counts_;
 
   std::shared_ptr<obs::RunObservation> obs_;
   // Workers destroyed by the run itself (disk overflow) rather than batch

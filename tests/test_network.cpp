@@ -211,6 +211,115 @@ TEST_F(NetFixture, StaggeredArrivalsSettleProgressCorrectly) {
   EXPECT_NEAR(util::to_seconds(a_done), 1.5, 0.02);
 }
 
+// --- fractional-byte settle residue (regression) -------------------------
+
+TEST_F(NetFixture, SettleResidueNeverLosesBytes) {
+  // A 3-way split of 1 GB/s gives each flow 333333333.33... B/s, so every
+  // settle produces a fractional byte. Joining/leaving flows force many
+  // settles at awkward instants; at the end the link must have carried
+  // exactly the bytes that completed — the residue is carried per flow,
+  // not truncated per settle.
+  const LinkId shared = net.add_link("shared", 1e9);
+  const std::uint64_t bytes = 100'000'007;  // prime: no clean divisions
+  int completed = 0;
+  for (int i = 0; i < 3; ++i) {
+    net.start_flow({shared}, bytes, 0, [&](FlowId) { ++completed; });
+  }
+  // Churn: short flows join at odd ticks and force settles at fractional
+  // progress points.
+  for (int i = 0; i < 7; ++i) {
+    engine.schedule_at(util::seconds(0.013 * (i + 1)), [&] {
+      net.start_flow({shared}, 1'000'003, 0, [&](FlowId) { ++completed; });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 10);
+  EXPECT_EQ(net.total_bytes_completed(), 3 * bytes + 7 * 1'000'003ULL);
+  // Exact, not NEAR: completed flows attribute precisely their size.
+  EXPECT_EQ(net.link_stats(shared).bytes_carried, net.total_bytes_completed());
+}
+
+// --- cancelled/failed flow accounting (regression) -----------------------
+
+TEST_F(NetFixture, CancelAccountingInvariantHolds) {
+  // Invariant: completed bytes + abandoned bytes == bytes the link carried.
+  const LinkId shared = net.add_link("shared", 1e9);
+  int completed = 0;
+  const FlowId victim =
+      net.start_flow({shared}, 1'000'000'000, 0, [&](FlowId) { ++completed; });
+  net.start_flow({shared}, 400'000'000, 0, [&](FlowId) { ++completed; });
+  engine.schedule_at(util::seconds(0.3), [&] { net.cancel_flow(victim); });
+  engine.run();
+  EXPECT_EQ(completed, 1);
+  EXPECT_EQ(net.flows_cancelled(), 1u);
+  // Victim carried 150 MB (half of 1 GB/s for 0.3 s) before the cancel.
+  EXPECT_NEAR(static_cast<double>(net.bytes_abandoned()), 150e6, 1.0);
+  EXPECT_EQ(net.link_stats(shared).bytes_carried,
+            net.total_bytes_completed() + net.bytes_abandoned());
+}
+
+TEST_F(NetFixture, CancelDuringSetupAbandonsNothing) {
+  const LinkId a = net.add_link("a", 1e9);
+  const FlowId id = net.start_flow({a}, 1'000'000, util::seconds(5.0),
+                                   [](FlowId) {});
+  engine.schedule_at(util::seconds(1.0), [&] { net.cancel_flow(id); });
+  engine.run();
+  EXPECT_EQ(net.flows_cancelled(), 1u);
+  EXPECT_EQ(net.bytes_abandoned(), 0u);
+}
+
+// --- fault-injection hooks ----------------------------------------------
+
+TEST_F(NetFixture, FailFlowFiresListenerNotDone) {
+  const LinkId a = net.add_link("a", 1e9);
+  bool done_fired = false;
+  FlowId failed = kInvalidFlow;
+  net.set_fail_listener([&](FlowId id) { failed = id; });
+  const FlowId id = net.start_flow({a}, 1'000'000'000, 0,
+                                   [&](FlowId) { done_fired = true; });
+  engine.schedule_at(util::seconds(0.2), [&] { net.fail_flow(id); });
+  engine.run();
+  EXPECT_FALSE(done_fired);
+  EXPECT_EQ(failed, id);
+  EXPECT_EQ(net.flows_failed(), 1u);
+  EXPECT_EQ(net.flows_completed(), 0u);
+  EXPECT_EQ(net.link_stats(a).bytes_carried, net.bytes_abandoned());
+}
+
+TEST_F(NetFixture, ArmedFaultFiresAtExactByteOffset) {
+  const LinkId a = net.add_link("a", 1e9);
+  Tick failed_at = -1;
+  net.set_fail_listener([&](FlowId) { failed_at = engine.now(); });
+  const FlowId id = net.start_flow({a}, 1'000'000'000, 0, [](FlowId) {});
+  net.arm_flow_fault(id, 250'000'000);
+  engine.run();
+  // 250 MB at 1 GB/s: dies at 0.25 s having carried exactly 250 MB.
+  EXPECT_NEAR(util::to_seconds(failed_at), 0.25, 0.001);
+  EXPECT_EQ(net.bytes_abandoned(), 250'000'000u);
+  EXPECT_EQ(net.flows_failed(), 1u);
+}
+
+TEST_F(NetFixture, LinkOutageStallsFlowUntilRestored) {
+  const LinkId a = net.add_link("a", 1e9);
+  Tick done = -1;
+  net.start_flow({a}, 500'000'000, 0, [&](FlowId) { done = engine.now(); });
+  engine.schedule_at(util::seconds(0.2), [&] { net.set_link_scale(a, 0.0); });
+  engine.schedule_at(util::seconds(0.7), [&] { net.set_link_scale(a, 1.0); });
+  engine.run();
+  // 200 MB before the outage, stalled 0.5 s, 300 MB after: 1.0 s total.
+  EXPECT_NEAR(util::to_seconds(done), 1.0, 0.01);
+}
+
+TEST_F(NetFixture, BrownoutScalesRateByFactor) {
+  const LinkId a = net.add_link("a", 1e9);
+  net.set_link_scale(a, 0.25);
+  Tick done = -1;
+  net.start_flow({a}, 500'000'000, 0, [&](FlowId) { done = engine.now(); });
+  engine.run();
+  EXPECT_NEAR(util::to_seconds(done), 2.0, 0.02);
+  EXPECT_EQ(net.link_scale(a), 0.25);
+}
+
 class FlowCountParam : public ::testing::TestWithParam<int> {};
 
 TEST_P(FlowCountParam, AggregateThroughputConservedUnderSharing) {
