@@ -5,7 +5,7 @@
 namespace hepvine::cluster {
 
 Cluster::Cluster(ClusterSpec spec) : spec_(std::move(spec)) {
-  network_ = std::make_unique<net::Network>(engine_);
+  network_ = std::make_unique<net::Network>(engine_, spec_.net);
 
   manager_up_ = network_->add_link("manager.up", spec_.manager_nic);
   manager_down_ = network_->add_link("manager.down", spec_.manager_nic);

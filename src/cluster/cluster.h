@@ -49,6 +49,8 @@ struct ClusterSpec {
   /// wired; schedulers use it only when asked to stream inputs remotely.
   storage::SharedFsSpec wan = storage::xrootd_wan_spec();
   batch::BatchSpec batch;
+  /// Flow-network engine knobs (incremental vs reference recompute).
+  net::NetworkOptions net;
   /// +/- fractional spread of per-node CPU speed (heterogeneous campus
   /// cluster; 0 disables).
   double speed_spread = 0.10;

@@ -10,15 +10,73 @@ namespace hepvine::net {
 
 LinkId Network::add_link(std::string name, Bandwidth capacity) {
   const auto id = static_cast<LinkId>(links_.size());
-  links_.push_back(Link{LinkSpec{std::move(name), capacity}, {}, 0, 1.0});
+  Link link;
+  link.spec = LinkSpec{std::move(name), capacity};
+  links_.push_back(std::move(link));
   return id;
+}
+
+Network::Flow* Network::find_flow(FlowId id) {
+  if (id < window_base_) return nullptr;
+  const auto idx = static_cast<std::size_t>(id - window_base_);
+  if (idx >= window_.size()) return nullptr;
+  const std::int32_t slot = window_[idx];
+  return slot < 0 ? nullptr : &slots_[static_cast<std::size_t>(slot)];
+}
+
+const Network::Flow* Network::find_flow(FlowId id) const {
+  return const_cast<Network*>(this)->find_flow(id);
+}
+
+Network::Flow& Network::create_flow(FlowId id) {
+  std::int32_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = static_cast<std::int32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  assert(window_base_ + static_cast<FlowId>(window_.size()) == id);
+  window_.push_back(slot);
+  live_flows_ += 1;
+  Flow& flow = slots_[static_cast<std::size_t>(slot)];
+  flow.id = id;
+  return flow;
+}
+
+void Network::destroy_flow(FlowId id) {
+  const auto idx = static_cast<std::size_t>(id - window_base_);
+  const std::int32_t slot = window_[idx];
+  assert(slot >= 0);
+  // Reset in place so the recycled slot starts clean and the done callback
+  // and event handles release their captures now, not at slot reuse.
+  slots_[static_cast<std::size_t>(slot)] = Flow{};
+  free_slots_.push_back(slot);
+  window_[idx] = -1;
+  live_flows_ -= 1;
+  while (!window_.empty() && window_.front() < 0) {
+    window_.pop_front();
+    window_base_ += 1;
+  }
+}
+
+void Network::mark_dirty(LinkId id) {
+  Link& link = links_[static_cast<std::size_t>(id)];
+  if (!link.dirty) {
+    link.dirty = true;
+    dirty_links_.push_back(id);
+  }
+}
+
+void Network::warn(FlowId id, const char* detail) {
+  if (on_warn_) on_warn_(engine_.now(), id, detail);
 }
 
 FlowId Network::start_flow(std::vector<LinkId> path, std::uint64_t bytes,
                            Tick latency, std::function<void(FlowId)> done) {
   const FlowId id = next_flow_id_++;
-  Flow flow;
-  flow.id = id;
+  Flow& flow = create_flow(id);
   flow.path = std::move(path);
   flow.total_bytes = bytes;
   flow.remaining = static_cast<double>(bytes);
@@ -26,29 +84,27 @@ FlowId Network::start_flow(std::vector<LinkId> path, std::uint64_t bytes,
   flow.last_update = engine_.now();
   for (LinkId link : flow.path) {
     assert(link >= 0 && static_cast<std::size_t>(link) < links_.size());
-    auto& l = links_[static_cast<std::size_t>(link)];
-    l.stats.flows_carried += 1;
+    links_[static_cast<std::size_t>(link)].stats.flows_carried += 1;
   }
-  auto [it, inserted] = flows_.emplace(id, std::move(flow));
-  assert(inserted);
-  (void)inserted;
-  it->second.setup = engine_.schedule_after(
+  flow.setup = engine_.schedule_after(
       latency, [this, id] { begin_transfer(id); });
-  return it->first;
+  return id;
 }
 
 void Network::begin_transfer(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
-  if (flow.remaining <= 0.0) {
+  Flow* flow = find_flow(id);
+  if (flow == nullptr) return;
+  if (flow->remaining <= 0.0) {
     finish_flow(id);
     return;
   }
-  flow.transferring = true;
-  flow.last_update = engine_.now();
-  for (LinkId link : flow.path) {
-    links_[static_cast<std::size_t>(link)].active += 1;
+  flow->transferring = true;
+  flow->last_update = engine_.now();
+  for (LinkId link : flow->path) {
+    Link& l = links_[static_cast<std::size_t>(link)];
+    l.active += 1;
+    l.flows.push_back(id);
+    mark_dirty(link);
   }
   request_recompute();
 }
@@ -56,62 +112,70 @@ void Network::begin_transfer(FlowId id) {
 void Network::release_links(Flow& flow) {
   if (!flow.transferring) return;
   for (LinkId link : flow.path) {
-    links_[static_cast<std::size_t>(link)].active -= 1;
+    Link& l = links_[static_cast<std::size_t>(link)];
+    l.active -= 1;
+    auto it = std::find(l.flows.begin(), l.flows.end(), flow.id);
+    assert(it != l.flows.end());
+    *it = l.flows.back();
+    l.flows.pop_back();
+    mark_dirty(link);
   }
+  flow.transferring = false;
   request_recompute();
 }
 
 void Network::cancel_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
-  flow.setup.cancel();
-  flow.completion.cancel();
-  flow.failure.cancel();
-  if (flow.transferring) settle_flow(flow);
-  release_links(flow);
+  Flow* flow = find_flow(id);
+  if (flow == nullptr) return;
+  flow->setup.cancel();
+  flow->completion.cancel();
+  flow->failure.cancel();
+  if (flow->transferring) settle_flow(*flow);
+  release_links(*flow);
   flows_cancelled_ += 1;
-  bytes_abandoned_ += flow.attributed;
-  flows_.erase(it);
+  bytes_abandoned_ += flow->attributed;
+  destroy_flow(id);
 }
 
 void Network::fail_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
-  flow.setup.cancel();
-  flow.completion.cancel();
-  flow.failure.cancel();
-  if (flow.transferring) settle_flow(flow);
-  release_links(flow);
+  Flow* flow = find_flow(id);
+  if (flow == nullptr) return;
+  flow->setup.cancel();
+  flow->completion.cancel();
+  flow->failure.cancel();
+  if (flow->transferring) settle_flow(*flow);
+  release_links(*flow);
   flows_failed_ += 1;
-  bytes_abandoned_ += flow.attributed;
-  flows_.erase(it);
+  bytes_abandoned_ += flow->attributed;
+  destroy_flow(id);
   if (on_fail_) on_fail_(id);
 }
 
 void Network::arm_flow_fault(FlowId id, std::uint64_t fail_after_bytes) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
-  if (flow.total_bytes == 0) return;  // no mid-stream byte to fail on
-  flow.fail_at =
-      std::clamp<std::uint64_t>(fail_after_bytes, 1, flow.total_bytes);
+  Flow* flow = find_flow(id);
+  if (flow == nullptr) return;
+  if (flow->total_bytes == 0) return;  // no mid-stream byte to fail on
+  flow->fail_at =
+      std::clamp<std::uint64_t>(fail_after_bytes, 1, flow->total_bytes);
   // If the flow is live, rates are already assigned and no recompute may be
-  // coming; (re)schedule the failure from here. Flows still in setup pick
-  // up their failure event in the next recompute.
-  if (flow.transferring) request_recompute();
+  // coming; dirty its path and (re)schedule the failure from here. Flows
+  // still in setup pick up their failure event in the next recompute.
+  if (flow->transferring) {
+    for (LinkId link : flow->path) mark_dirty(link);
+    request_recompute();
+  }
 }
 
 Bandwidth Network::flow_rate(FlowId id) const {
-  auto it = flows_.find(id);
-  return it == flows_.end() ? 0.0 : it->second.rate;
+  const Flow* flow = find_flow(id);
+  return flow == nullptr ? 0.0 : flow->rate;
 }
 
 void Network::set_link_scale(LinkId id, double factor) {
-  auto& l = links_[static_cast<std::size_t>(id)];
+  Link& l = links_[static_cast<std::size_t>(id)];
   if (l.scale == factor) return;
   l.scale = factor;
+  mark_dirty(id);
   request_recompute();
 }
 
@@ -124,27 +188,24 @@ void Network::attribute_bytes(Flow& flow, std::uint64_t bytes) {
 }
 
 void Network::finish_flow(FlowId id) {
-  auto it = flows_.find(id);
-  if (it == flows_.end()) return;
-  Flow& flow = it->second;
+  Flow* flow = find_flow(id);
+  if (flow == nullptr) return;
   // Charge this flow's progress up to now so link statistics include the
   // final stretch (settling is per-flow: each flow has its own last_update).
-  settle_flow(flow);
-  flow.setup.cancel();
-  flow.completion.cancel();
-  flow.failure.cancel();
-  if (flow.transferring) {
+  settle_flow(*flow);
+  flow->setup.cancel();
+  flow->completion.cancel();
+  flow->failure.cancel();
+  if (flow->transferring) {
     // Attribute whatever rounding left behind so a completed flow charges
     // its links exactly total_bytes, no more and no less.
-    assert(flow.attributed <= flow.total_bytes);
-    attribute_bytes(flow, flow.total_bytes - flow.attributed);
-    for (LinkId link : flow.path) {
-      links_[static_cast<std::size_t>(link)].active -= 1;
-    }
+    assert(flow->attributed <= flow->total_bytes);
+    attribute_bytes(*flow, flow->total_bytes - flow->attributed);
+    release_links(*flow);
   }
-  bytes_completed_ += flow.total_bytes;
-  auto done = std::move(flow.done);
-  flows_.erase(it);
+  bytes_completed_ += flow->total_bytes;
+  auto done = std::move(flow->done);
+  destroy_flow(id);
   flows_completed_ += 1;
   if (done) done(id);
   request_recompute();
@@ -181,133 +242,218 @@ void Network::settle_flow(Flow& flow) {
   flow.last_update = now;
 }
 
-void Network::settle_progress() {
-  for (auto& [id, flow] : flows_) {
-    settle_flow(flow);
-  }
-}
-
 void Network::recompute_now() {
-  settle_progress();
-
-  // Progressive water-filling. Each pass finds the most-contended link,
-  // freezes its flows at that link's fair share, and removes the consumed
-  // capacity; repeats until every transferring flow has a rate.
-  std::vector<double> capacity(links_.size());
-  std::vector<std::int32_t> unfrozen(links_.size());
-  for (std::size_t i = 0; i < links_.size(); ++i) {
-    capacity[i] = links_[i].spec.capacity * links_[i].scale;
-    unfrozen[i] = links_[i].active;
-  }
-
-  std::vector<Flow*> pending;
-  std::vector<double> old_rates;
-  pending.reserve(flows_.size());
-  old_rates.reserve(flows_.size());
-  for (auto& [id, flow] : flows_) {
-    if (flow.transferring) {
-      old_rates.push_back(flow.rate);
-      flow.rate = 0.0;
-      pending.push_back(&flow);
+  // Collect the recompute set: the links and transferring flows whose rates
+  // this pass may change. The reference path takes everything; the
+  // incremental path walks the link<->flow graph from the links dirtied
+  // since the last pass, which reaches exactly the flows whose max-min
+  // allocation can have moved (a flow's rate depends only on its connected
+  // component, and every mutation dirties the links it touches).
+  comp_links_.clear();
+  comp_flows_.clear();
+  if (options_.incremental_recompute) {
+    if (dirty_links_.empty()) return;
+    bfs_stack_.clear();
+    for (LinkId id : dirty_links_) {
+      Link& link = links_[static_cast<std::size_t>(id)];
+      link.dirty = false;
+      if (!link.visited) {
+        link.visited = true;
+        bfs_stack_.push_back(id);
+      }
     }
-  }
-  const std::vector<Flow*> all_transferring = pending;
-
-  while (!pending.empty()) {
-    double bottleneck_share = std::numeric_limits<double>::infinity();
+    dirty_links_.clear();
+    while (!bfs_stack_.empty()) {
+      const LinkId lid = bfs_stack_.back();
+      bfs_stack_.pop_back();
+      comp_links_.push_back(lid);
+      for (FlowId fid : links_[static_cast<std::size_t>(lid)].flows) {
+        Flow* flow = find_flow(fid);
+        assert(flow != nullptr && flow->transferring);
+        if (flow->in_component) continue;
+        flow->in_component = true;
+        comp_flows_.push_back(flow);
+        for (LinkId pl : flow->path) {
+          Link& p = links_[static_cast<std::size_t>(pl)];
+          if (!p.visited) {
+            p.visited = true;
+            bfs_stack_.push_back(pl);
+          }
+        }
+      }
+    }
+    // Discovery order depends on link lists; the contract below is id order.
+    std::sort(comp_flows_.begin(), comp_flows_.end(),
+              [](const Flow* a, const Flow* b) { return a->id < b->id; });
+  } else {
+    for (LinkId id : dirty_links_) {
+      links_[static_cast<std::size_t>(id)].dirty = false;
+    }
+    dirty_links_.clear();
     for (std::size_t i = 0; i < links_.size(); ++i) {
-      if (unfrozen[i] > 0) {
-        bottleneck_share =
-            std::min(bottleneck_share, capacity[i] / unfrozen[i]);
+      if (links_[i].active > 0) {
+        links_[i].visited = true;
+        comp_links_.push_back(static_cast<LinkId>(i));
       }
     }
-    if (!std::isfinite(bottleneck_share)) break;  // defensive: no loaded link
-
-    // Freeze every flow that traverses a link whose share equals the
-    // bottleneck (within tolerance); at least one flow freezes per pass.
-    std::vector<Flow*> still_pending;
-    still_pending.reserve(pending.size());
-    for (Flow* flow : pending) {
-      bool frozen = false;
-      for (LinkId link : flow->path) {
-        const auto i = static_cast<std::size_t>(link);
-        if (unfrozen[i] > 0 &&
-            capacity[i] / unfrozen[i] <= bottleneck_share * (1 + 1e-12)) {
-          frozen = true;
-          break;
-        }
-      }
-      if (frozen) {
-        flow->rate = bottleneck_share;
-        for (LinkId link : flow->path) {
-          const auto i = static_cast<std::size_t>(link);
-          capacity[i] -= bottleneck_share;
-          if (capacity[i] < 0) capacity[i] = 0;
-          unfrozen[i] -= 1;
-        }
-      } else {
-        still_pending.push_back(flow);
-      }
+    for (const std::int32_t slot : window_) {
+      if (slot < 0) continue;
+      Flow& flow = slots_[static_cast<std::size_t>(slot)];
+      if (!flow.transferring) continue;
+      flow.in_component = true;
+      comp_flows_.push_back(&flow);  // window order == ascending id
     }
-    if (still_pending.size() == pending.size()) break;  // defensive
-    pending.swap(still_pending);
   }
+  recomputes_ += 1;
+  recompute_flow_visits_ += comp_flows_.size();
 
-  // Reschedule completions at the new rates. Flows whose allocation did
-  // not change keep their existing completion event — without this, a
-  // recompute churns O(flows) cancel/reschedule pairs even when only one
-  // corner of the network changed, which dominates large simulations.
-  for (std::size_t i = 0; i < all_transferring.size(); ++i) {
-    Flow& flow = *all_transferring[i];
-    const double old_rate = old_rates[i];
-    if (flow.remaining <= 0.5) {
-      // Fractional residue from settling; finish immediately.
+  if (!comp_flows_.empty()) {
+    // Progressive water-filling over the recompute set. Each pass finds the
+    // most-contended link, freezes its flows at that link's fair share, and
+    // removes the consumed capacity; repeats until every flow has a rate.
+    // The freeze comparison is exact (no tolerance): that makes per-
+    // component water-filling bit-identical to the global pass — a link
+    // merely *near* another component's bottleneck must not freeze early.
+    old_rates_.clear();
+    for (Flow* flow : comp_flows_) {
+      old_rates_.push_back(flow->rate);
+      flow->rate = 0.0;
+    }
+    for (LinkId id : comp_links_) {
+      Link& link = links_[static_cast<std::size_t>(id)];
+      link.wf_capacity = link.spec.capacity * link.scale;
+      link.wf_unfrozen = link.active;
+    }
+
+    pending_.assign(comp_flows_.begin(), comp_flows_.end());
+    const bool starve_seam = debug_starve_once_;
+    debug_starve_once_ = false;
+    while (!starve_seam && !pending_.empty()) {
+      double bottleneck_share = std::numeric_limits<double>::infinity();
+      for (LinkId id : comp_links_) {
+        const Link& link = links_[static_cast<std::size_t>(id)];
+        if (link.wf_unfrozen > 0) {
+          bottleneck_share = std::min(
+              bottleneck_share, link.wf_capacity / link.wf_unfrozen);
+        }
+      }
+      if (!std::isfinite(bottleneck_share)) break;  // defensive: no load
+
+      still_pending_.clear();
+      for (Flow* flow : pending_) {
+        bool frozen = false;
+        for (LinkId id : flow->path) {
+          const Link& link = links_[static_cast<std::size_t>(id)];
+          if (link.wf_unfrozen > 0 &&
+              link.wf_capacity / link.wf_unfrozen <= bottleneck_share) {
+            frozen = true;
+            break;
+          }
+        }
+        if (frozen) {
+          flow->rate = bottleneck_share;
+          for (LinkId id : flow->path) {
+            Link& link = links_[static_cast<std::size_t>(id)];
+            link.wf_capacity -= bottleneck_share;
+            if (link.wf_capacity < 0) link.wf_capacity = 0;
+            link.wf_unfrozen -= 1;
+          }
+        } else {
+          still_pending_.push_back(flow);
+        }
+      }
+      if (still_pending_.size() == pending_.size()) break;  // defensive
+      pending_.swap(still_pending_);
+    }
+
+    if (!pending_.empty()) {
+      // Water-filling failed to rate a transferring flow (a defensive break
+      // above fired). An unrated flow schedules no completion, so on a
+      // quiet network the run would hang. Self-heal: warn, re-dirty the
+      // flow's links, and retry one tick later (not this tick, which would
+      // loop); the assert makes an organic occurrence loud in debug builds.
+      for (Flow* flow : pending_) {
+        starvation_rescues_ += 1;
+        warn(flow->id, "water-filling left flow unrated; rescue recompute");
+        for (LinkId id : flow->path) mark_dirty(id);
+      }
+      assert(starve_seam &&
+             "water-filling left a transferring flow unrated");
+      engine_.schedule_after(1, [this] { request_recompute(); });
+    }
+
+    // Reschedule completions at the new rates, in ascending flow id. Flows
+    // whose allocation did not change keep their existing completion event
+    // and are NOT settled — settle instants are thus a function of rate
+    // changes alone, which is what makes the incremental and reference
+    // paths produce identical floating-point progress chunking.
+    for (std::size_t i = 0; i < comp_flows_.size(); ++i) {
+      Flow& flow = *comp_flows_[i];
+      const double old_rate = old_rates_[i];
+      const double new_rate = flow.rate;
+      const bool rate_unchanged =
+          old_rate > 0.0 &&
+          std::abs(new_rate - old_rate) <= old_rate * 1e-12;
+      const bool failure_current =
+          flow.fail_at == 0 || (rate_unchanged && flow.failure.pending());
+      if (rate_unchanged && flow.completion.pending() && failure_current) {
+        continue;  // completion (and failure) times are still exact
+      }
+      flow.rate = old_rate;
+      settle_flow(flow);
+      flow.rate = new_rate;
+      const FlowId fid = flow.id;
+      if (flow.remaining <= 0.5) {
+        // Fractional residue from settling. An armed failure inside the
+        // residual bytes still wins — the flow was injected to die in its
+        // last bytes, so it must not slip through as a completion.
+        flow.completion.cancel();
+        flow.failure.cancel();
+        if (flow.fail_at > 0) {
+          flow.failure =
+              engine_.schedule_after(0, [this, fid] { fail_flow(fid); });
+        } else {
+          flow.completion =
+              engine_.schedule_after(0, [this, fid] { finish_flow(fid); });
+        }
+        continue;
+      }
       flow.completion.cancel();
       flow.failure.cancel();
-      const FlowId fid = flow.id;
-      flow.completion =
-          engine_.schedule_after(0, [this, fid] { finish_flow(fid); });
-      continue;
-    }
-    const bool rate_unchanged =
-        old_rate > 0.0 &&
-        std::abs(flow.rate - old_rate) <= old_rate * 1e-12;
-    const bool failure_current =
-        flow.fail_at == 0 || (rate_unchanged && flow.failure.pending());
-    if (rate_unchanged && flow.completion.pending() && failure_current) {
-      continue;  // completion (and failure) times are still exact
-    }
-    flow.completion.cancel();
-    flow.failure.cancel();
-    if (flow.rate <= 0.0) continue;  // starved; waits for the next recompute
-    const FlowId fid = flow.id;
-    if (flow.fail_at > 0) {
-      const double carried =
-          static_cast<double>(flow.total_bytes) - flow.remaining;
-      const double left = static_cast<double>(flow.fail_at) - carried;
-      if (left <= 0.5) {
-        // The armed byte already crossed; fail now.
-        flow.failure =
-            engine_.schedule_after(0, [this, fid] { fail_flow(fid); });
-        continue;  // no completion: the failure removes the flow first
+      if (flow.rate <= 0.0) continue;  // stalled (outage) or rescue pending
+      if (flow.fail_at > 0) {
+        const double carried =
+            static_cast<double>(flow.total_bytes) - flow.remaining;
+        const double left = static_cast<double>(flow.fail_at) - carried;
+        if (left <= 0.5) {
+          // The armed byte already crossed; fail now.
+          flow.failure =
+              engine_.schedule_after(0, [this, fid] { fail_flow(fid); });
+          continue;  // no completion: the failure removes the flow first
+        }
+        const Tick fail_eta = util::transfer_time(
+            static_cast<std::uint64_t>(std::ceil(left)), flow.rate);
+        flow.failure = engine_.schedule_after(
+            fail_eta, [this, fid] { fail_flow(fid); });
+        // Scheduled before completion: on an exact tie the failure wins.
       }
-      const Tick fail_eta = util::transfer_time(
-          static_cast<std::uint64_t>(std::ceil(left)), flow.rate);
-      flow.failure = engine_.schedule_after(
-          fail_eta, [this, fid] { fail_flow(fid); });
-      // Scheduled before completion: on an exact tie the failure wins.
+      const Tick eta = util::transfer_time(
+          static_cast<std::uint64_t>(std::ceil(flow.remaining)), flow.rate);
+      flow.completion =
+          engine_.schedule_after(eta, [this, fid] { finish_flow(fid); });
     }
-    const Tick eta = util::transfer_time(
-        static_cast<std::uint64_t>(std::ceil(flow.remaining)), flow.rate);
-    flow.completion =
-        engine_.schedule_after(eta, [this, fid] { finish_flow(fid); });
   }
+
+  for (LinkId id : comp_links_) {
+    links_[static_cast<std::size_t>(id)].visited = false;
+  }
+  for (Flow* flow : comp_flows_) flow->in_component = false;
 }
 
 void Network::register_stats(obs::StatsRegistry& registry,
                              const std::string& prefix) const {
   registry.gauge(prefix + ".active_flows",
-                 [this] { return static_cast<double>(flows_.size()); });
+                 [this] { return static_cast<double>(live_flows_); });
   registry.gauge(prefix + ".flows_completed",
                  [this] { return static_cast<double>(flows_completed_); });
   registry.gauge(prefix + ".bytes_completed",

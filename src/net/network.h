@@ -9,6 +9,15 @@
 // rescheduled. Rate recomputation is batched per tick: any number of flow
 // arrivals/departures at the same instant trigger a single recompute.
 //
+// Scaling: each recompute is restricted to the connected component of the
+// link<->flow graph actually touched since the last recompute (flows join,
+// leave, get armed, or a link's capacity scales), and only flows whose rate
+// changes are settled and rescheduled. The full-network recompute survives
+// behind NetworkOptions::incremental_recompute = false as the reference
+// implementation; both paths produce bit-identical rates and event times
+// (see DESIGN.md "Incremental max-min recompute"), which the differential
+// tests enforce.
+//
 // Fault injection hooks: a flow can be killed mid-stream (`fail_flow`) or
 // armed to fail once a byte offset has been carried (`arm_flow_fault`), and
 // a link's effective capacity can be scaled by a factor (`set_link_scale`,
@@ -17,8 +26,8 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
@@ -48,11 +57,24 @@ struct LinkStats {
   std::uint64_t flows_carried = 0;
 };
 
+struct NetworkOptions {
+  /// Restrict each water-filling recompute to the connected component of
+  /// links/flows touched since the last one. false = reference full
+  /// recompute over every link and flow; same arithmetic, linear cost.
+  /// Both settings produce bit-identical rates, events, and statistics.
+  bool incremental_recompute = true;
+};
+
 class Network {
  public:
-  explicit Network(sim::Engine& engine) : engine_(engine) {}
+  explicit Network(sim::Engine& engine, NetworkOptions options = {})
+      : engine_(engine), options_(options) {}
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
+
+  [[nodiscard]] const NetworkOptions& options() const noexcept {
+    return options_;
+  }
 
   /// Register a link; returns its id.
   LinkId add_link(std::string name, Bandwidth capacity);
@@ -91,6 +113,14 @@ class Network {
     on_fail_ = std::move(cb);
   }
 
+  /// Observer for anomalies the network self-heals from (currently: a
+  /// transferring flow left unrated by water-filling). Arguments: time,
+  /// flow id, human-readable detail.
+  void set_warn_listener(
+      std::function<void(Tick, FlowId, const char*)> cb) {
+    on_warn_ = std::move(cb);
+  }
+
   /// Scale a link's effective capacity by `factor` (1 = nominal, 0 = full
   /// outage: flows stall at rate zero and resume when the factor recovers).
   void set_link_scale(LinkId id, double factor);
@@ -100,13 +130,13 @@ class Network {
 
   /// True if the flow is still pending or transferring.
   [[nodiscard]] bool flow_active(FlowId id) const {
-    return flows_.contains(id);
+    return find_flow(id) != nullptr;
   }
 
   /// Current rate of an active flow in bytes/second (0 while in setup).
   [[nodiscard]] Bandwidth flow_rate(FlowId id) const;
 
-  [[nodiscard]] std::size_t active_flows() const { return flows_.size(); }
+  [[nodiscard]] std::size_t active_flows() const { return live_flows_; }
   [[nodiscard]] std::uint64_t total_bytes_completed() const {
     return bytes_completed_;
   }
@@ -123,6 +153,26 @@ class Network {
   [[nodiscard]] std::uint64_t bytes_abandoned() const {
     return bytes_abandoned_;
   }
+
+  // --- recompute cost accounting -----------------------------------------
+  /// Water-filling passes executed so far.
+  [[nodiscard]] std::uint64_t recomputes() const { return recomputes_; }
+  /// Total flows visited (settle-checked/re-rated) across all recomputes;
+  /// the incremental path's work metric. The reference path visits every
+  /// transferring flow every time.
+  [[nodiscard]] std::uint64_t recompute_flow_visits() const {
+    return recompute_flow_visits_;
+  }
+  /// Transferring flows water-filling failed to rate and the network had
+  /// to rescue with a rescheduled recompute (should stay 0).
+  [[nodiscard]] std::uint64_t starvation_rescues() const {
+    return starvation_rescues_;
+  }
+
+  /// Test seam: make the next recompute skip its water-filling loop, as if
+  /// the defensive break fired with every flow still pending, to exercise
+  /// the starved-flow rescue path.
+  void debug_starve_next_water_fill() { debug_starve_once_ = true; }
 
   /// Register gauges (`<prefix>.active_flows`, `<prefix>.flows_completed`,
   /// `<prefix>.bytes_completed`, ...) into a per-run stats registry.
@@ -141,6 +191,7 @@ class Network {
     Bandwidth rate = 0;    // current allocation; 0 during setup
     Tick last_update = 0;  // when `remaining` was last settled
     bool transferring = false;
+    bool in_component = false;  // scratch flag owned by recompute_now
     std::function<void(FlowId)> done;
     sim::Engine::EventHandle completion;
     sim::Engine::EventHandle setup;
@@ -152,28 +203,71 @@ class Network {
     LinkStats stats;
     std::int32_t active = 0;  // flows currently allocated on this link
     double scale = 1.0;       // fault-injected capacity factor
+    /// Ids of the transferring flows allocated here (unordered), so a
+    /// recompute can walk the touched component instead of every flow.
+    std::vector<FlowId> flows;
+    bool dirty = false;    // touched since the last recompute
+    bool visited = false;  // scratch flag owned by recompute_now
+    // Water-filling state, valid only inside recompute_now.
+    double wf_capacity = 0;
+    std::int32_t wf_unfrozen = 0;
   };
+
+  // --- flow table --------------------------------------------------------
+  // Dense slot-map: flows live in `slots_` (recycled via `free_slots_`),
+  // and `window_[id - window_base_]` maps a FlowId to its slot (-1 once
+  // the flow is gone). FlowIds are assigned strictly monotonically, so the
+  // window is a deque trimmed from the front as old flows retire; walking
+  // it yields live flows in ascending-id order — the same deterministic
+  // iteration order the previous std::map gave, without the rebalancing.
+  [[nodiscard]] Flow* find_flow(FlowId id);
+  [[nodiscard]] const Flow* find_flow(FlowId id) const;
+  Flow& create_flow(FlowId id);
+  void destroy_flow(FlowId id);
 
   void begin_transfer(FlowId id);
   void finish_flow(FlowId id);
   void request_recompute();
   void recompute_now();
   void settle_flow(Flow& flow);
-  void settle_progress();
   void attribute_bytes(Flow& flow, std::uint64_t bytes);
   void release_links(Flow& flow);
+  void mark_dirty(LinkId id);
+  void warn(FlowId id, const char* detail);
 
   sim::Engine& engine_;
+  NetworkOptions options_;
   std::vector<Link> links_;
-  std::map<FlowId, Flow> flows_;  // ordered: deterministic iteration
+
+  std::vector<Flow> slots_;
+  std::vector<std::int32_t> free_slots_;
+  std::deque<std::int32_t> window_;
+  FlowId window_base_ = 1;
+  std::size_t live_flows_ = 0;
+
   FlowId next_flow_id_ = 1;
   bool recompute_scheduled_ = false;
+  bool debug_starve_once_ = false;
+  std::vector<LinkId> dirty_links_;
+
+  // Scratch buffers reused across recomputes to avoid per-event allocation.
+  std::vector<LinkId> bfs_stack_;
+  std::vector<LinkId> comp_links_;
+  std::vector<Flow*> comp_flows_;
+  std::vector<Flow*> pending_;
+  std::vector<Flow*> still_pending_;
+  std::vector<double> old_rates_;
+
   std::uint64_t bytes_completed_ = 0;
   std::uint64_t flows_completed_ = 0;
   std::uint64_t flows_cancelled_ = 0;
   std::uint64_t flows_failed_ = 0;
   std::uint64_t bytes_abandoned_ = 0;
+  std::uint64_t recomputes_ = 0;
+  std::uint64_t recompute_flow_visits_ = 0;
+  std::uint64_t starvation_rescues_ = 0;
   std::function<void(FlowId)> on_fail_;
+  std::function<void(Tick, FlowId, const char*)> on_warn_;
 };
 
 }  // namespace hepvine::net

@@ -177,6 +177,14 @@ void TxnLog::fault_injected(Tick t, std::uint64_t seq, const char* kind,
   push(buf);
 }
 
+void TxnLog::net_warn(Tick t, std::int64_t flow, const char* detail) {
+  if (!enabled_) return;
+  char buf[224];
+  std::snprintf(buf, sizeof(buf), "%" PRId64 " NET %" PRId64 " WARN %s", t,
+                flow, detail);
+  push(buf);
+}
+
 std::vector<std::string> TxnLog::tail() const {
   return {ring_.begin(), ring_.end()};
 }

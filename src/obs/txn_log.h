@@ -83,6 +83,11 @@ class TxnLog {
   void fault_injected(Tick t, std::uint64_t seq, const char* kind,
                       const std::string& detail);
 
+  /// `time NET flow_id WARN detail` — a network-substrate anomaly the
+  /// simulator self-healed from (e.g. a starved flow rescued by a
+  /// rescheduled recompute). Should never appear in a healthy run.
+  void net_warn(Tick t, std::int64_t flow, const char* detail);
+
   // --- inspection --------------------------------------------------------
   /// Total events recorded (including lines already rotated out of the
   /// ring).

@@ -14,6 +14,7 @@
 #include <deque>
 #include <map>
 #include <optional>
+#include <set>
 #include <utility>
 #include <vector>
 
@@ -73,6 +74,11 @@ class VineRun {
 
     begin_observation();
     begin_fault_injection();
+
+    cluster_.network().set_warn_listener(
+        [this](Tick t, net::FlowId f, const char* detail) {
+          if (txn_on()) obs_->txn().net_warn(t, f, detail);
+        });
 
     cluster_.request_workers([this](WorkerId w) { on_worker_up(w); },
                              [this](WorkerId w) { on_worker_down(w); });
@@ -258,6 +264,7 @@ class VineRun {
   void on_worker_up(WorkerId w) {
     if (finished_) return;
     if (txn_on()) obs_->txn().worker_connection(engine_.now(), w);
+    eligible_.insert(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt = WorkerRt{};
     rt.in_cache.assign(files_.size(), false);
@@ -275,6 +282,7 @@ class VineRun {
                                        crashed ? "FAILURE" : "PREEMPTED");
     }
     pending_crash_[static_cast<std::size_t>(w)] = false;
+    eligible_.erase(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
 
     // Fail every task attempt on this worker.
@@ -584,24 +592,46 @@ class VineRun {
     }
 
     // Round-robin among eligible workers, preferring ones whose disk fits.
+    // `eligible_` indexes workers that are alive with a free core, kept
+    // current at connect/crash/dispatch/retire, so a dispatch scans only
+    // plausible candidates instead of every configured worker; the circular
+    // walk from rr_cursor_ visits them in the same order the full scan did.
+    // Per-task memory fit still goes through worker_eligible below.
     const auto n = static_cast<WorkerId>(cluster_.worker_count());
     WorkerId fallback = cluster::kNoWorker;  // eligible but disk-tight
     std::uint64_t fallback_free = 0;
     std::uint64_t best_capacity = 0;
-    for (WorkerId i = 0; i < n; ++i) {
-      const WorkerId w = static_cast<WorkerId>((rr_cursor_ + i) % n);
-      if (!worker_eligible(w, task)) continue;
+    WorkerId chosen = cluster::kNoWorker;
+    const auto consider = [&](WorkerId w) {
+      if (!worker_eligible(w, task)) return false;
       if (disk_fits(w, task, scratch_files_)) {
         rr_cursor_ = static_cast<WorkerId>((w + 1) % n);
-        return w;
+        chosen = w;
+        return true;
       }
-      const std::uint64_t free = cluster_.worker(w).disk.available();
+      // Rank disk-tight candidates by the space actually left once bytes
+      // promised to in-flight attempts are counted, matching disk_fits —
+      // raw disk.available() can crown a "roomiest" worker whose free
+      // space is already committed.
+      const auto& node = cluster_.worker(w);
+      const std::uint64_t committed =
+          workers_rt_[static_cast<std::size_t>(w)].disk_committed;
+      const std::uint64_t avail = node.disk.available();
+      const std::uint64_t free = avail > committed ? avail - committed : 0;
       if (fallback == cluster::kNoWorker || free > fallback_free) {
         fallback = w;
         fallback_free = free;
       }
-      best_capacity = std::max(best_capacity,
-                               cluster_.worker(w).disk.capacity());
+      best_capacity = std::max(best_capacity, node.disk.capacity());
+      return false;
+    };
+    for (auto it = eligible_.lower_bound(rr_cursor_);
+         it != eligible_.end(); ++it) {
+      if (consider(*it)) return chosen;
+    }
+    for (auto it = eligible_.begin();
+         it != eligible_.end() && *it < rr_cursor_; ++it) {
+      if (consider(*it)) return chosen;
     }
     if (fallback == cluster::kNoWorker) return cluster::kNoWorker;
 
@@ -649,6 +679,7 @@ class VineRun {
     ++total_attempts_;
     auto& node = cluster_.worker(w);
     node.cores_in_use += 1;
+    if (node.cores_free() == 0) eligible_.erase(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt.mem_in_use += graph_.task(t).spec.memory_bytes;
     rt.here.push_back(t);
@@ -1603,6 +1634,7 @@ class VineRun {
     it->second.resources_released = true;
     auto& node = cluster_.worker(w);
     if (node.cores_in_use > 0) node.cores_in_use -= 1;
+    if (node.alive && node.cores_free() > 0) eligible_.insert(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     const std::uint64_t mem = graph_.task(t).spec.memory_bytes;
     rt.mem_in_use = mem > rt.mem_in_use ? 0 : rt.mem_in_use - mem;
@@ -1909,6 +1941,9 @@ class VineRun {
   std::size_t total_attempts_ = 0;
   std::size_t lineage_resets_ = 0;
   WorkerId rr_cursor_ = 0;
+  // Workers that are alive with at least one free core, in id order; the
+  // dispatch round-robin walks this instead of every configured worker.
+  std::set<WorkerId> eligible_;
   bool pumping_ = false;
   bool finished_ = false;
 

@@ -1,0 +1,128 @@
+// Differential harness for the incremental max-min recompute: every
+// scheduler backend, run end-to-end over fault schedules from the
+// adversarial matrix, must produce bit-identical results whether the
+// network uses the incremental component recompute or the reference full
+// recompute — same makespan, same counters, same physics histogram
+// digest, and the exact same transactions log text.
+//
+// This is the acceptance gate for NetworkOptions::incremental_recompute:
+// the optimization must be observationally invisible.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "dd/dask_distributed.h"
+#include "scheduler_test_util.h"
+#include "vine/vine_scheduler.h"
+#include "wq/work_queue.h"
+
+namespace hepvine {
+namespace {
+
+using namespace hepvine::testutil;
+using util::Tick;
+
+std::unique_ptr<exec::SchedulerBackend> make_scheduler(
+    const std::string& name) {
+  if (name == "taskvine") return std::make_unique<vine::VineScheduler>();
+  if (name == "work-queue") return std::make_unique<wq::WorkQueueScheduler>();
+  return std::make_unique<dd::DaskDistScheduler>();
+}
+
+class NetDifferential : public ::testing::TestWithParam<const char*> {
+ protected:
+  dag::TaskGraph graph_ = apps::build_workload(tiny_dv3(24), 31);
+
+  exec::RunOptions base_options() const {
+    exec::RunOptions options = fast_options();
+    options.seed = 31;
+    options.max_task_retries = 30;
+    // Txn logging on, so the bit-identity check covers every logged
+    // transition, not just the end-of-run aggregates.
+    options.observability.enabled = true;
+    options.observability.txn_log = true;
+    return options;
+  }
+
+  exec::RunReport run(const exec::RunOptions& options, bool incremental,
+                      std::uint32_t workers = 4,
+                      double preempt_per_hour = 0.0) const {
+    auto spec = tiny_cluster(workers, preempt_per_hour);
+    spec.net.incremental_recompute = incremental;
+    cluster::Cluster cluster(spec);
+    return make_scheduler(GetParam())->run(graph_, cluster, options);
+  }
+
+  /// Run the same schedule under both recompute paths and require the
+  /// outcomes to be indistinguishable.
+  void expect_paths_identical(const exec::RunOptions& options,
+                              std::uint32_t workers = 4,
+                              double preempt_per_hour = 0.0) const {
+    const auto inc = run(options, true, workers, preempt_per_hour);
+    const auto ref = run(options, false, workers, preempt_per_hour);
+    ASSERT_TRUE(inc.success) << inc.failure_reason;
+    ASSERT_TRUE(ref.success) << ref.failure_reason;
+    EXPECT_EQ(sink_digest(inc), reference_digest(graph_));
+    EXPECT_EQ(sink_digest(inc), sink_digest(ref));
+    EXPECT_EQ(inc.makespan, ref.makespan);
+    EXPECT_EQ(inc.task_attempts, ref.task_attempts);
+    EXPECT_EQ(inc.lineage_resets, ref.lineage_resets);
+    EXPECT_EQ(inc.worker_crashes, ref.worker_crashes);
+    EXPECT_EQ(inc.faults.faults_injected, ref.faults.faults_injected);
+    EXPECT_EQ(inc.faults.worker_crashes, ref.faults.worker_crashes);
+    EXPECT_EQ(inc.faults.cache_losses, ref.faults.cache_losses);
+    EXPECT_EQ(inc.faults.transfers_killed, ref.faults.transfers_killed);
+    EXPECT_EQ(inc.faults.transfer_retries, ref.faults.transfer_retries);
+    EXPECT_EQ(inc.faults.backoff_wait, ref.faults.backoff_wait);
+    ASSERT_NE(inc.observation, nullptr);
+    ASSERT_NE(ref.observation, nullptr);
+    EXPECT_EQ(inc.observation->txn().text(), ref.observation->txn().text());
+  }
+
+  /// Fault-free probe (incremental path) to time faults relative to; both
+  /// paths see the same schedule, so which path probes is immaterial.
+  Tick probe_makespan() const {
+    const auto report = run(base_options(), true);
+    EXPECT_TRUE(report.success) << report.failure_reason;
+    return report.makespan;
+  }
+};
+
+TEST_P(NetDifferential, CleanRun) {
+  expect_paths_identical(base_options());
+}
+
+TEST_P(NetDifferential, MidTransferKillStorm) {
+  const Tick makespan = probe_makespan();
+  exec::RunOptions options = base_options();
+  for (int i = 1; i <= 8; ++i) {
+    options.faults.kill_transfers(makespan * i / 12, 2);
+  }
+  expect_paths_identical(options);
+}
+
+TEST_P(NetDifferential, OutageBrownoutAndCrashCombo) {
+  const Tick makespan = probe_makespan();
+  exec::RunOptions options = base_options();
+  options.faults.fs_outage(util::seconds(2), util::seconds(20))
+      .fs_brownout(makespan / 2, makespan / 4, 0.25)
+      .kill_transfers(makespan * 2 / 3, 3)
+      .crash_worker(makespan / 3, 2);
+  expect_paths_identical(options);
+}
+
+TEST_P(NetDifferential, StochasticChaosWithBatchPreemption) {
+  exec::RunOptions options = base_options();
+  options.faults.stochastic.transfer_kill_prob = 0.05;
+  options.faults.stochastic.worker_crash_rate_per_hour = 30.0;
+  options.faults.seed = 13;
+  expect_paths_identical(options, 4, 20.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, NetDifferential,
+                         ::testing::Values("taskvine", "work-queue",
+                                           "dask.distributed"));
+
+}  // namespace
+}  // namespace hepvine

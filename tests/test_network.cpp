@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.h"
@@ -319,6 +321,133 @@ TEST_F(NetFixture, BrownoutScalesRateByFactor) {
   EXPECT_NEAR(util::to_seconds(done), 2.0, 0.02);
   EXPECT_EQ(net.link_scale(a), 0.25);
 }
+
+// --- slot-map flow table -------------------------------------------------
+
+TEST_F(NetFixture, FlowIdsStayUniqueAndValidAcrossSlotReuse) {
+  // Waves of short flows force slot recycling while older ids retire; ids
+  // must stay unique, stale lookups must miss, and the live count must
+  // return to zero.
+  const LinkId a = net.add_link("a", 1e9);
+  std::vector<FlowId> ids;
+  int completed = 0;
+  for (int wave = 0; wave < 5; ++wave) {
+    engine.schedule_at(wave * 10'000, [&] {
+      for (int i = 0; i < 8; ++i) {
+        ids.push_back(
+            net.start_flow({a}, 1'000'000, 0, [&](FlowId) { ++completed; }));
+      }
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 40);
+  const std::set<FlowId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 40u);
+  for (FlowId id : ids) {
+    EXPECT_FALSE(net.flow_active(id));
+    EXPECT_EQ(net.flow_rate(id), 0.0);
+  }
+  EXPECT_EQ(net.active_flows(), 0u);
+}
+
+TEST_F(NetFixture, IncrementalRecomputeVisitsOnlyTouchedComponent) {
+  // A long flow on link `a` and churn on disjoint link `b`: the long
+  // flow's component is untouched by the churn, so after its initial
+  // rating it is never settle-checked again. The reference path would
+  // visit it on every one of the ~100 recomputes.
+  const LinkId a = net.add_link("a", 1e9);
+  const LinkId b = net.add_link("b", 1e9);
+  int completed = 0;
+  net.start_flow({a}, 2'000'000'000, 0, [&](FlowId) { ++completed; });
+  for (int i = 0; i < 50; ++i) {
+    engine.schedule_at(10'000 * (i + 1), [&] {
+      net.start_flow({b}, 1'000'000, 0, [&](FlowId) { ++completed; });
+    });
+  }
+  engine.run();
+  EXPECT_EQ(completed, 51);
+  // One visit for the long flow, one per short-flow arrival (departure
+  // recomputes find an empty component).
+  EXPECT_LE(net.recompute_flow_visits(), 51u + 5u);
+}
+
+// --- recompute-path parity: both paths must pass the same regressions ----
+
+class RecomputePathParam : public ::testing::TestWithParam<bool> {
+ protected:
+  sim::Engine engine;
+  Network net{engine, NetworkOptions{GetParam()}};
+};
+
+TEST_P(RecomputePathParam, ArmedFaultInsideResidualBytesStillFails) {
+  // Three equal flows split 1 GB/s at 1e9/3 B/s each, so at t = 3.0 s
+  // every flow has settled to a sub-half-byte residue while its completion
+  // event sits one tick later (ceil rounding). A fourth flow arriving at
+  // exactly 3.0 s forces a recompute that lands all three in the
+  // finish-immediately branch. Flow A is armed to die on its final byte:
+  // the armed failure must win there — a transfer injected to die in its
+  // last bytes must not slip through as a completion.
+  const LinkId shared = net.add_link("shared", 1e9);
+  const std::uint64_t bytes = 1'000'000'000;
+  bool a_done = false;
+  FlowId a_failed = kInvalidFlow;
+  Tick failed_at = -1;
+  net.set_fail_listener([&](FlowId id) {
+    a_failed = id;
+    failed_at = engine.now();
+  });
+  int others_done = 0;
+  const FlowId a =
+      net.start_flow({shared}, bytes, 0, [&](FlowId) { a_done = true; });
+  net.start_flow({shared}, bytes, 0, [&](FlowId) { ++others_done; });
+  net.start_flow({shared}, bytes, 0, [&](FlowId) { ++others_done; });
+  net.arm_flow_fault(a, bytes);
+  engine.schedule_at(3'000'000, [&] {
+    net.start_flow({shared}, bytes, 0, [&](FlowId) { ++others_done; });
+  });
+  engine.run();
+  EXPECT_FALSE(a_done);
+  EXPECT_EQ(a_failed, a);
+  EXPECT_EQ(failed_at, 3'000'000);
+  EXPECT_EQ(net.flows_failed(), 1u);
+  EXPECT_EQ(others_done, 3);
+  EXPECT_EQ(net.flows_completed(), 3u);
+  // The armed flow abandons (essentially) all of its bytes, and the link
+  // accounting invariant still holds exactly.
+  EXPECT_NEAR(static_cast<double>(net.bytes_abandoned()), 1e9, 2.0);
+  EXPECT_EQ(net.link_stats(shared).bytes_carried,
+            net.total_bytes_completed() + net.bytes_abandoned());
+}
+
+TEST_P(RecomputePathParam, StarvedFlowIsRescuedNotHung) {
+  // Force the defensive water-filling break (via the test seam) with a
+  // transferring flow still unrated. Without the rescue path nothing ever
+  // schedules an event for the flow and the run hangs; with it the
+  // network warns, re-dirties the flow's links, and re-rates it one tick
+  // later.
+  const LinkId a = net.add_link("a", 1e9);
+  Tick done_at = -1;
+  std::vector<std::pair<Tick, FlowId>> warns;
+  net.set_warn_listener([&](Tick t, FlowId f, const char*) {
+    warns.emplace_back(t, f);
+  });
+  const FlowId id = net.start_flow({a}, 1'000'000, 0,
+                                   [&](FlowId) { done_at = engine.now(); });
+  net.debug_starve_next_water_fill();
+  engine.run();
+  EXPECT_EQ(net.starvation_rescues(), 1u);
+  ASSERT_EQ(warns.size(), 1u);
+  EXPECT_EQ(warns[0].first, 0);
+  EXPECT_EQ(warns[0].second, id);
+  // Rescued at tick 1, then 1 MB at 1 GB/s.
+  EXPECT_EQ(done_at, 1 + util::transfer_time(1'000'000, 1e9));
+  EXPECT_EQ(net.flows_completed(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(RecomputePaths, RecomputePathParam, ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "Incremental" : "Reference";
+                         });
 
 class FlowCountParam : public ::testing::TestWithParam<int> {};
 

@@ -147,6 +147,78 @@ TEST(DepthPriority, BoundsStandingIntermediatesOnSmallClusters) {
   EXPECT_EQ(report.worker_crashes, 0u);
 }
 
+// --- dispatch fallback ranking -------------------------------------------
+
+TEST(DispatchFallback, OverflowDispatchSparesWorkerWithCommittedBytes) {
+  // A task whose footprint exceeds every scratch disk is dispatched anyway
+  // (the overflow surfaces as the worker failure it would be in
+  // production). The sacrificial dispatch must go to the worker with the
+  // most *uncommitted* headroom: ranking by raw disk.available() would
+  // crown the worker whose free space is already promised to an in-flight
+  // attempt, and the overflow would take that attempt down with it.
+  dag::TaskGraph graph;
+  const auto scalar = [](double v) {
+    return [v](const std::vector<dag::ValuePtr>&) {
+      return std::make_shared<dag::ScalarValue>(v);
+    };
+  };
+  // Long-running task with a large declared output: its worker's disk
+  // looks empty (output not written yet) but 90 GB of it is committed.
+  dag::TaskSpec blob;
+  blob.category = "blob";
+  blob.cpu_seconds = 300;
+  blob.output_bytes = 90 * util::kGB;
+  blob.memory_bytes = 60 * util::kGB;  // blob+small can't share a worker
+  blob.fn = scalar(1.0);
+  const dag::TaskId t_blob = graph.add_task(blob);
+
+  // Quick task leaving a 20 GB output resident: its worker has less raw
+  // free space than the blob's, but far more uncommitted headroom.
+  dag::TaskSpec small;
+  small.category = "small";
+  small.cpu_seconds = 0.1;
+  small.output_bytes = 20 * util::kGB;
+  small.memory_bytes = 60 * util::kGB;
+  small.fn = scalar(2.0);
+  const dag::TaskId t_small = graph.add_task(small);
+
+  // Doomed: 120 GB output can never fit a 108 GB disk.
+  dag::TaskSpec doomed;
+  doomed.category = "doomed";
+  doomed.deps = {t_small};
+  doomed.cpu_seconds = 0.1;
+  doomed.output_bytes = 120 * util::kGB;
+  doomed.memory_bytes = 2 * util::kGB;
+  doomed.fn = scalar(3.0);
+  const dag::TaskId t_doomed = graph.add_task(doomed);
+
+  exec::RunOptions options = fast_options();
+  options.max_task_retries = 0;  // first overflow ends the run
+  cluster::Cluster cluster(tiny_cluster(2));
+  VineScheduler scheduler;
+  const auto report = scheduler.run(graph, cluster, options);
+
+  ASSERT_FALSE(report.success);
+  EXPECT_EQ(report.worker_crashes, 1u);
+  const metrics::TaskRecord* small_rec = nullptr;
+  const metrics::TaskRecord* doomed_rec = nullptr;
+  bool blob_failed = false;
+  for (const auto& rec : report.trace.records()) {
+    if (rec.task_id == t_small && !rec.failed) small_rec = &rec;
+    if (rec.task_id == t_doomed) doomed_rec = &rec;
+    if (rec.task_id == t_blob && rec.failed) blob_failed = true;
+  }
+  ASSERT_NE(small_rec, nullptr);
+  ASSERT_NE(doomed_rec, nullptr);
+  EXPECT_TRUE(doomed_rec->failed);
+  // The sacrifice lands next to the resident 20 GB (88 GB of real
+  // headroom), not on the blob's worker (108 GB free on paper, 18 GB net
+  // of its commitment).
+  EXPECT_EQ(doomed_rec->worker, small_rec->worker);
+  // And the blob, whose disk promise the ranking respected, is untouched.
+  EXPECT_FALSE(blob_failed);
+}
+
 // --- automatic arity planning --------------------------------------------
 
 TEST(ArityPlanner, RespectsDiskBudget) {
