@@ -7,8 +7,6 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <memory>
 #include <string>
 
@@ -17,15 +15,13 @@
 #include "dd/dask_distributed.h"
 #include "exec/scheduler.h"
 #include "storage/shared_fs.h"
+#include "util/env.h"
 #include "vine/vine_scheduler.h"
 #include "wq/work_queue.h"
 
 namespace hepvine::bench {
 
-[[nodiscard]] inline bool fast_mode() {
-  const char* env = std::getenv("HEPVINE_FAST");
-  return env != nullptr && std::strcmp(env, "0") != 0;
-}
+[[nodiscard]] inline bool fast_mode() { return util::env_flag("HEPVINE_FAST"); }
 
 /// Scale a task/worker count down in fast mode.
 [[nodiscard]] inline std::uint32_t scaled(std::uint32_t full,
@@ -39,7 +35,7 @@ namespace hepvine::bench {
 /// the files proves the whole run — faults, recovery, scheduling — replays
 /// bit-identically.
 inline void apply_txn_capture(exec::RunOptions& options) {
-  const char* prefix = std::getenv("HEPVINE_TXN_LOG");
+  const char* prefix = util::env_cstr("HEPVINE_TXN_LOG");
   if (prefix == nullptr || *prefix == '\0') return;
   static int run_index = 0;
   options.observability.enabled = true;

@@ -24,9 +24,9 @@ int main() {
   config.workers = scaled(200, 40);
 
   struct Stack {
-    const char* label;
+    const char* label = "";
     storage::SharedFsSpec fs;
-    bool taskvine;
+    bool taskvine = false;
     exec::ExecMode mode;
   };
   const Stack stacks[] = {

@@ -16,15 +16,18 @@
 // Emits BENCH_sim_throughput.json in the working directory.
 // HEPVINE_FAST=1 shrinks the campaign (60 nodes, fewer rounds) for smoke
 // runs; the identity and speedup gates still apply.
+//
+// vine-lint: allow(ambient-entropy) — steady_clock here measures the
+// simulator's own wall-clock throughput (the bench's whole point); it
+// never feeds simulated state, which runs entirely on virtual ticks.
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
-#include <cstring>
 #include <string>
 #include <vector>
 
 #include "net/network.h"
 #include "sim/engine.h"
+#include "util/env.h"
 #include "util/units.h"
 
 namespace {
@@ -36,8 +39,7 @@ using hepvine::net::NetworkOptions;
 using hepvine::util::Tick;
 
 [[nodiscard]] bool fast_mode() {
-  const char* env = std::getenv("HEPVINE_FAST");
-  return env != nullptr && std::strcmp(env, "0") != 0;
+  return hepvine::util::env_flag("HEPVINE_FAST");
 }
 
 /// Order-independent determinism: every random choice is a pure function

@@ -35,10 +35,10 @@ int main() {
   options.seed = 11;
 
   struct Stack {
-    const char* label;
-    double paper_seconds;
+    const char* label = "";
+    double paper_seconds = 0;
     storage::SharedFsSpec fs;
-    bool taskvine;
+    bool taskvine = false;
     exec::ExecMode mode;
   };
   const std::vector<Stack> stacks = {

@@ -15,8 +15,8 @@ int main() {
 
   struct Row {
     apps::WorkloadSpec spec;
-    double paper_tasks;
-    double paper_input_gb;
+    double paper_tasks = 0;
+    double paper_input_gb = 0;
   };
   std::vector<Row> rows = {
       {apps::dv3_small(), 400, 25},

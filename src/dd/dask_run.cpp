@@ -244,8 +244,8 @@ class DaskRun {
   // Tokens (task attempt validity), as in the vine engine.
   // --------------------------------------------------------------------
   struct Token {
-    TaskId task;
-    std::uint32_t attempt;
+    TaskId task = 0;
+    std::uint32_t attempt = 0;
   };
   [[nodiscard]] bool token_valid(const Token& t) const {
     const auto& st = table_.at(t.task);

@@ -117,9 +117,9 @@ class TaskStateTable {
   void enqueue_ready(dag::TaskId id, Tick now);
 
   struct ReadyEntry {
-    std::uint32_t depth;
-    std::uint64_t seq;
-    dag::TaskId id;
+    std::uint32_t depth = 0;
+    std::uint64_t seq = 0;
+    dag::TaskId id = 0;
   };
   struct ShallowerOrLater {
     bool operator()(const ReadyEntry& a, const ReadyEntry& b) const {

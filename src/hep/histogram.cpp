@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/det_sum.h"
+
 namespace hepvine::hep {
 
 Histogram1D::Histogram1D(std::uint32_t bins, double lo, double hi)
@@ -49,20 +51,20 @@ void Histogram1D::merge(const Histogram1D& other) {
 }
 
 double Histogram1D::integral() const noexcept {
-  double sum = underflow_ + overflow_;
-  for (double c : counts_) sum += c;
-  return sum;
+  util::DetSum sum(underflow_ + overflow_);
+  for (double c : counts_) sum.add(c);
+  return sum.value();
 }
 
 double Histogram1D::mean() const {
-  double wsum = 0.0;
-  double xsum = 0.0;
+  util::DetSum wsum;
+  util::DetSum xsum;
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double center = lo_ + width_ * (static_cast<double>(i) + 0.5);
-    wsum += counts_[i];
-    xsum += counts_[i] * center;
+    wsum.add(counts_[i]);
+    xsum.add(counts_[i] * center);
   }
-  return wsum > 0 ? xsum / wsum : 0.0;
+  return wsum.value() > 0 ? xsum.value() / wsum.value() : 0.0;
 }
 
 void Histogram1D::add_to_digest(util::Hasher& hasher) const {
@@ -77,7 +79,7 @@ double chi2_per_dof(const Histogram1D& a, const Histogram1D& b) {
   if (a.bins() != b.bins() || a.lo() != b.lo() || a.hi() != b.hi()) {
     throw std::invalid_argument("chi2 requires identical binning");
   }
-  double chi2 = 0;
+  util::DetSum chi2;
   std::size_t dof = 0;
   for (std::uint32_t i = 0; i < a.bins(); ++i) {
     const double na = a.bin_content(i);
@@ -85,10 +87,10 @@ double chi2_per_dof(const Histogram1D& a, const Histogram1D& b) {
     const double var = na + nb;  // Poisson
     if (var <= 0) continue;
     const double d = na - nb;
-    chi2 += d * d / var;
+    chi2.add(d * d / var);
     ++dof;
   }
-  return dof > 0 ? chi2 / static_cast<double>(dof) : 0.0;
+  return dof > 0 ? chi2.value() / static_cast<double>(dof) : 0.0;
 }
 
 Histogram1D& HistogramSet::get(const std::string& name, std::uint32_t bins,

@@ -49,13 +49,13 @@ class CacheTrace {
 
  private:
   struct Sample {
-    Tick t;
-    std::size_t worker;
-    std::uint64_t bytes;
+    Tick t = 0;
+    std::size_t worker = 0;
+    std::uint64_t bytes = 0;
   };
   struct Failure {
-    Tick t;
-    std::size_t worker;
+    Tick t = 0;
+    std::size_t worker = 0;
   };
   std::size_t workers_ = 0;
   std::vector<Sample> samples_;

@@ -20,9 +20,9 @@ std::vector<TaskTrace::ConcurrencyPoint> TaskTrace::concurrency_series(
   // Event-sweep: +1 running at started, -1 at finished; waiting between
   // ready and started.
   struct Delta {
-    Tick t;
-    int running;
-    int waiting;
+    Tick t = 0;
+    int running = 0;
+    int waiting = 0;
   };
   std::vector<Delta> deltas;
   deltas.reserve(records_.size() * 3);
@@ -52,8 +52,8 @@ std::vector<TaskTrace::ConcurrencyPoint> TaskTrace::concurrency_series(
 
 std::int64_t TaskTrace::peak_concurrency() const {
   struct Delta {
-    Tick t;
-    int d;
+    Tick t = 0;
+    int d = 0;
   };
   std::vector<Delta> deltas;
   deltas.reserve(records_.size() * 2);

@@ -24,6 +24,7 @@ TxnLog::TxnLog(std::size_t ring_capacity, const std::string& path)
           file_);
       std::fputs("# time_us LIBRARY worker_id SENT|STARTED\n", file_);
       std::fputs("# time_us FAULT seq KIND detail\n", file_);
+      std::fputs("# time_us NET flow_id WARN detail\n", file_);
     }
   }
 }

@@ -13,6 +13,8 @@
 //   time CACHE file_id INSERT|EVICT size_bytes worker_id
 //   time TRANSFER src dst file_id size_bytes START|DONE|FAILED
 //   time LIBRARY worker_id SENT|STARTED
+//   time FAULT seq KIND detail
+//   time NET flow_id WARN detail
 //
 // Endpoints in TRANSFER lines use the transfer-matrix numbering
 // (0 = manager, 1..N = workers, N+1 = shared filesystem).
@@ -27,6 +29,7 @@
 #include <cstdio>
 #include <deque>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "util/units.h"
@@ -34,6 +37,39 @@
 namespace hepvine::obs {
 
 using util::Tick;
+
+/// Registry of every subject that may appear in a transactions-log line.
+/// This table is the machine-readable contract for the log format:
+/// `txn_query` drives its parser off it, and vine_lint rule VL005
+/// (txn-subject) rejects any emitter whose subject is missing here — so
+/// adding an emitter means adding a row first.
+struct TxnSubjectInfo {
+  const char* name = "";
+  /// True when the first operand after the subject is a numeric id that
+  /// txn_query should surface as Event::id (TRANSFER leads with src/dst
+  /// endpoints instead, so its id stays 0 and fields land in rest).
+  bool id_first = false;
+};
+
+inline constexpr TxnSubjectInfo kTxnSubjects[] = {
+    {"MANAGER", true}, {"TASK", true},  {"WORKER", true},
+    {"CACHE", true},   {"TRANSFER", false}, {"LIBRARY", true},
+    {"FAULT", true},   {"NET", true},
+};
+
+[[nodiscard]] constexpr bool txn_subject_registered(std::string_view s) {
+  for (const TxnSubjectInfo& info : kTxnSubjects) {
+    if (s == info.name) return true;
+  }
+  return false;
+}
+
+[[nodiscard]] constexpr bool txn_subject_id_first(std::string_view s) {
+  for (const TxnSubjectInfo& info : kTxnSubjects) {
+    if (s == info.name) return info.id_first;
+  }
+  return false;
+}
 
 class TxnLog {
  public:

@@ -1,6 +1,8 @@
 #include "obs/txn_query.h"
 
 #include <cinttypes>
+
+#include "obs/txn_log.h"
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
@@ -9,11 +11,11 @@ namespace hepvine::obs::txnq {
 
 namespace {
 
-// Subjects whose first operand is a numeric id. TRANSFER lines put src/dst
-// endpoints first, so their id stays 0 and fields land in `rest`.
+// Subjects whose first operand is a numeric id, per the kTxnSubjects
+// registry in obs/txn_log.h. TRANSFER lines put src/dst endpoints first,
+// so their id stays 0 and fields land in `rest`.
 bool subject_has_id(const std::string& s) {
-  return s == "TASK" || s == "WORKER" || s == "CACHE" || s == "LIBRARY" ||
-         s == "MANAGER";
+  return txn_subject_registered(s) && txn_subject_id_first(s);
 }
 
 }  // namespace

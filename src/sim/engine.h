@@ -90,8 +90,8 @@ class Engine {
 
  private:
   struct QueueEntry {
-    Tick at;
-    std::uint64_t seq;
+    Tick at = 0;
+    std::uint64_t seq = 0;
     std::shared_ptr<EventHandle::Record> rec;
   };
   struct Later {

@@ -1,0 +1,68 @@
+// Deterministic floating-point accumulation (Neumaier compensated sum).
+//
+// vine_lint rule VL006 (float-accum) requires that floating-point
+// reductions feeding result verification go through this helper instead
+// of a bare `x += y` loop. The compensation term keeps the result
+// faithful to the mathematically exact sum well past the point where a
+// naive accumulator has drifted, so two code paths that visit the same
+// values in the same order — the contract the differential suites check —
+// produce the same bits even after refactors that re-associate the loop.
+//
+// vine-lint: allow(float-accum) — this file is the sanctioned helper.
+#pragma once
+
+#include <cmath>
+#include <initializer_list>
+
+namespace hepvine::util {
+
+class DetSum {
+ public:
+  constexpr DetSum() = default;
+
+  /// Start from a known value (no compensation accrued yet).
+  constexpr explicit DetSum(double initial) : sum_(initial) {}
+
+  void add(double x) noexcept {
+    const double t = sum_ + x;
+    if (std::abs(sum_) >= std::abs(x)) {
+      comp_ += (sum_ - t) + x;
+    } else {
+      comp_ += (x - t) + sum_;
+    }
+    sum_ = t;
+  }
+
+  DetSum& operator+=(double x) noexcept {
+    add(x);
+    return *this;
+  }
+
+  /// The compensated total.
+  [[nodiscard]] double value() const noexcept { return sum_ + comp_; }
+
+  void reset(double initial = 0.0) noexcept {
+    sum_ = initial;
+    comp_ = 0.0;
+  }
+
+ private:
+  double sum_ = 0.0;
+  double comp_ = 0.0;
+};
+
+/// One-shot compensated sum over any range of values convertible to double.
+template <typename Range>
+[[nodiscard]] double det_sum(const Range& values) {
+  DetSum acc;
+  for (const auto& v : values) acc.add(static_cast<double>(v));
+  return acc.value();
+}
+
+[[nodiscard]] inline double det_sum(std::initializer_list<double> values) {
+  DetSum acc;
+  for (double v : values) acc.add(v);
+  return acc.value();
+}
+
+}  // namespace hepvine::util

@@ -1,0 +1,35 @@
+// Centralized environment access.
+//
+// Reading ambient process state is a determinism hazard: a run whose
+// behaviour depends on an unlogged environment variable cannot be
+// replayed from its transaction log alone. vine_lint rule VL002
+// (ambient-entropy) therefore bans `getenv` outside util/; harness code
+// that genuinely needs an env knob (bench fast-mode, txn-log capture
+// paths) reads it through these helpers so every such knob is greppable
+// from one choke point.
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+namespace hepvine::util {
+
+/// Raw lookup; nullptr when unset.
+[[nodiscard]] inline const char* env_cstr(const char* name) {
+  return std::getenv(name);
+}
+
+/// True when the variable is set to anything but "" or "0".
+[[nodiscard]] inline bool env_flag(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && !(v[0] == '0' && v[1] == '\0');
+}
+
+/// The variable's value, or `fallback` when unset.
+[[nodiscard]] inline std::string env_or(const char* name,
+                                        const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::string(v) : fallback;
+}
+
+}  // namespace hepvine::util

@@ -1,0 +1,23 @@
+// Fixture: VL002 must flag wall-clock and ambient-entropy sources.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+long wall_clock() {
+  return static_cast<long>(time(nullptr));  // flagged: time()
+}
+
+int ambient_random() {
+  std::random_device rd;  // flagged: random_device
+  return static_cast<int>(rd());
+}
+
+const char* ambient_config() {
+  return std::getenv("SOME_KNOB");  // flagged: getenv()
+}
+
+double now_seconds() {
+  const auto now = std::chrono::system_clock::now();  // flagged: system_clock
+  return std::chrono::duration<double>(now.time_since_epoch()).count();
+}

@@ -1,0 +1,19 @@
+// Fixture: VL002 must stay quiet on member functions that merely share a
+// banned name, and on identifiers containing banned words.
+struct Engine {
+  long clock() const { return now_us; }
+  long time(int scale) const { return now_us * scale; }
+  long now_us = 0;
+};
+
+struct Timer {
+  long time_us = 0;  // identifier contains "time": fine
+};
+
+long virtual_time(const Engine& engine) {
+  return engine.clock() + engine.time(2);  // member calls: fine
+}
+
+long runtime(long run_time) {  // substrings of banned names: fine
+  return run_time;
+}

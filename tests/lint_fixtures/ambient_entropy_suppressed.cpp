@@ -1,0 +1,15 @@
+// Fixture: harness-style wall-clock measurement, sanctioned per line.
+#include <chrono>
+#include <cstdlib>
+
+double measure_wall_seconds() {
+  // vine-lint: suppress(ambient-entropy)
+  const auto t0 = std::chrono::steady_clock::now();
+  // vine-lint: suppress(ambient-entropy)
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+const char* knob() {
+  return std::getenv("KNOB");  // vine-lint: suppress(ambient-entropy)
+}

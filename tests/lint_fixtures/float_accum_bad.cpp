@@ -1,0 +1,16 @@
+// Fixture: VL006 must flag naive float accumulation in digest-path files.
+struct Digest128 {
+  unsigned long long lo = 0;
+  unsigned long long hi = 0;
+};
+
+double digest_weight(const double* xs, int n, Digest128& d) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += xs[i];  // flagged: order-sensitive rounding feeds the digest
+  }
+  double spill = 0, bias = 1;
+  spill -= bias;  // flagged: comma-declared accumulator
+  d.lo ^= static_cast<unsigned long long>(acc + spill);
+  return acc;
+}

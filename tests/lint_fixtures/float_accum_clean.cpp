@@ -1,0 +1,19 @@
+// Fixture: VL006 must stay quiet on DetSum-based accumulation and on
+// integral accumulators, even in a file that calls add_to_digest().
+#include "util/det_sum.h"
+
+struct Digest128 {
+  unsigned long long lo = 0;
+  unsigned long long hi = 0;
+};
+
+void add_to_digest(Digest128& d, unsigned long long v);
+
+double digest_weight(const double* xs, int n, Digest128& d) {
+  hepvine::util::DetSum acc;
+  for (int i = 0; i < n; ++i) acc.add(xs[i]);  // compensated: fine
+  unsigned long long count = 0;
+  for (int i = 0; i < n; ++i) count += 1;  // integral accumulation: fine
+  add_to_digest(d, count);
+  return acc.value();
+}

@@ -1,0 +1,15 @@
+// Fixture: suppression sanctions a float accumulation that provably cannot
+// drift (all addends are exact powers of two).
+struct Digest128 {
+  unsigned long long lo = 0;
+  unsigned long long hi = 0;
+};
+
+double digest_halves(int n, Digest128& d) {
+  double acc = 0;
+  for (int i = 0; i < n; ++i) {
+    acc += 0.5;  // vine-lint: suppress(float-accum)
+  }
+  d.lo ^= static_cast<unsigned long long>(acc);
+  return acc;
+}

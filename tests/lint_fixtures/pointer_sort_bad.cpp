@@ -1,0 +1,22 @@
+// Fixture: VL003 must flag sorts keyed on raw pointer values.
+#include <algorithm>
+#include <vector>
+
+struct Task {
+  int id = 0;
+};
+
+void sort_by_address(std::vector<Task*>& tasks) {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const Task* a, const Task* b) { return a < b; });  // flagged
+}
+
+void sort_by_address_of(std::vector<Task>& tasks) {
+  std::sort(tasks.begin(), tasks.end(), [](const Task& a, const Task& b) {
+    return &a < &b;  // flagged: address-of comparison
+  });
+}
+
+void sort_without_key(std::vector<Task*>& tasks) {
+  std::sort(tasks.begin(), tasks.end());  // flagged: pointer container
+}

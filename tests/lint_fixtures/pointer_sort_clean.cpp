@@ -1,0 +1,22 @@
+// Fixture: VL003 must stay quiet on key-based comparators, including ones
+// that dereference pointer parameters.
+#include <algorithm>
+#include <vector>
+
+struct Task {
+  int id = 0;
+  double priority = 0;
+};
+
+void sort_by_id(std::vector<Task*>& tasks) {
+  std::sort(tasks.begin(), tasks.end(),
+            [](const Task* a, const Task* b) { return a->id < b->id; });
+}
+
+void sort_by_value(std::vector<Task>& tasks) {
+  std::sort(tasks.begin(), tasks.end(), [](const Task& a, const Task& b) {
+    return a.priority < b.priority;
+  });
+}
+
+void sort_ints(std::vector<int>& xs) { std::sort(xs.begin(), xs.end()); }

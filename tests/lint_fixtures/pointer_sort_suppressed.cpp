@@ -1,0 +1,13 @@
+// Fixture: line suppression covers the pragma line and the next one.
+#include <algorithm>
+#include <vector>
+
+struct Node {
+  int id = 0;
+};
+
+void dedupe_scratch(std::vector<Node*>& nodes) {
+  std::sort(nodes.begin(), nodes.end(),
+            // vine-lint: suppress(pointer-sort)
+            [](const Node* a, const Node* b) { return a < b; });
+}

@@ -1,0 +1,12 @@
+// Fixture: VL005 must flag txn-log lines whose subject word is not in the
+// kTxnSubjects registry.
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/txn_log.h"
+
+void emit(hepvine::obs::TxnLog& log, long long t, char* buf,
+          unsigned long n) {
+  log.line(t, "ZOMBIE 7 RISEN");  // flagged: unregistered subject
+  std::snprintf(buf, n, "%" PRId64 " GHOST %d SPOOKED", t, 3);  // flagged
+}

@@ -1,0 +1,14 @@
+// Fixture: VL005 must stay quiet on registered subjects, non-txn format
+// strings, and non-literal line() arguments.
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/txn_log.h"
+
+void emit(hepvine::obs::TxnLog& log, long long t, char* buf,
+          unsigned long n, const char* detail) {
+  log.line(t, "TASK 7 DONE outputs=1");                         // registered
+  std::snprintf(buf, n, "%" PRId64 " MANAGER 0 START", t);      // registered
+  std::snprintf(buf, n, "fraction %d of POOL", 3);              // not a txn line
+  log.line(t, detail);                                          // non-literal
+}

@@ -1,0 +1,9 @@
+// Fixture: suppression silences VL005 for an experimental subject that is
+// deliberately kept out of the registry.
+#include "obs/txn_log.h"
+
+void emit(hepvine::obs::TxnLog& log, long long t) {
+  // vine-lint: suppress(txn-subject)
+  log.line(t, "ZOMBIE 7 RISEN");
+  log.line(t, "ZOMBIE 8 FED");  // vine-lint: suppress(txn-subject)
+}

@@ -1,0 +1,14 @@
+// Fixture: VL004 must flag scalar and pointer members with no initializer.
+#include <cstdint>
+
+struct Event {
+  std::int64_t tick;   // flagged
+  unsigned worker;     // flagged
+  double weight;       // flagged
+  const char* label;   // flagged
+  int ok = 0;          // initialized: fine
+};
+
+struct Pair {
+  int a, b;  // flagged twice: comma-separated declarators
+};

@@ -1,0 +1,21 @@
+// Fixture: VL004 must stay quiet on initialized members, constructors,
+// and class-type members (which have their own default constructors).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+struct Sample {
+  std::uint64_t tick = 0;
+  double value{0};
+  bool ok = false;
+};
+
+struct Slot {
+  explicit Slot(int s) : seq(s) {}  // a user ctor may initialize members
+  int seq;
+};
+
+struct Owning {
+  std::string name;      // class-type member: default-constructs
+  std::vector<int> xs;   // template member: out of scope
+};

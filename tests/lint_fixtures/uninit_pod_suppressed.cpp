@@ -1,0 +1,7 @@
+// Fixture: line suppression silences VL004 on a scratch struct whose
+// members are always overwritten before use.
+struct Scratch {
+  // vine-lint: suppress(uninit-pod)
+  long long tick;
+  int worker;  // vine-lint: suppress(uninit-pod)
+};

@@ -1,0 +1,28 @@
+// Fixture: VL001 must flag iteration over unordered containers.
+#include <unordered_map>
+#include <unordered_set>
+
+int flag_range_for() {
+  std::unordered_map<int, int> counts;
+  counts[1] = 2;
+  int total = 0;
+  for (const auto& [k, v] : counts) {  // flagged: range-for
+    total += k + v;
+  }
+  return total;
+}
+
+int flag_begin() {
+  std::unordered_set<int> seen;
+  auto it = seen.begin();  // flagged: .begin()
+  return it == seen.end() ? 0 : *it;
+}
+
+using HotMap = std::unordered_map<int, double>;
+
+double flag_alias() {
+  HotMap rates;
+  double acc = 0;
+  for (const auto& kv : rates) acc += kv.second;  // flagged: alias range-for
+  return acc;
+}

@@ -1,0 +1,26 @@
+// Fixture: VL001 must stay quiet on ordered iteration and on pure
+// lookups against unordered containers.
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+int ordered_iteration() {
+  std::map<int, int> counts;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += k + v;  // ordered: fine
+  return total;
+}
+
+bool lookup_only(int key) {
+  std::unordered_map<int, int> index;
+  index[key] = 1;
+  auto it = index.find(key);   // point lookup: fine
+  return it != index.end() && index.count(key) > 0;
+}
+
+int vector_loop() {
+  std::vector<int> values{1, 2, 3};
+  int total = 0;
+  for (int v : values) total += v;
+  return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: the file-level allow pragma silences VL001 everywhere.
+// vine-lint: allow(unordered-iter)
+#include <unordered_map>
+
+int allowed_iteration() {
+  std::unordered_map<int, int> counts;
+  int total = 0;
+  for (const auto& [k, v] : counts) total += k + v;  // allowed by pragma
+  auto it = counts.begin();                          // allowed by pragma
+  return total + (it == counts.end() ? 0 : it->second);
+}

@@ -445,8 +445,8 @@ TEST_P(RecomputePathParam, StarvedFlowIsRescuedNotHung) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RecomputePaths, RecomputePathParam, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Incremental" : "Reference";
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Incremental" : "Reference";
                          });
 
 class FlowCountParam : public ::testing::TestWithParam<int> {};

@@ -157,8 +157,8 @@ TEST_P(RecomputePath, EveryFlowIsBottleneckedAtASaturatedLink) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Paths, RecomputePath, ::testing::Bool(),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "Incremental" : "Reference";
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "Incremental" : "Reference";
                          });
 
 // --- low-level differential: both paths, same event stream ---------------

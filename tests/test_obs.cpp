@@ -263,6 +263,44 @@ TEST(TxnQuery, ParsesEachLineShape) {
   EXPECT_FALSE(obs::txnq::parse_line("not a number HERE").has_value());
 }
 
+// Regression: FAULT (`time FAULT seq KIND detail`) and NET
+// (`time NET flow_id WARN detail`) carry an id-first field. Before the
+// subject registry in txn_log.h, subject_has_id() did not know them, so
+// the id landed in `verb` and the verb was pushed into `rest`.
+TEST(TxnQuery, ParsesFaultAndNetSubjectIds) {
+  auto ev = obs::txnq::parse_line("12 FAULT 3 CRASH worker=2");
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->t, 12);
+  EXPECT_EQ(ev->subject, "FAULT");
+  EXPECT_EQ(ev->id, 3);
+  EXPECT_EQ(ev->verb, "CRASH");
+  ASSERT_EQ(ev->rest.size(), 1u);
+  EXPECT_EQ(ev->rest[0], "worker=2");
+
+  ev = obs::txnq::parse_line("77 NET 5 WARN flow stalled");
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->subject, "NET");
+  EXPECT_EQ(ev->id, 5);
+  EXPECT_EQ(ev->verb, "WARN");
+  ASSERT_EQ(ev->rest.size(), 2u);
+}
+
+TEST(TxnLog, SubjectRegistryCoversGrammar) {
+  for (const char* s : {"MANAGER", "TASK", "WORKER", "CACHE", "TRANSFER",
+                        "LIBRARY", "FAULT", "NET"}) {
+    EXPECT_TRUE(obs::txn_subject_registered(s)) << s;
+  }
+  EXPECT_FALSE(obs::txn_subject_registered("ZOMBIE"));
+  EXPECT_FALSE(obs::txn_subject_registered(""));
+
+  EXPECT_TRUE(obs::txn_subject_id_first("TASK"));
+  EXPECT_TRUE(obs::txn_subject_id_first("FAULT"));
+  EXPECT_TRUE(obs::txn_subject_id_first("NET"));
+  // TRANSFER leads with src/dst endpoints, not a single id.
+  EXPECT_FALSE(obs::txn_subject_id_first("TRANSFER"));
+  EXPECT_FALSE(obs::txn_subject_id_first("ZOMBIE"));
+}
+
 TEST(TxnQuery, ReconstructsLifetimeAndBreakdown) {
   const std::string log =
       "0 MANAGER 0 START\n"

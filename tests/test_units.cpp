@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "util/det_sum.h"
+
 namespace hepvine::util {
 namespace {
 
@@ -43,6 +47,55 @@ TEST(Units, FormatDuration) {
   EXPECT_EQ(format_duration(seconds(5.25)), "5.2s");
   EXPECT_EQ(format_duration(seconds(125.0)), "2m05.0s");
   EXPECT_EQ(format_duration(seconds(3725.0)), "1h02m05s");
+}
+
+TEST(DetSum, RecoversBitsNaiveSummationLoses) {
+  // Naive left-to-right: (1e16 + 1) - 1e16 == 0 in double. Compensated
+  // summation keeps the low-order 1.0 alive.
+  double naive = 0;
+  DetSum comp;
+  for (double x : {1e16, 1.0, -1e16}) {
+    naive += x;
+    comp.add(x);
+  }
+  EXPECT_EQ(naive, 0.0);
+  EXPECT_EQ(comp.value(), 1.0);
+}
+
+TEST(DetSum, NeumaierHandlesAddendLargerThanSum) {
+  // Kahan's original scheme loses the compensation when the incoming
+  // addend dominates the running sum; Neumaier's branch keeps it.
+  DetSum s;
+  s.add(1.0);
+  s.add(1e100);
+  s.add(1.0);
+  s.add(-1e100);
+  EXPECT_EQ(s.value(), 2.0);
+}
+
+TEST(DetSum, MatchesExactArithmeticOnQuantizedWeights) {
+  // Scheduler weights are quantized to 1/1024, so sums are exact; DetSum
+  // must agree bit-for-bit with the naive sum in that regime.
+  double naive = 0;
+  DetSum s;
+  for (int i = 1; i <= 4096; ++i) {
+    const double w = static_cast<double>(i % 97) / 1024.0;
+    naive += w;
+    s += w;
+  }
+  EXPECT_EQ(s.value(), naive);
+}
+
+TEST(DetSum, InitialValueResetAndRangeHelper) {
+  DetSum s(5.0);
+  s.add(2.5);
+  EXPECT_EQ(s.value(), 7.5);
+  s.reset();
+  EXPECT_EQ(s.value(), 0.0);
+
+  const std::vector<double> xs = {1e16, 1.0, -1e16, 1.0};
+  EXPECT_EQ(det_sum(xs), 2.0);
+  EXPECT_EQ(det_sum({0.25, 0.5, 0.25}), 1.0);
 }
 
 }  // namespace

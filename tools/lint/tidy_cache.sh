@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# Incremental clang-tidy over compile_commands.json.
+#
+# Each translation unit is skipped when a stamp for
+#   sha256(TU source + all tracked headers + .clang-tidy + tidy version)
+# already exists, so a re-run after an unrelated change is near-free. CI
+# persists the stamp directory across runs with actions/cache, keyed on
+# the same compiler/config hash.
+#
+# Usage: tools/lint/tidy_cache.sh <build-dir>
+# Env:   CLANG_TIDY       clang-tidy binary (default: clang-tidy)
+#        TIDY_CACHE_DIR   stamp directory (default: <build-dir>/.tidy-cache)
+set -euo pipefail
+
+BUILD_DIR=${1:?usage: tidy_cache.sh <build-dir>}
+CLANG_TIDY=${CLANG_TIDY:-clang-tidy}
+CACHE_DIR=${TIDY_CACHE_DIR:-${BUILD_DIR}/.tidy-cache}
+DB="${BUILD_DIR}/compile_commands.json"
+
+if ! command -v "${CLANG_TIDY}" >/dev/null 2>&1; then
+  echo "tidy_cache: ${CLANG_TIDY} not found, skipping" >&2
+  exit 0
+fi
+if [ ! -f "${DB}" ]; then
+  echo "tidy_cache: ${DB} missing (configure with CMake first)" >&2
+  exit 2
+fi
+mkdir -p "${CACHE_DIR}"
+
+# Config hash: tidy version + profile + every header a TU might include.
+# A header edit therefore invalidates every stamp; per-TU hashes below
+# keep unrelated .cpp edits cheap.
+CFG_HASH=$( {
+  "${CLANG_TIDY}" --version
+  cat .clang-tidy
+  find src bench tools -name '*.h' -o -name '*.hpp' | LC_ALL=C sort |
+    xargs cat
+} | sha256sum | cut -c1-16)
+
+# TU list from the compilation database, restricted to our own tree.
+mapfile -t FILES < <(grep -o '"file": *"[^"]*"' "${DB}" |
+  sed 's/.*"file": *"//; s/"$//' | LC_ALL=C sort -u |
+  grep -E '/(src|bench|tools)/')
+
+fail=0
+ran=0
+skipped=0
+for f in "${FILES[@]}"; do
+  [ -f "$f" ] || continue
+  tu_hash=$(sha256sum "$f" | cut -c1-16)
+  stamp="${CACHE_DIR}/$(printf '%s' "${f}-${tu_hash}-${CFG_HASH}" |
+    sha256sum | cut -c1-32)"
+  if [ -e "${stamp}" ]; then
+    skipped=$((skipped + 1))
+    continue
+  fi
+  echo "clang-tidy ${f}"
+  if "${CLANG_TIDY}" -p "${BUILD_DIR}" --quiet "$f"; then
+    touch "${stamp}"
+  else
+    fail=1
+  fi
+  ran=$((ran + 1))
+done
+
+echo "tidy_cache: ${ran} linted, ${skipped} cached, config ${CFG_HASH}"
+exit "${fail}"

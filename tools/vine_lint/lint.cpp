@@ -1,0 +1,1197 @@
+#include "lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace hepvine::lint {
+
+namespace {
+
+const RuleInfo kRules[kRuleCount] = {
+    {Rule::kUnorderedIter, "VL001", "unordered-iter",
+     "iterate a deterministically ordered snapshot (std::map, or sort the "
+     "keys first); if the order provably never escapes the loop, annotate "
+     "the file with // vine-lint: allow(unordered-iter)"},
+    {Rule::kAmbientEntropy, "VL002", "ambient-entropy",
+     "simulation code must take time from the engine clock and randomness "
+     "from sim::Rng (xoshiro256**); read the environment only through the "
+     "util/env.h helpers"},
+    {Rule::kPointerSort, "VL003", "pointer-sort",
+     "sort on a stable key (id, name, tick) instead of an address; pointer "
+     "values differ run to run with ASLR and allocation order"},
+    {Rule::kUninitPod, "VL004", "uninit-pod",
+     "brace- or equals-initialize the member (e.g. `std::uint64_t seq = 0;`) "
+     "so structs crossing the txn-log/digest boundary never carry "
+     "indeterminate bytes"},
+    {Rule::kTxnSubject, "VL005", "txn-subject",
+     "register the subject in kTxnSubjects in obs/txn_log.h so txn_query "
+     "can parse the line"},
+    {Rule::kFloatAccum, "VL006", "float-accum",
+     "accumulate through util::DetSum (compensated summation) so digest "
+     "inputs do not drift with rounding order"},
+};
+
+// ---------------------------------------------------------------------------
+// Lexer: a C++-shaped token stream plus the comment list (for pragmas).
+// Preprocessor directives are skipped; adjacent analysis that needs them
+// (include detection, VL005/VL006 file gates) works on the raw text.
+// ---------------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind = kPunct;
+  std::string text;  // for kString: the literal's inner content, unquoted
+  int line = 0;
+};
+
+struct Comment {
+  std::string text;
+  int line = 0;
+};
+
+struct LexResult {
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+LexResult lex(const std::string& text) {
+  LexResult out;
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;
+
+  auto push = [&](Token::Kind kind, std::string body, int at) {
+    out.tokens.push_back(Token{kind, std::move(body), at});
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Preprocessor directive: skip to end of line, honoring continuations.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (text[i] == '\\' && i + 1 < n && text[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        if (text[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Comments.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t end = text.find('\n', i);
+      if (end == std::string::npos) end = n;
+      out.comments.push_back(Comment{text.substr(i + 2, end - i - 2), line});
+      i = end;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      const int start_line = line;
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      out.comments.push_back(
+          Comment{text.substr(i + 2, j - i - 2), start_line});
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // String literal (with optional raw-string handling via the ident path).
+    if (c == '"') {
+      std::string body;
+      std::size_t j = i + 1;
+      while (j < n && text[j] != '"') {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') ++line;  // unterminated; be forgiving
+        body += text[j];
+        ++j;
+      }
+      push(Token::kString, body, line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != '\'') {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        body += text[j];
+        ++j;
+      }
+      push(Token::kChar, body, line);
+      i = (j < n) ? j + 1 : n;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       text[j] == '\'' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E' ||
+                         text[j - 1] == 'p' || text[j - 1] == 'P')))) {
+        ++j;
+      }
+      push(Token::kNumber, text.substr(i, j - i), line);
+      i = j;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      std::string id = text.substr(i, j - i);
+      // Raw string literal: R"delim( ... )delim"
+      if (j < n && text[j] == '"' && !id.empty() && id.back() == 'R') {
+        std::size_t open = text.find('(', j + 1);
+        if (open != std::string::npos) {
+          const std::string delim = text.substr(j + 1, open - j - 1);
+          const std::string closer = ")" + delim + "\"";
+          std::size_t close = text.find(closer, open + 1);
+          if (close == std::string::npos) close = n;
+          std::string body = text.substr(open + 1, close - open - 1);
+          line += static_cast<int>(
+              std::count(body.begin(), body.end(), '\n'));
+          push(Token::kString, std::move(body), line);
+          i = (close == n) ? n : close + closer.size();
+          continue;
+        }
+      }
+      push(Token::kIdent, std::move(id), line);
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation we care about; everything else single-char.
+    static const char* kTwoChar[] = {"::", "->", "++", "--", "+=", "-=",
+                                     "*=", "/=", "%=", "&=", "|=", "^=",
+                                     "==", "!=", "<=", ">=", "&&", "||"};
+    bool matched = false;
+    if (i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      for (const char* p : kTwoChar) {
+        if (two == p) {
+          push(Token::kPunct, two, line);
+          i += 2;
+          matched = true;
+          break;
+        }
+      }
+    }
+    if (!matched) {
+      push(Token::kPunct, std::string(1, c), line);
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Pragmas: // vine-lint: allow(rule) | suppress(rule)
+// allow() covers the whole file; suppress() covers its own line and the next.
+// ---------------------------------------------------------------------------
+
+struct Pragmas {
+  std::set<Rule> allowed;
+  std::map<int, std::set<Rule>> suppressed_at;
+};
+
+Pragmas collect_pragmas(const std::vector<Comment>& comments) {
+  Pragmas out;
+  for (const Comment& c : comments) {
+    std::size_t pos = 0;
+    while ((pos = c.text.find("vine-lint:", pos)) != std::string::npos) {
+      pos += 10;
+      // Parse a run of op(rule-name) groups.
+      std::size_t p = pos;
+      while (p < c.text.size()) {
+        while (p < c.text.size() &&
+               std::isspace(static_cast<unsigned char>(c.text[p])) != 0) {
+          ++p;
+        }
+        std::size_t word_start = p;
+        while (p < c.text.size() &&
+               (ident_char(c.text[p]) || c.text[p] == '-')) {
+          ++p;
+        }
+        const std::string op = c.text.substr(word_start, p - word_start);
+        if ((op != "allow" && op != "suppress") || p >= c.text.size() ||
+            c.text[p] != '(') {
+          break;
+        }
+        ++p;
+        std::size_t name_start = p;
+        while (p < c.text.size() && c.text[p] != ')') ++p;
+        const std::string name = c.text.substr(name_start, p - name_start);
+        if (p < c.text.size()) ++p;  // ')'
+        if (auto rule = rule_from_name(name)) {
+          if (op == "allow") {
+            out.allowed.insert(*rule);
+          } else {
+            out.suppressed_at[c.line].insert(*rule);
+          }
+        }
+      }
+      pos = p;
+    }
+  }
+  return out;
+}
+
+bool is_suppressed(const Pragmas& p, Rule rule, int line) {
+  if (p.allowed.count(rule) != 0) return true;
+  for (int l : {line, line - 1}) {
+    auto it = p.suppressed_at.find(l);
+    if (it != p.suppressed_at.end() && it->second.count(rule) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Shared per-file context and token helpers.
+// ---------------------------------------------------------------------------
+
+struct FileCtx {
+  const std::string& path;
+  const std::string& raw;
+  const std::vector<Token>& toks;
+  const Pragmas& pragmas;
+  std::vector<Finding>& out;
+
+  void report(Rule rule, int line, std::string msg) const {
+    if (is_suppressed(pragmas, rule, line)) return;
+    out.push_back(Finding{path, line, rule, std::move(msg)});
+  }
+};
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// `i` indexes an open token; returns the index of the matching close
+/// (same nesting family only), or toks.size() when unbalanced.
+std::size_t match_forward(const std::vector<Token>& t, std::size_t i,
+                          const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size(); ++k) {
+    if (t[k].kind != Token::kPunct) continue;
+    if (t[k].text == open) {
+      ++depth;
+    } else if (t[k].text == close) {
+      --depth;
+      if (depth == 0) return k;
+    }
+  }
+  return t.size();
+}
+
+bool tok_is(const std::vector<Token>& t, std::size_t i, const char* s) {
+  return i < t.size() && t[i].text == s;
+}
+
+bool path_contains_dir(const std::string& path, const std::string& dir) {
+  const std::string needle = "/" + dir + "/";
+  if (path.find(needle) != std::string::npos) return true;
+  return path.rfind(dir + "/", 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// VL001 unordered-iter
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& unordered_type_names() {
+  static const std::set<std::string> kSet = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+  return kSet;
+}
+
+bool is_begin_like(const std::string& s) {
+  return s == "begin" || s == "cbegin" || s == "rbegin" || s == "crbegin";
+}
+
+void rule_unordered_iter(const FileCtx& ctx) {
+  const auto& t = ctx.toks;
+  std::set<std::string> vars;
+  std::set<std::string> aliases;
+
+  // Pass A: declarations and `using Alias = std::unordered_...` aliases.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const bool direct = unordered_type_names().count(t[i].text) != 0;
+    const bool via_alias = aliases.count(t[i].text) != 0;
+    if (!direct && !via_alias) continue;
+
+    // `using Alias = [std::]unordered_map<...>` registers the alias.
+    std::size_t base = i;
+    if (base >= 2 && t[base - 1].text == "::" && t[base - 2].text == "std") {
+      base -= 2;
+    }
+    if (direct && base >= 3 && t[base - 1].text == "=" &&
+        t[base - 2].kind == Token::kIdent && t[base - 3].text == "using") {
+      aliases.insert(t[base - 2].text);
+      continue;
+    }
+
+    std::size_t j = i + 1;
+    if (direct) {
+      if (!tok_is(t, j, "<")) continue;  // not a concrete type use
+      j = match_forward(t, j, "<", ">");
+      if (j >= t.size()) continue;
+      ++j;
+    }
+    if (tok_is(t, j, "::")) {
+      if (j + 1 < t.size() && (t[j + 1].text == "iterator" ||
+                               t[j + 1].text == "const_iterator")) {
+        ctx.report(Rule::kUnorderedIter, t[i].line,
+                   "explicit iterator type over " + t[i].text +
+                       " — traversal order is nondeterministic");
+      }
+      continue;
+    }
+    while (j < t.size() &&
+           (t[j].text == "const" || t[j].text == "&" || t[j].text == "*")) {
+      ++j;
+    }
+    if (j < t.size() && t[j].kind == Token::kIdent) {
+      vars.insert(t[j].text);
+    }
+  }
+
+  // Pass B: range-for over a tracked name, or .begin()-family calls on one.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind == Token::kIdent && t[i].text == "for" &&
+        tok_is(t, i + 1, "(")) {
+      const std::size_t close = match_forward(t, i + 1, "(", ")");
+      std::size_t colon = kNpos;
+      int depth = 0;
+      for (std::size_t k = i + 2; k < close; ++k) {
+        const std::string& s = t[k].text;
+        if (s == "(" || s == "[" || s == "{") {
+          ++depth;
+        } else if (s == ")" || s == "]" || s == "}") {
+          --depth;
+        } else if (depth == 0 && s == ";") {
+          break;  // classic for loop
+        } else if (depth == 0 && s == ":") {
+          colon = k;
+          break;
+        }
+      }
+      if (colon != kNpos) {
+        for (std::size_t k = colon + 1; k < close; ++k) {
+          if (t[k].kind != Token::kIdent) continue;
+          if (vars.count(t[k].text) != 0 ||
+              unordered_type_names().count(t[k].text) != 0 ||
+              aliases.count(t[k].text) != 0) {
+            ctx.report(Rule::kUnorderedIter, t[k].line,
+                       "range-for over unordered container '" + t[k].text +
+                           "' — iteration order is nondeterministic");
+            break;
+          }
+        }
+      }
+    }
+    if (t[i].kind == Token::kIdent && vars.count(t[i].text) != 0 &&
+        i + 3 < t.size() &&
+        (t[i + 1].text == "." || t[i + 1].text == "->") &&
+        t[i + 2].kind == Token::kIdent && is_begin_like(t[i + 2].text) &&
+        t[i + 3].text == "(") {
+      ctx.report(Rule::kUnorderedIter, t[i].line,
+                 "iteration over unordered container '" + t[i].text +
+                     "' via ." + t[i + 2].text + "()");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL002 ambient-entropy
+// ---------------------------------------------------------------------------
+
+void rule_ambient_entropy(const FileCtx& ctx) {
+  if (path_contains_dir(ctx.path, "src/util") ||
+      path_contains_dir(ctx.path, "util")) {
+    return;  // util/ is the sanctioned wrapper layer
+  }
+  static const std::set<std::string> kBannedCalls = {
+      "rand",          "srand",      "random",       "drand48",
+      "lrand48",       "mrand48",    "time",         "clock",
+      "gettimeofday",  "localtime",  "gmtime",       "mktime",
+      "getenv",        "secure_getenv", "setenv",    "putenv",
+      "clock_gettime"};
+  static const std::set<std::string> kBannedEntities = {
+      "random_device", "system_clock", "steady_clock",
+      "high_resolution_clock"};
+  // Identifier-shaped tokens after which `name(` is still a call expression
+  // rather than a declaration of `name`.
+  static const std::set<std::string> kExprKeywords = {
+      "return", "co_return", "co_await", "co_yield", "throw", "case",
+      "else",   "do",        "sizeof",   "new",      "delete"};
+  const auto& t = ctx.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    const std::string& s = t[i].text;
+    if (kBannedEntities.count(s) != 0) {
+      const bool qualified = (i > 0 && t[i - 1].text == "::") ||
+                             tok_is(t, i + 1, "::");
+      if (qualified) {
+        ctx.report(Rule::kAmbientEntropy, t[i].line,
+                   "ambient entropy / wall-clock source 'std::" + s + "'");
+      }
+      continue;
+    }
+    if (kBannedCalls.count(s) != 0 && tok_is(t, i + 1, "(")) {
+      if (i > 0 && (t[i - 1].text == "." || t[i - 1].text == "->")) {
+        continue;  // member call on some object, e.g. engine.clock()
+      }
+      if (i > 0 && t[i - 1].kind == Token::kIdent &&
+          kExprKeywords.count(t[i - 1].text) == 0 && t[i - 1].text != "::") {
+        // `long clock() const` / `auto time(...)`: a declaration that merely
+        // shares the banned name, not a call into libc.
+        continue;
+      }
+      if (i > 0 && t[i - 1].text == "::") {
+        // Only std:: or the global namespace count as the libc function.
+        if (i >= 2 && t[i - 2].kind == Token::kIdent &&
+            t[i - 2].text != "std") {
+          continue;
+        }
+      }
+      ctx.report(Rule::kAmbientEntropy, t[i].line,
+                 "call to ambient entropy / wall-clock function '" + s +
+                     "()'");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL003 pointer-sort
+// ---------------------------------------------------------------------------
+
+void rule_pointer_sort(const FileCtx& ctx) {
+  const auto& t = ctx.toks;
+
+  // Track vectors of pointers so comparator-less sorts over them flag.
+  std::set<std::string> ptr_containers;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == Token::kIdent && t[i].text == "vector" &&
+        t[i + 1].text == "<") {
+      const std::size_t close = match_forward(t, i + 1, "<", ">");
+      if (close >= t.size() || close < 2 || t[close - 1].text != "*") {
+        continue;
+      }
+      std::size_t j = close + 1;
+      while (j < t.size() &&
+             (t[j].text == "const" || t[j].text == "&" || t[j].text == "*")) {
+        ++j;
+      }
+      if (j < t.size() && t[j].kind == Token::kIdent) {
+        ptr_containers.insert(t[j].text);
+      }
+    }
+  }
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent ||
+        (t[i].text != "sort" && t[i].text != "stable_sort" &&
+         t[i].text != "partial_sort") ||
+        !tok_is(t, i + 1, "(")) {
+      continue;
+    }
+    const std::size_t open = i + 1;
+    const std::size_t close = match_forward(t, open, "(", ")");
+    if (close >= t.size()) continue;
+    const int call_line = t[i].line;
+
+    bool has_comparator = false;
+
+    // std::less<T*> as comparator.
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (t[k].kind == Token::kIdent && t[k].text == "less" &&
+          tok_is(t, k + 1, "<")) {
+        const std::size_t lc = match_forward(t, k + 1, "<", ">");
+        has_comparator = true;
+        if (lc < close && lc >= 1 && t[lc - 1].text == "*") {
+          ctx.report(Rule::kPointerSort, t[k].line,
+                     "std::less over a pointer type orders by address");
+        }
+      }
+    }
+
+    // Lambda comparator.
+    for (std::size_t k = open + 1; k < close; ++k) {
+      if (t[k].text != "[") continue;
+      const std::size_t cap_close = match_forward(t, k, "[", "]");
+      if (cap_close >= close || !tok_is(t, cap_close + 1, "(")) continue;
+      const std::size_t p_open = cap_close + 1;
+      const std::size_t p_close = match_forward(t, p_open, "(", ")");
+      if (p_close >= close) continue;
+      has_comparator = true;
+
+      // Parse parameters: name = last ident per comma-separated chunk.
+      std::set<std::string> ptr_params;
+      std::set<std::string> all_params;
+      {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks;
+        std::size_t start = p_open + 1;
+        int depth = 0;
+        for (std::size_t m = p_open + 1; m <= p_close; ++m) {
+          const std::string& s = t[m].text;
+          if (s == "(" || s == "[" || s == "{" || s == "<") {
+            ++depth;
+          } else if (s == ")" || s == "]" || s == "}" || s == ">") {
+            if (m == p_close) {
+              chunks.emplace_back(start, m);
+              break;
+            }
+            --depth;
+          } else if (depth == 0 && s == ",") {
+            chunks.emplace_back(start, m);
+            start = m + 1;
+          }
+        }
+        for (auto [b, e] : chunks) {
+          std::string name;
+          bool is_ptr = false;
+          for (std::size_t m = b; m < e; ++m) {
+            if (t[m].kind == Token::kIdent) name = t[m].text;
+            if (t[m].text == "*") is_ptr = true;
+          }
+          if (name.empty()) continue;
+          all_params.insert(name);
+          if (is_ptr) ptr_params.insert(name);
+        }
+      }
+
+      std::size_t b_open = p_close + 1;
+      while (b_open < close && t[b_open].text != "{") ++b_open;
+      if (b_open >= close) continue;
+      const std::size_t b_close = match_forward(t, b_open, "{", "}");
+
+      static const std::set<std::string> kRelOps = {"<", ">", "<=", ">="};
+      for (std::size_t m = b_open + 1; m < b_close && m < close; ++m) {
+        if (t[m].kind != Token::kPunct || kRelOps.count(t[m].text) == 0) {
+          continue;
+        }
+        if (m < 1 || m + 1 >= t.size()) continue;
+        const Token& lhs = t[m - 1];
+        const Token& rhs = t[m + 1];
+        // &a < &b — comparing addresses of anything.
+        if (m >= 2 && t[m - 2].text == "&" && rhs.text == "&") {
+          ctx.report(Rule::kPointerSort, t[m].line,
+                     "comparator orders by address-of (&) — addresses are "
+                     "not stable across runs");
+          continue;
+        }
+        // Raw pointer params compared without dereference.
+        if (lhs.kind == Token::kIdent && rhs.kind == Token::kIdent &&
+            ptr_params.count(lhs.text) != 0 &&
+            ptr_params.count(rhs.text) != 0) {
+          const bool lhs_deref = m >= 2 && t[m - 2].text == "*";
+          const bool rhs_member =
+              m + 2 < t.size() &&
+              (t[m + 2].text == "." || t[m + 2].text == "->");
+          if (!lhs_deref && !rhs_member) {
+            ctx.report(Rule::kPointerSort, t[m].line,
+                       "comparator orders raw pointers '" + lhs.text +
+                           "' and '" + rhs.text + "' by address");
+          }
+        }
+      }
+    }
+
+    // Comparator-less sort over a container of pointers.
+    if (!has_comparator) {
+      for (std::size_t k = open + 1; k < close; ++k) {
+        if (t[k].kind == Token::kIdent && ptr_containers.count(t[k].text) &&
+            k + 2 < close && (t[k + 1].text == "." || t[k + 1].text == "->") &&
+            t[k + 2].text == "begin") {
+          ctx.report(Rule::kPointerSort, call_line,
+                     "sorting container of pointers '" + t[k].text +
+                         "' without a key-based comparator orders by "
+                         "address");
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL004 uninit-pod
+// ---------------------------------------------------------------------------
+
+bool is_scalar_word(const std::string& s) {
+  static const std::set<std::string> kScalars = {
+      "bool",    "char",    "wchar_t",  "char8_t",  "char16_t", "char32_t",
+      "short",   "int",     "long",     "float",    "double",   "unsigned",
+      "signed",  "size_t",  "ptrdiff_t", "intptr_t", "uintptr_t", "Tick"};
+  if (kScalars.count(s) != 0) return true;
+  // (u)int{8,16,32,64}[_least|_fast]_t
+  std::size_t p = 0;
+  if (p < s.size() && s[p] == 'u') ++p;
+  if (s.compare(p, 3, "int") != 0) return false;
+  p += 3;
+  std::size_t d = p;
+  while (d < s.size() && std::isdigit(static_cast<unsigned char>(s[d])) != 0) {
+    ++d;
+  }
+  if (d == p) return false;
+  return s.compare(d, std::string::npos, "_t") == 0 ||
+         s.compare(d, std::string::npos, "_least_t") == 0 ||
+         s.compare(d, std::string::npos, "_fast_t") == 0;
+}
+
+struct PendingField {
+  int line = 0;
+  std::string name;
+  std::string type;
+};
+
+void analyze_struct(const FileCtx& ctx, const std::string& sname,
+                    std::size_t body_begin, std::size_t body_end) {
+  const auto& t = ctx.toks;
+  bool has_ctor = false;
+  std::vector<PendingField> pending;
+
+  std::size_t k = body_begin;
+  while (k < body_end) {
+    // Collect one member statement; parenthesized/braced/bracketed groups
+    // collapse to their open-token marker.
+    std::vector<std::size_t> stmt;
+    bool saw_paren = false;
+    while (k < body_end) {
+      const std::string& s = t[k].text;
+      if (t[k].kind == Token::kPunct && s == ";") {
+        ++k;
+        break;
+      }
+      if (t[k].kind == Token::kPunct && s == "{") {
+        const std::size_t bc = match_forward(t, k, "{", "}");
+        if (saw_paren) {
+          // Function (or constructor) body: statement ends here.
+          k = bc + 1;
+          if (k < body_end && t[k].text == ";") ++k;
+          break;
+        }
+        stmt.push_back(k);  // in-class brace initializer marker
+        k = bc + 1;
+        continue;
+      }
+      if (t[k].kind == Token::kPunct && s == "(") {
+        saw_paren = true;
+        stmt.push_back(k);
+        k = match_forward(t, k, "(", ")") + 1;
+        continue;
+      }
+      if (t[k].kind == Token::kPunct && s == "[") {
+        stmt.push_back(k);
+        k = match_forward(t, k, "[", "]") + 1;
+        continue;
+      }
+      stmt.push_back(k);
+      ++k;
+    }
+    if (stmt.empty()) continue;
+
+    // Strip leading qualifiers that can precede either a data member or a
+    // constructor, so `explicit Foo(...)` still registers as a ctor.
+    std::size_t s0 = 0;
+    while (s0 < stmt.size() &&
+           (t[stmt[s0]].text == "mutable" || t[stmt[s0]].text == "const" ||
+            t[stmt[s0]].text == "volatile" ||
+            t[stmt[s0]].text == "explicit" ||
+            t[stmt[s0]].text == "constexpr" ||
+            t[stmt[s0]].text == "inline" ||
+            t[stmt[s0]].text == "[")) {  // leading [[attribute]]
+      ++s0;
+    }
+    if (s0 >= stmt.size()) continue;
+    const Token& first = t[stmt[s0]];
+
+    if (first.kind == Token::kIdent && first.text == sname &&
+        s0 + 1 < stmt.size() && t[stmt[s0 + 1]].text == "(") {
+      has_ctor = true;
+      continue;
+    }
+    static const std::set<std::string> kSkipLead = {
+        "public",   "private", "protected", "using",    "friend",
+        "typedef",  "template", "static",   "operator", "enum",
+        "struct",   "class",    "union",    "virtual",  "~",
+        "requires", "alignas"};
+    if (kSkipLead.count(first.text) != 0) continue;
+
+    // Templates / qualified class types: not scalar, skip whole statement.
+    bool has_angle = false;
+    std::size_t first_paren = kNpos;
+    std::size_t first_eq = kNpos;
+    for (std::size_t m = s0; m < stmt.size(); ++m) {
+      const std::string& s = t[stmt[m]].text;
+      if (s == "<") has_angle = true;
+      if (s == "(" && first_paren == kNpos) first_paren = m;
+      if (s == "=" && first_eq == kNpos) first_eq = m;
+    }
+    if (has_angle) continue;
+    if (first_paren != kNpos &&
+        (first_eq == kNpos || first_paren < first_eq)) {
+      continue;  // function declaration
+    }
+
+    // Split into comma-separated declarator chunks.
+    std::vector<std::pair<std::size_t, std::size_t>> chunks;
+    std::size_t start = s0;
+    for (std::size_t m = s0; m <= stmt.size(); ++m) {
+      if (m == stmt.size() || t[stmt[m]].text == ",") {
+        if (m > start) chunks.emplace_back(start, m);
+        start = m + 1;
+      }
+    }
+    if (chunks.empty()) continue;
+
+    // First chunk carries the type; its declarator name is the last ident
+    // before any initializer.
+    std::vector<std::string> type_words;
+    bool type_ptr = false;
+    std::string first_name;
+    int first_line = 0;
+    bool first_init = false;
+    {
+      auto [b, e] = chunks[0];
+      std::size_t limit = e;
+      for (std::size_t m = b; m < e; ++m) {
+        const std::string& s = t[stmt[m]].text;
+        if (s == "=" || s == "{") {
+          limit = m;
+          first_init = true;
+          break;
+        }
+      }
+      std::size_t name_idx = kNpos;
+      for (std::size_t m = b; m < limit; ++m) {
+        if (t[stmt[m]].kind == Token::kIdent) name_idx = m;
+      }
+      if (name_idx == kNpos) continue;
+      first_name = t[stmt[name_idx]].text;
+      first_line = t[stmt[name_idx]].line;
+      for (std::size_t m = b; m < name_idx; ++m) {
+        const Token& tk = t[stmt[m]];
+        if (tk.kind == Token::kIdent) {
+          if (tk.text != "std" && tk.text != "const" &&
+              tk.text != "volatile" && tk.text != "mutable") {
+            type_words.push_back(tk.text);
+          }
+        } else if (tk.text == "*") {
+          type_ptr = true;
+        } else if (tk.text == "&" || tk.text == "&&") {
+          type_words.clear();
+          type_ptr = false;
+          break;  // reference members are out of scope
+        }
+      }
+    }
+    if (type_words.empty() && !type_ptr) continue;
+    bool scalar = true;
+    for (const std::string& w : type_words) {
+      if (!is_scalar_word(w)) {
+        scalar = false;
+        break;
+      }
+    }
+    const bool flaggable = type_ptr || (scalar && !type_words.empty());
+    if (!flaggable) continue;
+
+    std::string type_str;
+    for (const std::string& w : type_words) {
+      if (!type_str.empty()) type_str += ' ';
+      type_str += w;
+    }
+    if (type_ptr) type_str += '*';
+
+    if (!first_init) {
+      pending.push_back(PendingField{first_line, first_name, type_str});
+    }
+    for (std::size_t ci = 1; ci < chunks.size(); ++ci) {
+      auto [b, e] = chunks[ci];
+      std::string name;
+      int line = 0;
+      bool init = false;
+      for (std::size_t m = b; m < e; ++m) {
+        const std::string& s = t[stmt[m]].text;
+        if (s == "=" || s == "{") {
+          init = true;
+          break;
+        }
+        if (t[stmt[m]].kind == Token::kIdent && name.empty()) {
+          name = s;
+          line = t[stmt[m]].line;
+        }
+      }
+      if (!name.empty() && !init) {
+        pending.push_back(PendingField{line, name, type_str});
+      }
+    }
+  }
+
+  if (has_ctor) return;  // a user constructor may initialize the members
+  for (const PendingField& f : pending) {
+    ctx.report(Rule::kUninitPod, f.line,
+               "struct '" + sname + "' member '" + f.name + "' (" + f.type +
+                   ") has no initializer");
+  }
+}
+
+void rule_uninit_pod(const FileCtx& ctx) {
+  const auto& t = ctx.toks;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "struct") continue;
+    if (i > 0 && t[i - 1].text == "enum") continue;
+    if (t[i + 1].kind != Token::kIdent) continue;
+    const std::string sname = t[i + 1].text;
+    std::size_t j = i + 2;
+    if (tok_is(t, j, "final")) ++j;
+    if (tok_is(t, j, ":")) {
+      while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+    }
+    if (!tok_is(t, j, "{")) continue;  // forward decl or elaborated use
+    const std::size_t body_close = match_forward(t, j, "{", "}");
+    if (body_close >= t.size()) continue;
+    analyze_struct(ctx, sname, j + 1, body_close);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL005 txn-subject
+// ---------------------------------------------------------------------------
+
+bool in_txn_scope(const std::string& path, const std::string& raw) {
+  if (path.find("obs/txn_log.") != std::string::npos) return true;
+  return raw.find("obs/txn_log.h\"") != std::string::npos;
+}
+
+bool all_caps_word(const std::string& s) {
+  if (s.size() < 2) return false;
+  for (char c : s) {
+    if ((c < 'A' || c > 'Z') && c != '_') return false;
+  }
+  return true;
+}
+
+/// Merge a run of adjacent string literals, treating interleaved PRIxNN
+/// macros as the `lld` length modifier they expand to. Returns the merged
+/// content and the index one past the run.
+std::pair<std::string, std::size_t> merge_literal(
+    const std::vector<Token>& t, std::size_t i) {
+  std::string merged;
+  std::size_t j = i;
+  while (j < t.size()) {
+    if (t[j].kind == Token::kString) {
+      merged += t[j].text;
+    } else if (t[j].kind == Token::kIdent &&
+               t[j].text.rfind("PRI", 0) == 0) {
+      merged += "lld";
+    } else {
+      break;
+    }
+    ++j;
+  }
+  return {merged, j};
+}
+
+std::string first_word(const std::string& s, std::size_t from) {
+  std::size_t b = from;
+  while (b < s.size() && s[b] == ' ') ++b;
+  std::size_t e = b;
+  while (e < s.size() && s[e] != ' ' && s[e] != '\\' && s[e] != '\n') ++e;
+  return s.substr(b, e - b);
+}
+
+void rule_txn_subject(const FileCtx& ctx,
+                      const std::vector<std::string>& subjects,
+                      bool subjects_available) {
+  if (!in_txn_scope(ctx.path, ctx.raw)) return;
+  const auto& t = ctx.toks;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].kind != Token::kString) continue;
+    auto [merged, jend] = merge_literal(t, i);
+
+    std::string subject;
+    if (!merged.empty() && merged[0] == '%') {
+      // A printf body is a txn line iff it leads with the 64-bit tick
+      // conversion, "%lld " after PRId64 splicing.
+      if (merged.rfind("%lld ", 0) == 0) {
+        const std::string w = first_word(merged, 5);
+        if (all_caps_word(w)) subject = w;
+      }
+    } else {
+      // Literal passed straight to TxnLog::line(t, "SUBJECT ...").
+      bool in_line_call = false;
+      const std::size_t back = (i >= 8) ? i - 8 : 0;
+      for (std::size_t k = i; k > back; --k) {
+        if (t[k - 1].text == ")") break;
+        if (t[k - 1].kind == Token::kIdent && t[k - 1].text == "line" &&
+            tok_is(t, k, "(")) {
+          in_line_call = true;
+          break;
+        }
+      }
+      if (in_line_call) {
+        const std::string w = first_word(merged, 0);
+        if (all_caps_word(w)) subject = w;
+      }
+    }
+
+    if (!subject.empty()) {
+      if (!subjects_available) {
+        ctx.report(Rule::kTxnSubject, t[i].line,
+                   "cannot verify txn subject '" + subject +
+                       "': kTxnSubjects table not found in obs/txn_log.h");
+      } else if (std::find(subjects.begin(), subjects.end(), subject) ==
+                 subjects.end()) {
+        ctx.report(Rule::kTxnSubject, t[i].line,
+                   "txn subject '" + subject +
+                       "' is not registered in kTxnSubjects");
+      }
+    }
+    i = jend - 1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL006 float-accum
+// ---------------------------------------------------------------------------
+
+bool is_digest_file(const std::string& raw) {
+  return raw.find("add_to_digest") != std::string::npos ||
+         raw.find("Digest128") != std::string::npos ||
+         raw.find("util::Hasher") != std::string::npos ||
+         raw.find("Hasher&") != std::string::npos;
+}
+
+void rule_float_accum(const FileCtx& ctx) {
+  if (!is_digest_file(ctx.raw)) return;
+  const auto& t = ctx.toks;
+  std::set<std::string> float_vars;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent ||
+        (t[i].text != "double" && t[i].text != "float")) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j + 1 < t.size() && t[j].kind == Token::kIdent) {
+      const std::string& name = t[j].text;
+      const std::string& after = t[j + 1].text;
+      if (after != "=" && after != "{" && after != "," && after != ";") {
+        break;
+      }
+      float_vars.insert(name);
+      if (after == ";") break;
+      // Advance over the initializer to the declarator separator.
+      std::size_t m = j + 1;
+      int depth = 0;
+      while (m < t.size()) {
+        const std::string& s = t[m].text;
+        if (s == "(" || s == "[" || s == "{") {
+          ++depth;
+        } else if (s == ")" || s == "]" || s == "}") {
+          if (depth == 0) break;
+          --depth;
+        } else if (depth == 0 && (s == ";" )) {
+          break;
+        } else if (depth == 0 && s == ",") {
+          break;
+        }
+        ++m;
+      }
+      if (m >= t.size() || t[m].text != ",") break;
+      j = m + 1;
+    }
+  }
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind == Token::kIdent && float_vars.count(t[i].text) != 0 &&
+        (t[i + 1].text == "+=" || t[i + 1].text == "-=")) {
+      ctx.report(Rule::kFloatAccum, t[i].line,
+                 "floating-point accumulation into '" + t[i].text +
+                     "' in a digest-path file");
+    }
+  }
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Public surface
+// ---------------------------------------------------------------------------
+
+const RuleInfo& rule_info(Rule rule) {
+  return kRules[static_cast<std::size_t>(rule)];
+}
+
+std::optional<Rule> rule_from_name(std::string_view name) {
+  for (const RuleInfo& info : kRules) {
+    if (name == info.name) return info.rule;
+  }
+  return std::nullopt;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::string out;
+  for (const Finding& f : findings) {
+    const RuleInfo& info = rule_info(f.rule);
+    out += f.file + ":" + std::to_string(f.line) + ": [" + info.id + " " +
+           info.name + "] " + f.message + "\n  fix-it: " + info.hint + "\n";
+  }
+  return out;
+}
+
+Linter::Linter(LintOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.subjects.empty()) subjects_loaded_ = true;
+}
+
+std::vector<std::string> Linter::parse_subject_table(
+    const std::string& header_text) {
+  LexResult lexed = lex(header_text);
+  const auto& t = lexed.tokens;
+  std::vector<std::string> out;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "kTxnSubjects") continue;
+    std::size_t j = i + 1;
+    while (j < t.size() && t[j].text != "{" && t[j].text != ";") ++j;
+    if (!tok_is(t, j, "{")) continue;
+    const std::size_t close = match_forward(t, j, "{", "}");
+    for (std::size_t k = j + 1; k < close && k < t.size(); ++k) {
+      if (t[k].kind == Token::kString) out.push_back(t[k].text);
+    }
+    break;
+  }
+  return out;
+}
+
+void Linter::ensure_subjects() {
+  if (subjects_loaded_ || subjects_missing_) return;
+  namespace fs = std::filesystem;
+  std::vector<std::string> candidates;
+  if (!opts_.txn_log_header.empty()) {
+    candidates.push_back(opts_.txn_log_header);
+  }
+  for (const std::string& root : opts_.roots) {
+    candidates.push_back(root + "/obs/txn_log.h");
+    candidates.push_back(root + "/src/obs/txn_log.h");
+  }
+  for (const std::string& c : candidates) {
+    std::error_code ec;
+    if (!fs::is_regular_file(c, ec)) continue;
+    auto subjects = parse_subject_table(read_file(c));
+    if (!subjects.empty()) {
+      opts_.subjects = std::move(subjects);
+      subjects_loaded_ = true;
+      return;
+    }
+  }
+  subjects_missing_ = true;
+}
+
+std::vector<Finding> Linter::lint_text(const std::string& path,
+                                       const std::string& text) {
+  ensure_subjects();
+  LexResult lexed = lex(text);
+  const Pragmas pragmas = collect_pragmas(lexed.comments);
+  std::vector<Finding> findings;
+  FileCtx ctx{path, text, lexed.tokens, pragmas, findings};
+  rule_unordered_iter(ctx);
+  rule_ambient_entropy(ctx);
+  rule_pointer_sort(ctx);
+  rule_uninit_pod(ctx);
+  rule_txn_subject(ctx, opts_.subjects, subjects_loaded_);
+  rule_float_accum(ctx);
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return findings;
+}
+
+std::vector<Finding> Linter::run() {
+  namespace fs = std::filesystem;
+  ensure_subjects();
+
+  static const std::set<std::string> kExts = {".h", ".hpp", ".cpp", ".cc",
+                                              ".cxx"};
+  std::vector<std::string> files;
+  for (const std::string& root : opts_.roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) continue;
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      const std::string ext = it->path().extension().string();
+      if (kExts.count(ext) != 0) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+  files_scanned_ = files.size();
+
+  std::vector<Finding> findings;
+  for (const std::string& f : files) {
+    auto per_file = lint_text(f, read_file(f));
+    findings.insert(findings.end(),
+                    std::make_move_iterator(per_file.begin()),
+                    std::make_move_iterator(per_file.end()));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
+  return findings;
+}
+
+}  // namespace hepvine::lint

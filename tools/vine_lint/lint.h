@@ -1,0 +1,110 @@
+// vine_lint: the determinism contract, statically enforced.
+//
+// The simulator's core guarantee — bit-identical transaction logs, digests
+// and event interleavings across recompute paths, schedulers and fault
+// schedules — is only as strong as the code that has not yet been written.
+// This library scans `src/`, `bench/` and `tools/` with a lightweight
+// tokenizer (no libclang) and rejects the hazard patterns that have
+// historically broken replay in distributed schedulers:
+//
+//   VL001 unordered-iter   iteration over std::unordered_map/set
+//   VL002 ambient-entropy  wall clocks, rand(), random_device, getenv
+//   VL003 pointer-sort     sorts keyed on pointer addresses
+//   VL004 uninit-pod       struct members of scalar type left uninitialized
+//   VL005 txn-subject      txn-log subjects missing from the subject table
+//   VL006 float-accum      naive floating-point accumulation in digest files
+//
+// Suppression is explicit and greppable:
+//   // vine-lint: allow(<rule-name>)     — disable a rule for a whole file
+//   // vine-lint: suppress(<rule-name>)  — disable for this line and the next
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hepvine::lint {
+
+enum class Rule {
+  kUnorderedIter = 0,
+  kAmbientEntropy,
+  kPointerSort,
+  kUninitPod,
+  kTxnSubject,
+  kFloatAccum,
+};
+
+inline constexpr std::size_t kRuleCount = 6;
+
+struct RuleInfo {
+  Rule rule = Rule::kUnorderedIter;
+  const char* id = "";    // "VL001"
+  const char* name = "";  // "unordered-iter" — the pragma spelling
+  const char* hint = "";  // fix-it guidance printed with every finding
+};
+
+/// Static metadata for every rule, indexed by the Rule enum value.
+const RuleInfo& rule_info(Rule rule);
+
+/// Reverse lookup from the pragma spelling ("unordered-iter").
+std::optional<Rule> rule_from_name(std::string_view name);
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  Rule rule = Rule::kUnorderedIter;
+  std::string message;
+};
+
+/// `file:line: [VL00x unordered-iter] message` plus an indented fix-it
+/// hint, one finding per block. Stable ordering is the caller's job.
+std::string format_findings(const std::vector<Finding>& findings);
+
+struct LintOptions {
+  /// Files or directories to scan (directories walk recursively, picking
+  /// up .h/.hpp/.cpp/.cc/.cxx in sorted order so output is deterministic).
+  std::vector<std::string> roots;
+
+  /// Path to obs/txn_log.h, used to load the txn subject table for VL005.
+  /// Empty means "derive from the first root that contains
+  /// src/obs/txn_log.h"; rule VL005 reports a finding if a file needs the
+  /// table and it cannot be loaded.
+  std::string txn_log_header;
+
+  /// Pre-loaded subject table (tests use this to avoid touching disk).
+  /// Non-empty overrides txn_log_header.
+  std::vector<std::string> subjects;
+};
+
+class Linter {
+ public:
+  explicit Linter(LintOptions opts);
+
+  /// Scan every root; findings come back sorted by (file, line, rule).
+  [[nodiscard]] std::vector<Finding> run();
+
+  /// Lint one in-memory file. `path` is used for reporting and for
+  /// path-based exemptions (src/util/ may read the environment).
+  [[nodiscard]] std::vector<Finding> lint_text(const std::string& path,
+                                               const std::string& text);
+
+  /// Number of files scanned by the last run().
+  [[nodiscard]] std::size_t files_scanned() const { return files_scanned_; }
+
+  /// Extract subject names from the kTxnSubjects table in txn_log.h text.
+  /// Empty result means the table was not found.
+  static std::vector<std::string> parse_subject_table(
+      const std::string& header_text);
+
+ private:
+  void ensure_subjects();
+
+  LintOptions opts_;
+  bool subjects_loaded_ = false;
+  bool subjects_missing_ = false;
+  std::size_t files_scanned_ = 0;
+};
+
+}  // namespace hepvine::lint

@@ -1,0 +1,87 @@
+// vine_lint CLI: scan the tree for determinism-contract violations.
+//
+//   vine_lint --root <repo>            # scans <repo>/{src,bench,tools}
+//   vine_lint file.cpp dir/ ...        # scans explicit paths
+//   vine_lint --list-rules             # print the rule table
+//
+// Exit status: 0 clean, 1 findings, 2 usage/configuration error.
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "lint.h"
+
+namespace {
+
+void print_rules() {
+  using hepvine::lint::kRuleCount;
+  using hepvine::lint::Rule;
+  using hepvine::lint::rule_info;
+  for (std::size_t i = 0; i < kRuleCount; ++i) {
+    const auto& info = rule_info(static_cast<Rule>(i));
+    std::printf("%s %-16s %s\n", info.id, info.name, info.hint);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  std::string root = ".";
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vine_lint: --root needs a directory\n");
+        return 2;
+      }
+      root = argv[++i];
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: vine_lint [--root DIR] [--list-rules] [paths...]\n"
+          "With no paths, scans DIR/src, DIR/bench and DIR/tools.\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "vine_lint: unknown flag '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  hepvine::lint::LintOptions opts;
+  if (paths.empty()) {
+    for (const char* sub : {"src", "bench", "tools"}) {
+      const std::string dir = root + "/" + sub;
+      std::error_code ec;
+      if (fs::is_directory(dir, ec)) opts.roots.push_back(dir);
+    }
+    if (opts.roots.empty()) {
+      std::fprintf(stderr,
+                   "vine_lint: no src/, bench/ or tools/ under --root %s\n",
+                   root.c_str());
+      return 2;
+    }
+  } else {
+    opts.roots = paths;
+  }
+  opts.txn_log_header = root + "/src/obs/txn_log.h";
+
+  hepvine::lint::Linter linter(opts);
+  const auto findings = linter.run();
+  if (linter.files_scanned() == 0) {
+    std::fprintf(stderr, "vine_lint: no input files found\n");
+    return 2;
+  }
+  if (!findings.empty()) {
+    std::fputs(hepvine::lint::format_findings(findings).c_str(), stdout);
+  }
+  std::printf("vine_lint: %zu finding(s) across %zu file(s)\n",
+              findings.size(), linter.files_scanned());
+  return findings.empty() ? 0 : 1;
+}
