@@ -1,0 +1,207 @@
+// Disk-pressure campaign: the worker-disk lifecycle gate.
+//
+// Small scratch disks, a wide map whose dataset chunks stay live (every
+// chunk is re-read by a second pass gated behind a barrier), single-core
+// workers so staging is sequential. Per worker, the third live chunk
+// cannot fit: with DataPolicy::evict_on_pressure off the reservation
+// overflows the partition and kills the worker (the paper's Fig 11
+// pathology); with it on the manager evicts the least-recently-used
+// unpinned chunk (recoverable — dataset inputs re-stage from shared
+// storage) and the campaign must finish with zero overflow crashes.
+//
+// Exits non-zero if either side of the ablation misbehaves:
+//   eviction off  ->  at least one worker must crash
+//   eviction on   ->  success, zero worker crashes, evictions happened,
+//                     and a repeat run replays bit-identically
+#include "bench_common.h"
+
+#include <memory>
+#include <vector>
+
+#include "dag/task_graph.h"
+#include "dag/value.h"
+
+using namespace hepvine;
+using namespace hepvine::bench;
+
+namespace {
+
+dag::ValuePtr scalar(double v) {
+  return std::make_shared<dag::ScalarValue>(v);
+}
+
+/// `parts` chunks, each read twice: a first-pass map task, then (behind a
+/// barrier joining every first pass) a second-pass task re-reading the
+/// same chunk. Both consumers keep each chunk's refcount alive across the
+/// whole first pass, so live input bytes grow past the scratch partition.
+dag::TaskGraph double_pass_map(std::uint32_t parts,
+                               std::uint64_t chunk_bytes) {
+  dag::TaskGraph graph;
+  std::vector<dag::TaskId> pass1;
+  std::vector<data::FileId> chunks;
+  for (std::uint32_t i = 0; i < parts; ++i) {
+    chunks.push_back(graph.add_input_file("part" + std::to_string(i),
+                                          chunk_bytes, 900 + i));
+  }
+  for (std::uint32_t i = 0; i < parts; ++i) {
+    dag::TaskSpec spec;
+    spec.category = "pass1";
+    spec.function = "pass1";
+    spec.input_files = {chunks[i]};
+    spec.cpu_seconds = 2.0;
+    spec.output_bytes = 1 * util::kMB;
+    spec.memory_bytes = 1 * util::kGB;
+    spec.fn = [i](const std::vector<dag::ValuePtr>&) {
+      return scalar(static_cast<double>(i) + 1.0);
+    };
+    pass1.push_back(graph.add_task(spec));
+  }
+
+  dag::TaskSpec barrier;
+  barrier.category = "barrier";
+  barrier.function = "barrier";
+  barrier.deps = pass1;
+  barrier.cpu_seconds = 0.5;
+  barrier.output_bytes = 1 * util::kMB;
+  barrier.memory_bytes = 1 * util::kGB;
+  barrier.fn = [](const std::vector<dag::ValuePtr>& in) {
+    double sum = 0;
+    for (const auto& v : in) {
+      sum += dynamic_cast<const dag::ScalarValue&>(*v).get();
+    }
+    return scalar(sum);
+  };
+  const dag::TaskId tb = graph.add_task(barrier);
+
+  std::vector<dag::TaskId> pass2;
+  for (std::uint32_t i = 0; i < parts; ++i) {
+    dag::TaskSpec spec;
+    spec.category = "pass2";
+    spec.function = "pass2";
+    spec.deps = {tb};
+    spec.input_files = {chunks[i]};
+    spec.cpu_seconds = 2.0;
+    spec.output_bytes = 1 * util::kMB;
+    spec.memory_bytes = 1 * util::kGB;
+    spec.fn = [i](const std::vector<dag::ValuePtr>& in) {
+      return scalar(dynamic_cast<const dag::ScalarValue&>(*in[0]).get() +
+                    static_cast<double>(i));
+    };
+    pass2.push_back(graph.add_task(spec));
+  }
+
+  dag::TaskSpec top;
+  top.category = "accumulate";
+  top.function = "accumulate";
+  top.deps = pass2;
+  top.cpu_seconds = 0.5;
+  top.output_bytes = 1 * util::kMB;
+  top.memory_bytes = 1 * util::kGB;
+  top.fn = barrier.fn;
+  graph.add_task(top);
+  return graph;
+}
+
+exec::RunReport run_campaign(bool evict_on_pressure, std::uint32_t workers,
+                             std::uint32_t parts) {
+  const dag::TaskGraph graph = double_pass_map(parts, 3 * util::kGB);
+
+  cluster::NodeSpec node = cluster::paper_worker_node();
+  node.cores = 1;                      // sequential staging per worker
+  node.disk_capacity = 8 * util::kGB;  // two live chunks fit, three do not
+
+  cluster::ClusterSpec cspec = cluster::paper_cluster(
+      workers, node, storage::vast_spec(), /*seed=*/1);
+  cspec.batch.first_match_delay = util::seconds(0.5);
+  cspec.batch.match_window = util::seconds(2);
+  cspec.batch.preemption_rate_per_hour = 0.0;
+  cspec.batch.replacement_delay_mean = util::seconds(10);
+  cluster::Cluster cluster(cspec);
+
+  vine::DataPolicy policy = vine::taskvine_policy();
+  policy.evict_on_pressure = evict_on_pressure;
+  vine::VineScheduler scheduler(policy, vine::VineTunables{});
+
+  exec::RunOptions options;
+  options.seed = 17;
+  options.exec_time_jitter = 0.1;
+  options.max_task_retries = 12;
+  apply_txn_capture(options);
+  return scheduler.run(graph, cluster, options);
+}
+
+void print_campaign_line(const char* label, const exec::RunReport& report) {
+  print_report_line(label, report);
+  std::printf("    evictions %llu (%s), gc drops %llu, peak cache %s\n",
+              static_cast<unsigned long long>(report.cache_evictions),
+              util::format_bytes(report.cache_evicted_bytes).c_str(),
+              static_cast<unsigned long long>(report.cache_gc_drops),
+              util::format_bytes(report.cache.global_peak()).c_str());
+}
+
+}  // namespace
+
+int main() {
+  print_header("Disk-pressure campaign: pressure eviction vs overflow "
+               "crash (lifecycle gate)");
+
+  const std::uint32_t workers = scaled(8, 4);
+  const std::uint32_t parts = scaled(32, 12);
+  std::printf("  %u workers x 8 GB scratch, %u x 3 GB chunks read twice\n",
+              workers, parts);
+
+  int violations = 0;
+
+  const auto crashy = run_campaign(/*evict_on_pressure=*/false, workers,
+                                   parts);
+  print_campaign_line("  eviction off (baseline)", crashy);
+  if (crashy.worker_crashes < 1) {
+    std::fprintf(stderr, "VIOLATION: eviction-off campaign must overflow "
+                         "at least one worker disk\n");
+    ++violations;
+  }
+  if (crashy.cache_evictions != 0) {
+    std::fprintf(stderr, "VIOLATION: eviction-off campaign reported "
+                         "evictions\n");
+    ++violations;
+  }
+
+  const auto evicting = run_campaign(/*evict_on_pressure=*/true, workers,
+                                     parts);
+  print_campaign_line("  eviction on  (lifecycle)", evicting);
+  if (!evicting.success) {
+    std::fprintf(stderr, "VIOLATION: eviction-on campaign failed: %s\n",
+                 evicting.failure_reason.c_str());
+    ++violations;
+  }
+  if (evicting.worker_crashes != 0) {
+    std::fprintf(stderr, "VIOLATION: eviction-on campaign crashed %u "
+                         "worker(s); overflow must be absorbed\n",
+                 evicting.worker_crashes);
+    ++violations;
+  }
+  if (evicting.cache_evictions < 1) {
+    std::fprintf(stderr, "VIOLATION: eviction-on campaign never evicted; "
+                         "the pressure generator is mis-calibrated\n");
+    ++violations;
+  }
+
+  // Replay: the eviction path must be deterministic.
+  const auto replay = run_campaign(/*evict_on_pressure=*/true, workers,
+                                   parts);
+  if (replay.makespan != evicting.makespan ||
+      replay.cache_evictions != evicting.cache_evictions ||
+      replay.cache_gc_drops != evicting.cache_gc_drops) {
+    std::fprintf(stderr, "VIOLATION: eviction-on replay diverged "
+                         "(makespan %lld vs %lld)\n",
+                 static_cast<long long>(replay.makespan),
+                 static_cast<long long>(evicting.makespan));
+    ++violations;
+  }
+
+  if (violations == 0) {
+    std::printf("\n  gate ok: overflow crashes only with eviction "
+                "disabled; lifecycle absorbs the pressure\n");
+  }
+  return violations == 0 ? 0 : 1;
+}

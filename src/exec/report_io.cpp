@@ -37,6 +37,18 @@ std::string summarize(const RunReport& report) {
   std::snprintf(buf, sizeof(buf), "peak cache:     %s\n",
                 util::format_bytes(report.cache.global_peak()).c_str());
   out += buf;
+  if (report.cache_evictions > 0 || report.cache_gc_drops > 0 ||
+      report.peer_slot_underflows > 0) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "disk lifecycle: %llu evictions (%s freed), %llu gc drops, "
+        "%llu peer-slot underflows\n",
+        static_cast<unsigned long long>(report.cache_evictions),
+        util::format_bytes(report.cache_evicted_bytes).c_str(),
+        static_cast<unsigned long long>(report.cache_gc_drops),
+        static_cast<unsigned long long>(report.peer_slot_underflows));
+    out += buf;
+  }
   std::snprintf(buf, sizeof(buf), "manager busy:   %.1f%% of makespan\n",
                 report.manager_busy_fraction * 100.0);
   out += buf;
@@ -77,7 +89,8 @@ std::string csv_header() {
   return "scheduler,success,makespan_s,tasks,attempts,failures,"
          "lineage_resets,preemptions,crashes,manager_busy_fraction,"
          "manager_bytes,peer_bytes,peak_cache_bytes,faults_injected,"
-         "transfers_killed,transfer_retries\n";
+         "transfers_killed,transfer_retries,cache_evictions,"
+         "cache_gc_drops,peer_slot_underflows\n";
 }
 
 std::string csv_row(const RunReport& report) {
@@ -85,7 +98,7 @@ std::string csv_row(const RunReport& report) {
   std::snprintf(
       buf, sizeof(buf),
       "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%.4f,%llu,%llu,%llu,%llu,%llu,"
-      "%llu\n",
+      "%llu,%llu,%llu,%llu\n",
       report.scheduler.c_str(), report.success ? 1 : 0,
       report.makespan_seconds(), report.tasks_total, report.task_attempts,
       report.task_failures, report.lineage_resets, report.worker_preemptions,
@@ -95,7 +108,10 @@ std::string csv_row(const RunReport& report) {
       static_cast<unsigned long long>(report.cache.global_peak()),
       static_cast<unsigned long long>(report.faults.faults_injected),
       static_cast<unsigned long long>(report.faults.transfers_killed),
-      static_cast<unsigned long long>(report.faults.transfer_retries));
+      static_cast<unsigned long long>(report.faults.transfer_retries),
+      static_cast<unsigned long long>(report.cache_evictions),
+      static_cast<unsigned long long>(report.cache_gc_drops),
+      static_cast<unsigned long long>(report.peer_slot_underflows));
   return buf;
 }
 

@@ -93,6 +93,20 @@ struct RunReport {
   std::uint32_t worker_preemptions = 0;
   std::uint32_t worker_crashes = 0;  // non-preemption failures (e.g. disk)
 
+  // --- worker-disk lifecycle (vine/wq engine) ----------------------------
+  /// Files evicted under disk pressure (DataPolicy::evict_on_pressure):
+  /// the LRU victim count and the bytes they freed. Zero when eviction is
+  /// disabled or pressure never materialised.
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_evicted_bytes = 0;
+  /// Replicas garbage-collected because every consumer of the file
+  /// completed (the ref-count path, not pressure).
+  std::uint64_t cache_gc_drops = 0;
+  /// Peer-transfer slot double-releases detected (and ignored) at
+  /// release_peer_slot. Always zero in a healthy run; a Debug build
+  /// asserts instead of counting.
+  std::uint64_t peer_slot_underflows = 0;
+
   /// What the fault injector did to this run and what recovery cost
   /// (faults_injected, transfers_killed, backoff_wait, ...). All zero when
   /// RunOptions::faults was empty.

@@ -139,6 +139,9 @@ std::size_t TaskStateTable::reset_lost(
     st.worker = -1;
     --done_count_;
   }
+  if (on_undone_) {
+    for (dag::TaskId t : to_reset) on_undone_(t, now);
+  }
 
   // Phase 3: dependents of reset tasks must wait for them again. Dependents
   // inside the reset set get recomputed in phase 4; dispatched/running/done

@@ -113,6 +113,15 @@ class TaskStateTable {
   using ReadyListener = std::function<void(dag::TaskId, Tick)>;
   void set_ready_listener(ReadyListener fn) { on_ready_ = std::move(fn); }
 
+  /// Observe every done->waiting demotion performed by `reset_lost`. Fires
+  /// once per demoted task, in the (deterministic) DFS discovery order,
+  /// after the whole reset set left kDone but before readiness is
+  /// recomputed. Schedulers that account per-file consumer reference
+  /// counts need this: a demoted consumer will complete (and decrement)
+  /// again, so its references must be re-acquired.
+  using UndoneListener = std::function<void(dag::TaskId, Tick)>;
+  void set_undone_listener(UndoneListener fn) { on_undone_ = std::move(fn); }
+
  private:
   void enqueue_ready(dag::TaskId id, Tick now);
 
@@ -136,6 +145,7 @@ class TaskStateTable {
   std::uint64_t ready_seq_ = 0;
   std::size_t done_count_ = 0;
   ReadyListener on_ready_;
+  UndoneListener on_undone_;
 };
 
 }  // namespace hepvine::exec

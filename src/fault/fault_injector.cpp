@@ -63,6 +63,10 @@ void FaultInjector::fire(const FaultEvent& ev) {
                       "worker=%d file=%" PRId64 " replicas=%zu", ev.worker,
                       ev.file, lost);
         txn(to_string(ev.kind), buf);
+      } else if (hooks_.lose_cached_file) {
+        // The scheduler's own lifecycle (GC/eviction) beat the fault to
+        // every replica; record the blank so schedules stay auditable.
+        stats_.cache_loss_noops += 1;
       }
       break;
     }

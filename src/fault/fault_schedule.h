@@ -110,6 +110,11 @@ struct InjectionStats {
   std::uint64_t faults_injected = 0;  // events that landed, total
   std::uint64_t worker_crashes = 0;
   std::uint64_t cache_losses = 0;     // replicas dropped
+  /// Cache-loss events that found nothing to destroy: every replica of the
+  /// target file was already evicted or garbage-collected by the
+  /// scheduler's own disk lifecycle. Not counted as injected faults —
+  /// evicting a file is a scheduler decision, losing one is a fault.
+  std::uint64_t cache_loss_noops = 0;
   std::uint64_t transfers_killed = 0;
   std::uint64_t fs_degradations = 0;
   std::uint64_t stragglers = 0;

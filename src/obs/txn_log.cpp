@@ -17,8 +17,9 @@ TxnLog::TxnLog(std::size_t ring_capacity, const std::string& path)
       std::fputs("# time_us TASK id RETRIEVED|DONE reason\n", file_);
       std::fputs("# time_us WORKER id CONNECTION|DISCONNECTION reason\n",
                  file_);
-      std::fputs("# time_us CACHE file_id INSERT|EVICT size_bytes worker\n",
-                 file_);
+      std::fputs(
+          "# time_us CACHE file_id INSERT|EVICT|GC|LOST size_bytes worker\n",
+          file_);
       std::fputs(
           "# time_us TRANSFER src dst file_id size_bytes START|DONE|FAILED\n",
           file_);
@@ -121,6 +122,26 @@ void TxnLog::cache_evict(Tick t, std::int32_t worker, std::int64_t file,
   char buf[160];
   std::snprintf(buf, sizeof(buf),
                 "%" PRId64 " CACHE %" PRId64 " EVICT %" PRIu64 " %d", t, file,
+                bytes, worker);
+  push(buf);
+}
+
+void TxnLog::cache_gc(Tick t, std::int32_t worker, std::int64_t file,
+                      std::uint64_t bytes) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " CACHE %" PRId64 " GC %" PRIu64 " %d", t, file,
+                bytes, worker);
+  push(buf);
+}
+
+void TxnLog::cache_lost(Tick t, std::int32_t worker, std::int64_t file,
+                        std::uint64_t bytes) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " CACHE %" PRId64 " LOST %" PRIu64 " %d", t, file,
                 bytes, worker);
   push(buf);
 }

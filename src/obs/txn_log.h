@@ -10,7 +10,7 @@
 //   time TASK id RETRIEVED reason
 //   time TASK id DONE reason
 //   time WORKER id CONNECTION|DISCONNECTION reason
-//   time CACHE file_id INSERT|EVICT size_bytes worker_id
+//   time CACHE file_id INSERT|EVICT|GC|LOST size_bytes worker_id
 //   time TRANSFER src dst file_id size_bytes START|DONE|FAILED
 //   time LIBRARY worker_id SENT|STARTED
 //   time FAULT seq KIND detail
@@ -101,8 +101,19 @@ class TxnLog {
 
   void cache_insert(Tick t, std::int32_t worker, std::int64_t file,
                     std::uint64_t bytes);
+  /// EVICT: a copy removed by the scheduler's own disk management (LRU
+  /// pressure eviction, Work Queue sandbox cleanup).
   void cache_evict(Tick t, std::int32_t worker, std::int64_t file,
                    std::uint64_t bytes);
+  /// GC: the manager garbage-collected a replica because every consumer of
+  /// the file has completed (its reference count reached zero).
+  void cache_gc(Tick t, std::int32_t worker, std::int64_t file,
+                std::uint64_t bytes);
+  /// LOST: a copy destroyed by a fault (injected cache loss) — unlike
+  /// EVICT/GC this was not the scheduler's decision, and the FAULT line
+  /// carries the injection record.
+  void cache_lost(Tick t, std::int32_t worker, std::int64_t file,
+                  std::uint64_t bytes);
 
   void transfer_start(Tick t, std::size_t src, std::size_t dst,
                       std::int64_t file, std::uint64_t bytes);

@@ -167,6 +167,44 @@ std::string format_breakdown(
   return out;
 }
 
+CacheSummary cache_summary(const std::vector<Event>& events) {
+  CacheSummary out;
+  for (const auto& ev : events) {
+    if (ev.subject != "CACHE" || ev.rest.empty()) continue;
+    const auto bytes =
+        static_cast<std::uint64_t>(std::strtoull(ev.rest[0].c_str(),
+                                                 nullptr, 10));
+    if (ev.verb == "INSERT") {
+      ++out.inserts;
+      out.inserted_bytes += bytes;
+    } else if (ev.verb == "EVICT") {
+      ++out.evictions;
+      out.evicted_bytes += bytes;
+    } else if (ev.verb == "GC") {
+      ++out.gc_drops;
+      out.gc_bytes += bytes;
+    } else if (ev.verb == "LOST") {
+      ++out.losses;
+      out.lost_bytes += bytes;
+    }
+  }
+  return out;
+}
+
+std::string format_cache_summary(const CacheSummary& cs) {
+  std::string out = "verb     count         bytes\n";
+  char buf[96];
+  const auto row = [&](const char* verb, std::size_t n, std::uint64_t b) {
+    std::snprintf(buf, sizeof(buf), "%-8s %5zu %13" PRIu64 "\n", verb, n, b);
+    out += buf;
+  };
+  row("INSERT", cs.inserts, cs.inserted_bytes);
+  row("EVICT", cs.evictions, cs.evicted_bytes);
+  row("GC", cs.gc_drops, cs.gc_bytes);
+  row("LOST", cs.losses, cs.lost_bytes);
+  return out;
+}
+
 WorkerSummary worker_summary(const std::vector<Event>& events) {
   WorkerSummary out;
   for (const auto& ev : events) {

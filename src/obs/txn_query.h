@@ -94,4 +94,22 @@ struct WorkerSummary {
 };
 [[nodiscard]] WorkerSummary worker_summary(const std::vector<Event>& events);
 
+/// Cache-lifecycle rollup over the CACHE lines: how data entered worker
+/// disks (INSERT) and the three ways it left — pressure eviction (EVICT),
+/// ref-count garbage collection (GC), and injected loss (LOST).
+struct CacheSummary {
+  std::size_t inserts = 0;
+  std::size_t evictions = 0;
+  std::size_t gc_drops = 0;
+  std::size_t losses = 0;
+  std::uint64_t inserted_bytes = 0;
+  std::uint64_t evicted_bytes = 0;
+  std::uint64_t gc_bytes = 0;
+  std::uint64_t lost_bytes = 0;
+};
+[[nodiscard]] CacheSummary cache_summary(const std::vector<Event>& events);
+
+/// Human-readable cache-lifecycle table.
+[[nodiscard]] std::string format_cache_summary(const CacheSummary& cs);
+
 }  // namespace hepvine::obs::txnq

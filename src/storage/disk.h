@@ -56,11 +56,13 @@ class LocalDisk {
 
   /// Reserve even past capacity (models a worker whose scratch partition is
   /// shared: the write succeeds until the partition actually fills). Returns
-  /// true if the disk is now over capacity.
-  bool reserve_unchecked(std::uint64_t bytes) noexcept {
+  /// true when the disk is still within capacity afterwards; false means the
+  /// partition overflowed — the bytes are accounted regardless, so the
+  /// caller sees the overflowed state it must now handle (evict or crash).
+  [[nodiscard]] bool try_reserve(std::uint64_t bytes) noexcept {
     used_ += bytes;
     if (used_ > peak_) peak_ = used_;
-    return used_ > capacity_;
+    return used_ <= capacity_;
   }
 
   void release(std::uint64_t bytes) noexcept {

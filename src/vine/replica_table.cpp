@@ -25,6 +25,13 @@ bool ReplicaTable::on_worker(data::FileId file,
   return std::find(hs.begin(), hs.end(), worker) != hs.end();
 }
 
+std::vector<cluster::WorkerId> ReplicaTable::holders_sorted(
+    data::FileId file) const {
+  std::vector<cluster::WorkerId> hs = holders_[static_cast<std::size_t>(file)];
+  std::sort(hs.begin(), hs.end());
+  return hs;
+}
+
 std::vector<data::FileId> ReplicaTable::drop_worker(
     cluster::WorkerId worker) {
   std::vector<data::FileId> lost;

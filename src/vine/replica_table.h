@@ -41,6 +41,13 @@ class ReplicaTable {
            (at_manager(file) ? 1u : 0u);
   }
 
+  /// `holders(file)` sorted ascending by worker id, as a copy. Lifecycle
+  /// sweeps (ref-count GC, pressure eviction) iterate this instead of the
+  /// insertion-ordered list so every drop order is id-deterministic — the
+  /// differential suites diff transaction logs byte-for-byte.
+  [[nodiscard]] std::vector<cluster::WorkerId> holders_sorted(
+      data::FileId file) const;
+
   /// Drop every replica held by `worker` (preemption). Returns the files
   /// that lost their last replica (manager copies don't count as lost).
   std::vector<data::FileId> drop_worker(cluster::WorkerId worker);

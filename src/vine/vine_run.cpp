@@ -136,9 +136,6 @@ class VineRun {
     }
     for (const auto& task : graph_.tasks()) {
       files_[static_cast<std::size_t>(task.output_file)].producer = task.id;
-      for (data::FileId f : task.spec.input_files) {
-        input_consumers_[f].push_back(task.id);
-      }
     }
 
     if (!options_.env_from_shared_fs) {
@@ -167,6 +164,34 @@ class VineRun {
     }
     is_sink_.assign(graph_.size(), false);
     reset_counts_.assign(graph_.size(), 0);
+
+    // Consumer reference counts, derived from the task graph: one count
+    // per (task, file-it-reads) edge, covering both dependency outputs and
+    // dataset inputs. Decremented as consuming tasks complete; a file at
+    // zero has no pending reader and is garbage-collected cluster-wide.
+    // Sink outputs and runtime files have no consuming edges, so their
+    // count stays zero and is simply never decremented into a GC.
+    consumers_left_.assign(files_.size(), 0);
+    for (const auto& task : graph_.tasks()) {
+      for (TaskId dep : task.spec.deps) {
+        consumers_left_[static_cast<std::size_t>(
+            graph_.task(dep).output_file)] += 1;
+      }
+      for (data::FileId f : task.spec.input_files) {
+        consumers_left_[static_cast<std::size_t>(f)] += 1;
+      }
+    }
+    // A lineage reset demotes done consumers back to waiting: they will
+    // complete (and decrement) again, so their references come back.
+    table_.set_undone_listener([this](TaskId t, Tick /*now*/) {
+      for (TaskId dep : graph_.task(t).spec.deps) {
+        consumers_left_[static_cast<std::size_t>(
+            graph_.task(dep).output_file)] += 1;
+      }
+      for (data::FileId f : graph_.task(t).spec.input_files) {
+        consumers_left_[static_cast<std::size_t>(f)] += 1;
+      }
+    });
   }
 
   FileId add_runtime_file(std::uint64_t size, data::FileKind kind) {
@@ -204,6 +229,13 @@ class VineRun {
     /// inputs + output); reserved logically at dispatch so concurrent
     /// dispatches cannot over-commit a scratch disk.
     std::uint64_t disk_committed = 0;
+    /// Files pinned on pin_worker for this attempt: every needed input at
+    /// dispatch (staged or still staging), plus the output once produced.
+    /// Released at attempt teardown; pin_incarnation guards against the
+    /// worker having rebooted (the reboot wipes its pin set wholesale).
+    std::vector<FileId> pinned;
+    WorkerId pin_worker = cluster::kNoWorker;
+    std::uint32_t pin_incarnation = 0;
   };
 
   // ---------------------------------------------------------------------
@@ -219,6 +251,17 @@ class VineRun {
     std::uint32_t active_out = 0;  // peer transfers sourced here
     std::vector<TaskId> here;      // tasks dispatched/running/returning
     std::vector<Token> waiting_for_lib;
+    /// Pin counts per file: attempt inputs/outputs and transfer sources.
+    /// A pinned file is unevictable and survives GC (ordered map: the pin
+    /// set is iterated nowhere hot, and determinism is free).
+    std::map<FileId, std::uint32_t> pins;
+    /// Last-use tick per cached file — the LRU clock for pressure
+    /// eviction. Insertion and pinning both count as uses.
+    std::map<FileId, Tick> last_use;
+    /// Bytes of unpinned cached dataset inputs: space eviction could mint
+    /// without ever forcing a recompute (inputs re-fetch from the shared
+    /// FS). Placement's disk-tight fallback counts this as headroom.
+    std::uint64_t reclaimable_input_bytes = 0;
   };
 
   [[nodiscard]] bool in_cache(WorkerId w, FileId f) const {
@@ -230,10 +273,149 @@ class VineRun {
   void cache_insert(WorkerId w, FileId f) {
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     if (rt.in_cache.size() < files_.size()) rt.in_cache.resize(files_.size());
+    const bool was_cached = rt.in_cache[static_cast<std::size_t>(f)];
     rt.in_cache[static_cast<std::size_t>(f)] = true;
+    rt.last_use[f] = engine_.now();
+    if (!was_cached && pin_count(w, f) == 0) reclaim_add(rt, f);
     replicas_->add(f, w);
     if (txn_on()) {
       obs_->txn().cache_insert(engine_.now(), w, f, file(f).size);
+    }
+  }
+
+  // ---------------------------------------------------------------------
+  // Worker-disk lifecycle: pins, consumer-refcount GC, pressure eviction.
+  // ---------------------------------------------------------------------
+  [[nodiscard]] std::uint32_t pin_count(WorkerId w, FileId f) const {
+    const auto& pins = workers_rt_[static_cast<std::size_t>(w)].pins;
+    const auto it = pins.find(f);
+    return it == pins.end() ? 0 : it->second;
+  }
+
+  void reclaim_add(WorkerRt& rt, FileId f) const {
+    if (file(f).kind != data::FileKind::kDatasetInput) return;
+    rt.reclaimable_input_bytes += file(f).size;
+  }
+  void reclaim_sub(WorkerRt& rt, FileId f) const {
+    if (file(f).kind != data::FileKind::kDatasetInput) return;
+    const std::uint64_t sz = file(f).size;
+    rt.reclaimable_input_bytes =
+        sz > rt.reclaimable_input_bytes ? 0 : rt.reclaimable_input_bytes - sz;
+  }
+
+  /// Pin `f` on `w`: attempt inputs/outputs and transfer sources must not
+  /// be evicted (or GC'd) from under their users. A pin is also a use for
+  /// the LRU clock.
+  void pin_file(WorkerId w, FileId f) {
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    if (rt.pins[f]++ == 0 && in_cache(w, f)) reclaim_sub(rt, f);
+    rt.last_use[f] = engine_.now();
+  }
+
+  /// Tolerant of a missing pin: a rebooted worker wiped its pin set, and
+  /// callers with an incarnation guard may still race the wipe by design.
+  void unpin_file(WorkerId w, FileId f) {
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    const auto it = rt.pins.find(f);
+    if (it == rt.pins.end()) return;
+    if (--it->second == 0) {
+      rt.pins.erase(it);
+      if (in_cache(w, f)) reclaim_add(rt, f);
+    }
+  }
+
+  /// Release every pin the attempt holds. Only the pinning incarnation
+  /// unpins: after a reboot the worker's pin set was wiped wholesale, and
+  /// decrementing a successor's identically-named pins would corrupt them.
+  void unpin_attempt(Attempt& attempt) {
+    if (attempt.pin_worker == cluster::kNoWorker) return;
+    if (worker_current(attempt.pin_worker, attempt.pin_incarnation)) {
+      for (FileId f : attempt.pinned) unpin_file(attempt.pin_worker, f);
+    }
+    attempt.pinned.clear();
+    attempt.pin_worker = cluster::kNoWorker;
+  }
+
+  /// One consuming task of `f` completed. At zero pending consumers the
+  /// file is dead: drop every worker replica (manager copies stay — they
+  /// back sink results and relays and cost no worker disk).
+  void release_consumer_ref(FileId f) {
+    auto& left = consumers_left_[static_cast<std::size_t>(f)];
+    assert(left > 0 && "consumer refcount underflow");
+    if (left == 0) return;
+    if (--left == 0) gc_file(f);
+  }
+
+  void gc_file(FileId f) {
+    for (WorkerId holder : replicas_->holders_sorted(f)) {
+      if (pin_count(holder, f) > 0) continue;  // in use by a live transfer
+      drop_worker_copy(holder, f, file(f).size, DropReason::kGc);
+    }
+  }
+
+  /// Reserve `bytes` of scratch on `w`, evicting under disk pressure when
+  /// the policy allows. Returns false when the partition overflowed anyway
+  /// (nothing evictable was enough): the worker is already crashing — the
+  /// paper's Fig 11 pathology — and the caller must stop touching it.
+  [[nodiscard]] bool reserve_or_crash(WorkerId w, std::uint64_t bytes,
+                                      const char* why) {
+    auto& node = cluster_.worker(w);
+    if (policy_.evict_on_pressure && bytes > node.disk.available()) {
+      evict_for_pressure(w, bytes - node.disk.available());
+    }
+    if (!node.disk.try_reserve(bytes)) {
+      crash_worker(w, why);
+      return false;
+    }
+    return true;
+  }
+
+  /// Free at least `need` bytes on `w` by dropping unpinned cached files,
+  /// in a deterministic order: files recoverable without recompute
+  /// (dataset inputs, files with another replica or a manager copy) go
+  /// first, then last-copy intermediates (a later consumer recovers those
+  /// via lineage reset, backstopped by the poisoned-task detector). Within
+  /// a tier, least-recently-used first, file id as the tiebreak. Pinned
+  /// files, runtime files, and sink outputs not yet safe at the manager
+  /// are never victims.
+  void evict_for_pressure(WorkerId w, std::uint64_t need) {
+    struct Victim {
+      int tier = 0;
+      Tick last_use = 0;
+      FileId file = data::kInvalidFile;
+    };
+    const auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    std::vector<Victim> victims;
+    for (FileId f : replicas_->files_on(w)) {
+      if (pin_count(w, f) > 0) continue;
+      const FileInfo& info = file(f);
+      if (info.kind == data::FileKind::kEnvironment ||
+          info.kind == data::FileKind::kFunctionBody) {
+        continue;
+      }
+      if (info.producer != dag::kInvalidTask &&
+          is_sink_[static_cast<std::size_t>(info.producer)] &&
+          !replicas_->at_manager(f)) {
+        continue;
+      }
+      const bool recoverable = info.kind == data::FileKind::kDatasetInput ||
+                               replicas_->replica_count(f) > 1;
+      const auto lu = rt.last_use.find(f);
+      victims.push_back(Victim{recoverable ? 0 : 1,
+                               lu == rt.last_use.end() ? 0 : lu->second, f});
+    }
+    std::sort(victims.begin(), victims.end(),
+              [](const Victim& a, const Victim& b) {
+                if (a.tier != b.tier) return a.tier < b.tier;
+                if (a.last_use != b.last_use) return a.last_use < b.last_use;
+                return a.file < b.file;
+              });
+    std::uint64_t freed = 0;
+    for (const Victim& v : victims) {
+      if (freed >= need) break;
+      const std::uint64_t bytes = file(v.file).size;
+      drop_worker_copy(w, v.file, bytes, DropReason::kEvict);
+      freed += bytes;
     }
   }
 
@@ -246,6 +428,7 @@ class VineRun {
     FileId file = data::kInvalidFile;
     WorkerId dst = cluster::kNoWorker;
     WorkerId peer_src = cluster::kNoWorker;  // valid while a peer flow runs
+    std::uint32_t peer_src_inc = 0;  // peer_src's incarnation at acquire
     net::FlowId flow = net::kInvalidFlow;
     bool throttled = false;
     std::uint32_t kill_retries = 0;  // injected kills survived so far
@@ -321,7 +504,7 @@ class VineRun {
                           fetch.file, file(fetch.file).size);
         }
         if (fetch.peer_src != cluster::kNoWorker) {
-          release_peer_slot(fetch.peer_src);
+          release_peer_slot(fetch.peer_src, fetch.peer_src_inc, fetch.file);
         }
       }
       // If a peer broker request is still queued (flow not yet started),
@@ -417,7 +600,7 @@ class VineRun {
     std::size_t lost = 0;
     for (WorkerId holder : targets) {
       if (!cluster_.worker(holder).alive || !in_cache(holder, f)) continue;
-      drop_worker_copy(holder, f, file(f).size);
+      drop_worker_copy(holder, f, file(f).size, DropReason::kLoss);
       ++lost;
     }
     return lost;
@@ -454,7 +637,7 @@ class VineRun {
                       fetch.file, file(fetch.file).size);
     }
     if (fetch.peer_src != cluster::kNoWorker) {
-      release_peer_slot(fetch.peer_src);
+      release_peer_slot(fetch.peer_src, fetch.peer_src_inc, fetch.file);
       fetch.peer_src = cluster::kNoWorker;
     }
     fetch.flow = net::kInvalidFlow;
@@ -612,12 +795,15 @@ class VineRun {
       // Rank disk-tight candidates by the space actually left once bytes
       // promised to in-flight attempts are counted, matching disk_fits —
       // raw disk.available() can crown a "roomiest" worker whose free
-      // space is already committed.
+      // space is already committed. When eviction is on, space held by
+      // unpinned dataset inputs counts too: a forced dispatch landing
+      // there reclaims it instead of overflowing.
       const auto& node = cluster_.worker(w);
-      const std::uint64_t committed =
-          workers_rt_[static_cast<std::size_t>(w)].disk_committed;
+      const auto& wrt = workers_rt_[static_cast<std::size_t>(w)];
+      const std::uint64_t committed = wrt.disk_committed;
       const std::uint64_t avail = node.disk.available();
-      const std::uint64_t free = avail > committed ? avail - committed : 0;
+      std::uint64_t free = avail > committed ? avail - committed : 0;
+      if (policy_.evict_on_pressure) free += wrt.reclaimable_input_bytes;
       if (fallback == cluster::kNoWorker || free > fallback_free) {
         fallback = w;
         fallback_free = free;
@@ -691,6 +877,13 @@ class VineRun {
     attempt.disk_committed =
         missing_bytes(w, scratch_files_) + graph_.task(t).spec.output_bytes;
     rt.disk_committed += attempt.disk_committed;
+    // Pin every needed file for the attempt's lifetime — resident copies
+    // now, in-flight ones ahead of their arrival — so pressure eviction
+    // and GC cannot pull an input from under a dispatched task.
+    attempt.pin_worker = w;
+    attempt.pin_incarnation = node.incarnation;
+    attempt.pinned = scratch_files_;
+    for (FileId f : scratch_files_) pin_file(w, f);
     attempts_[t] = std::move(attempt);
     const Token token{t, table_.at(t).attempts};
 
@@ -834,16 +1027,20 @@ class VineRun {
     const WorkerId src = pick_peer_source(f);
     if (src != cluster::kNoWorker) {
       fetch.peer_src = src;
-      workers_rt_[static_cast<std::size_t>(src)].active_out += 1;
+      fetch.peer_src_inc = cluster_.worker(src).incarnation;
+      acquire_peer_slot(src, f);
+      const std::uint32_t src_inc = fetch.peer_src_inc;
       // The manager brokers the transfer (small control cost), then the
       // data flows directly between the workers.
-      manager_.acquire_then(tun_.peer_instruction_cost, [this, key, src] {
+      manager_.acquire_then(tun_.peer_instruction_cost,
+                            [this, key, src, src_inc] {
         auto fit = fetches_.find(key);
-        if (fit == fetches_.end() || fit->second.peer_src != src) {
+        if (fit == fetches_.end() || fit->second.peer_src != src ||
+            fit->second.peer_src_inc != src_inc) {
           // The fetch vanished (destination died) or was re-sourced while
           // the broker request was queued; the slot we reserved is ours to
           // give back (the flow-completion path never runs).
-          release_peer_slot(src);
+          release_peer_slot(src, src_inc, key.first);
           return;
         }
         fit->second.src_ep = cluster_.worker_endpoint(src);
@@ -853,8 +1050,8 @@ class VineRun {
         const Tick t0 = engine_.now();
         fit->second.flow = cluster_.send_peer(
             src, key.second, file(key.first).size, cluster_.control_rtt(),
-            [this, key, src, t0] {
-              release_peer_slot(src);
+            [this, key, src, src_inc, t0] {
+              release_peer_slot(src, src_inc, key.first);
               record_transfer(cluster_.worker_endpoint(src),
                               cluster_.worker_endpoint(key.second),
                               file(key.first).size);
@@ -928,9 +1125,30 @@ class VineRun {
     return best;
   }
 
-  void release_peer_slot(WorkerId src) {
+  /// Take a peer-transfer slot on `src` for sending `f`: bump the active
+  /// counter and pin the copy — a transfer source must not be evicted or
+  /// GC'd from under its flow.
+  void acquire_peer_slot(WorkerId src, FileId f) {
+    workers_rt_[static_cast<std::size_t>(src)].active_out += 1;
+    pin_file(src, f);
+  }
+
+  /// Release a slot taken at `incarnation`. Slots die with their worker
+  /// (the reboot zeroes active_out and the pin set), so a release landing
+  /// on a dead or later incarnation is a stale callback, not an underflow.
+  /// A same-incarnation release with no slot outstanding is a genuine
+  /// double release: a hard error in Debug builds, counted in the run
+  /// report otherwise so production runs stay auditable.
+  void release_peer_slot(WorkerId src, std::uint32_t incarnation, FileId f) {
+    if (!worker_current(src, incarnation)) return;
     auto& rt = workers_rt_[static_cast<std::size_t>(src)];
-    if (rt.active_out > 0) rt.active_out -= 1;
+    unpin_file(src, f);
+    if (rt.active_out == 0) {
+      report_.peer_slot_underflows += 1;
+      assert(false && "peer-transfer slot double release");
+      return;
+    }
+    rt.active_out -= 1;
     drain_throttle_queue();
   }
 
@@ -1074,6 +1292,9 @@ class VineRun {
       return;
     }
     const std::uint32_t incarnation = cluster_.worker(holder).incarnation;
+    // The relay source is a live transfer origin: pin it for the flow's
+    // duration so eviction/GC cannot destroy the copy being read.
+    pin_file(holder, f);
     txn_xfer_start(cluster_.worker_endpoint(holder),
                    cluster_.manager_endpoint(), f, file(f).size);
     relay_flows_[f] = {
@@ -1084,6 +1305,9 @@ class VineRun {
               if (auto rit = relay_flows_.find(f); rit != relay_flows_.end()) {
                 forget_flow(rit->second.first);
                 relay_flows_.erase(rit);
+              }
+              if (worker_current(holder, incarnation)) {
+                unpin_file(holder, f);
               }
               if (!worker_current(holder, incarnation)) {
                 txn_xfer_failed(cluster_.worker_endpoint(holder),
@@ -1111,9 +1335,11 @@ class VineRun {
     auto it = relay_flows_.find(f);
     if (it == relay_flows_.end()) return;
     const WorkerId holder = it->second.second;
+    const std::uint32_t holder_inc = cluster_.worker(holder).incarnation;
     injector_->offer_transfer(it->second.first, file(f).size,
-                              [this, f, holder] {
+                              [this, f, holder, holder_inc] {
       relay_flows_.erase(f);
+      if (worker_current(holder, holder_inc)) unpin_file(holder, f);
       txn_xfer_failed(cluster_.worker_endpoint(holder),
                       cluster_.manager_endpoint(), f, file(f).size);
       const Tick delay = injector_->backoff_delay(++relay_kill_counts_[f]);
@@ -1135,11 +1361,20 @@ class VineRun {
     auto waiters = std::move(it->second.waiters);
     fetches_.erase(it);
 
-    auto& node = cluster_.worker(w);
-    if (!node.alive) return;
-    if (node.disk.reserve_unchecked(file(f).size)) {
-      // Scratch partition overflowed: the worker dies (paper Fig 11).
-      crash_worker(w, "cache overflow during staging");
+    if (!cluster_.worker(w).alive) {
+      // Destination died while the bytes were in flight. The waiters'
+      // tokens are stale, but the fetch outcome must still be delivered:
+      // silently dropping moved-out callbacks leaks any continuation that
+      // does not ride an attempt token.
+      for (auto& cb : waiters) cb(false);
+      return;
+    }
+    if (!reserve_or_crash(w, file(f).size, "cache overflow during staging")) {
+      // Scratch partition overflowed and nothing evictable was enough: the
+      // worker dies (paper Fig 11). crash_worker tears it down
+      // synchronously, so every waiter token is already invalid — but the
+      // outcome is still delivered, not dropped on the floor.
+      for (auto& cb : waiters) cb(false);
       return;
     }
     cache_insert(w, f);
@@ -1242,18 +1477,20 @@ class VineRun {
     if (!token_valid(token)) return;
     const TaskId t = token.task;
     const auto& task = graph_.task(t);
-    auto& node = cluster_.worker(w);
 
     // Produce the output file on the worker's scratch disk.
-    if (node.disk.reserve_unchecked(task.spec.output_bytes)) {
-      crash_worker(w, "cache overflow writing task output");
+    if (!reserve_or_crash(w, task.spec.output_bytes,
+                          "cache overflow writing task output")) {
       return;
     }
     cache_insert(w, task.output_file);
-    maybe_replicate(task.output_file);
-
     // Run the real computation.
     auto& attempt = attempts_.at(t);
+    // The fresh output is pinned until the attempt finalizes: eviction
+    // must not destroy a result the manager has not ingested yet.
+    attempt.pinned.push_back(task.output_file);
+    pin_file(w, task.output_file);
+    maybe_replicate(task.output_file);
     attempt.exec_finished_at = engine_.now();
     dag::ValuePtr value =
         task.spec.fn ? task.spec.fn(attempt.inputs) : nullptr;
@@ -1291,7 +1528,7 @@ class VineRun {
               txn_xfer_done(cluster_.worker_endpoint(w),
                             cluster_.manager_endpoint(), f, bytes);
               replicas_->set_at_manager(f);
-              drop_worker_copy(w, f, bytes);
+              drop_worker_copy(w, f, bytes, DropReason::kSandbox);
               manager_.acquire_then(
                   result_cost(), [this, token, w,
                                   value = std::move(value)]() mutable {
@@ -1322,16 +1559,48 @@ class VineRun {
     });
   }
 
-  void drop_worker_copy(WorkerId w, FileId f, std::uint64_t bytes) {
+  /// Why a cached replica is leaving a worker's disk. The reason picks the
+  /// transaction verb and which run-report counters move: evicting a file
+  /// is a scheduler decision, losing one is a fault.
+  enum class DropReason : std::uint8_t {
+    kGc,       // consumer refcount hit zero (CACHE ... GC)
+    kEvict,    // LRU pressure eviction (CACHE ... EVICT)
+    kSandbox,  // Work Queue sandbox cleanup after output return (EVICT)
+    kLoss,     // injected fault destroyed the copy (CACHE ... LOST)
+  };
+
+  void drop_worker_copy(WorkerId w, FileId f, std::uint64_t bytes,
+                        DropReason why) {
     auto& node = cluster_.worker(w);
     if (!node.alive) return;
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
-    if (static_cast<std::size_t>(f) < rt.in_cache.size() &&
-        rt.in_cache[static_cast<std::size_t>(f)]) {
-      rt.in_cache[static_cast<std::size_t>(f)] = false;
-      replicas_->remove(f, w);
-      node.disk.release(bytes);
-      if (txn_on()) obs_->txn().cache_evict(engine_.now(), w, f, bytes);
+    if (static_cast<std::size_t>(f) >= rt.in_cache.size() ||
+        !rt.in_cache[static_cast<std::size_t>(f)]) {
+      return;
+    }
+    rt.in_cache[static_cast<std::size_t>(f)] = false;
+    replicas_->remove(f, w);
+    node.disk.release(bytes);
+    rt.last_use.erase(f);
+    if (pin_count(w, f) == 0) reclaim_sub(rt, f);
+    switch (why) {
+      case DropReason::kGc:
+        report_.cache_gc_drops += 1;
+        if (txn_on()) obs_->txn().cache_gc(engine_.now(), w, f, bytes);
+        break;
+      case DropReason::kEvict:
+        report_.cache_evictions += 1;
+        report_.cache_evicted_bytes += bytes;
+        report_.cache.mark_eviction(static_cast<std::size_t>(w),
+                                    engine_.now(), bytes);
+        if (txn_on()) obs_->txn().cache_evict(engine_.now(), w, f, bytes);
+        break;
+      case DropReason::kSandbox:
+        if (txn_on()) obs_->txn().cache_evict(engine_.now(), w, f, bytes);
+        break;
+      case DropReason::kLoss:
+        if (txn_on()) obs_->txn().cache_lost(engine_.now(), w, f, bytes);
+        break;
     }
   }
 
@@ -1369,17 +1638,20 @@ class VineRun {
     report_.trace.add(std::move(rec));
 
     table_.mark_done(t, std::move(value), engine_.now());
+    unpin_attempt(attempts_.at(t));
     attempts_.erase(t);
     if (txn_on()) obs_->txn().task_done(engine_.now(), t, "SUCCESS");
 
-    // Garbage-collect files this completion may have been the last
-    // consumer of (TaskVine prunes cache entries with no pending
-    // consumers; without this, long workflows exhaust worker disks).
+    // This completion consumed its dependency outputs and dataset inputs
+    // once; files whose last pending consumer it was are dead and get
+    // garbage-collected cluster-wide (TaskVine prunes cache entries with
+    // no pending consumers; without this, long workflows exhaust worker
+    // disks). Sink outputs have no consuming edge, so GC never sees them.
     for (TaskId dep : graph_.task(t).spec.deps) {
-      maybe_prune_task_output(dep);
+      release_consumer_ref(graph_.task(dep).output_file);
     }
     for (FileId f : graph_.task(t).spec.input_files) {
-      maybe_prune_input(f);
+      release_consumer_ref(f);
     }
 
     if (is_sink_[static_cast<std::size_t>(t)]) {
@@ -1387,36 +1659,6 @@ class VineRun {
     }
     check_completion();
     pump();
-  }
-
-  /// Drop all worker replicas of `producer`'s output once every dependent
-  /// has completed. Sinks are kept (their output must reach the manager);
-  /// lineage stays sound because a pruned file has no pending consumers,
-  /// and any later reset that needs it re-executes the producer.
-  void maybe_prune_task_output(TaskId producer) {
-    if (is_sink_[static_cast<std::size_t>(producer)]) return;
-    for (TaskId dependent : graph_.task(producer).dependents) {
-      if (table_.at(dependent).state != TaskState::kDone) return;
-    }
-    prune_worker_replicas(graph_.task(producer).output_file);
-  }
-
-  /// Dataset inputs are pruned once every task reading them is done (they
-  /// remain recoverable from the shared filesystem regardless).
-  void maybe_prune_input(FileId f) {
-    auto it = input_consumers_.find(f);
-    if (it == input_consumers_.end()) return;
-    for (TaskId consumer : it->second) {
-      if (table_.at(consumer).state != TaskState::kDone) return;
-    }
-    prune_worker_replicas(f);
-  }
-
-  void prune_worker_replicas(FileId f) {
-    const std::vector<WorkerId> holders = replicas_->holders(f);  // copy
-    for (WorkerId holder : holders) {
-      drop_worker_copy(holder, f, file(f).size);
-    }
   }
 
   /// Proactively replicate a freshly produced intermediate onto additional
@@ -1477,19 +1719,23 @@ class VineRun {
         fetch_sink_result(t);  // re-resolve a live holder
         return;
       }
+      const FileId f = graph_.task(t).output_file;
+      const std::uint32_t src_inc = cluster_.worker(src).incarnation;
+      // Pin the gather source: a sink result being shipped to the manager
+      // must survive on the worker until it lands.
+      pin_file(src, f);
       txn_xfer_start(cluster_.worker_endpoint(src),
-                     cluster_.manager_endpoint(),
-                     graph_.task(t).output_file, bytes);
+                     cluster_.manager_endpoint(), f, bytes);
       sink_flows_[t] = {
           cluster_.send_worker_to_manager(
               src, bytes, cluster_.control_rtt() / 2,
-              [this, t, src, bytes, slot = std::move(slot)] {
+              [this, t, f, src, src_inc, bytes, slot = std::move(slot)] {
+                if (worker_current(src, src_inc)) unpin_file(src, f);
                 record_transfer(cluster_.worker_endpoint(src),
                                 cluster_.manager_endpoint(), bytes);
                 txn_xfer_done(cluster_.worker_endpoint(src),
-                              cluster_.manager_endpoint(),
-                              graph_.task(t).output_file, bytes);
-                replicas_->set_at_manager(graph_.task(t).output_file);
+                              cluster_.manager_endpoint(), f, bytes);
+                replicas_->set_at_manager(f);
                 forget_flow(sink_flows_.at(t).first);
                 sink_flows_.erase(t);
                 on_sink_fetched(t);
@@ -1507,10 +1753,14 @@ class VineRun {
     auto it = sink_flows_.find(t);
     if (it == sink_flows_.end()) return;
     const WorkerId src = it->second.second;
+    const std::uint32_t src_inc = cluster_.worker(src).incarnation;
     const std::uint64_t bytes = file(graph_.task(t).output_file).size;
     injector_->offer_transfer(it->second.first, bytes,
-                              [this, t, src, bytes] {
+                              [this, t, src, src_inc, bytes] {
       sink_flows_.erase(t);
+      if (worker_current(src, src_inc)) {
+        unpin_file(src, graph_.task(t).output_file);
+      }
       txn_xfer_failed(cluster_.worker_endpoint(src),
                       cluster_.manager_endpoint(),
                       graph_.task(t).output_file, bytes);
@@ -1694,7 +1944,10 @@ class VineRun {
       release_resources(t, w);
       remove_from_here(w, t);
     }
-    attempts_.erase(t);
+    if (auto ait = attempts_.find(t); ait != attempts_.end()) {
+      unpin_attempt(ait->second);
+      attempts_.erase(ait);
+    }
 
     if (table_.at(t).attempts >= options_.max_task_retries) {
       fail_run("task " + std::to_string(t) + " (" +
@@ -1909,7 +2162,8 @@ class VineRun {
   FileId env_file_ = data::kInvalidFile;
 
   std::map<TaskId, Attempt> attempts_;
-  std::map<FileId, std::vector<TaskId>> input_consumers_;
+  /// Pending consumers per file (graph-derived; see build_file_table).
+  std::vector<std::uint32_t> consumers_left_;
   std::map<FileId, std::vector<std::function<void(bool)>>> manager_inflight_;
   std::map<FileId, std::pair<net::FlowId, WorkerId>> relay_flows_;
   std::map<TaskId, net::FlowId> return_flows_;

@@ -46,6 +46,12 @@ struct DataPolicy {
   /// depth-first priorities). The legacy Work Queue executor runs FIFO,
   /// which lets intermediates pile up during wide map phases.
   bool depth_priority = true;
+  /// When a cache reservation would overflow a worker's scratch partition,
+  /// evict unpinned cached files (deterministic LRU: last-use tick, file-id
+  /// tiebreak) instead of letting the worker die. `crash_worker` remains
+  /// for the nothing-evictable case, so disabling this knob reproduces the
+  /// paper's Fig 11 overflow pathology exactly (the ablation axis).
+  bool evict_on_pressure = true;
 };
 
 [[nodiscard]] inline DataPolicy taskvine_policy() { return DataPolicy{}; }
@@ -58,6 +64,10 @@ struct DataPolicy {
   policy.cache_function_bodies = false;
   policy.locality_placement = false;
   policy.depth_priority = false;
+  // Legacy Work Queue has no manager-driven cache lifecycle: a full
+  // sandbox partition kills the worker, which is the baseline the Fig 11
+  // comparison needs.
+  policy.evict_on_pressure = false;
   return policy;
 }
 

@@ -53,13 +53,15 @@ TEST(TxnLog, RecordsGrammarLines) {
   log.worker_disconnection(9'000'000, 1, "PREEMPTED");
   log.cache_insert(1'500'000, 1, 42, 1024);
   log.cache_evict(8'000'000, 1, 42, 1024);
+  log.cache_gc(8'100'000, 1, 43, 2048);
+  log.cache_lost(8'200'000, 1, 44, 4096);
   log.transfer_start(1'100'000, 0, 2, 42, 1024);
   log.transfer_done(1'200'000, 0, 2, 42, 1024);
   log.library_sent(600'000, 1);
   log.library_started(700'000, 1);
   log.manager_end(10'000'000);
 
-  EXPECT_EQ(log.events(), 14u);
+  EXPECT_EQ(log.events(), 16u);
   EXPECT_EQ(log.dropped(), 0u);
   const std::string text = log.text();
   EXPECT_NE(text.find("0 MANAGER 0 START"), std::string::npos);
@@ -71,6 +73,9 @@ TEST(TxnLog, RecordsGrammarLines) {
   EXPECT_NE(text.find("9000000 WORKER 1 DISCONNECTION PREEMPTED"),
             std::string::npos);
   EXPECT_NE(text.find("1500000 CACHE 42 INSERT 1024 1"), std::string::npos);
+  EXPECT_NE(text.find("8000000 CACHE 42 EVICT 1024 1"), std::string::npos);
+  EXPECT_NE(text.find("8100000 CACHE 43 GC 2048 1"), std::string::npos);
+  EXPECT_NE(text.find("8200000 CACHE 44 LOST 4096 1"), std::string::npos);
   EXPECT_NE(text.find("1100000 TRANSFER 0 2 42 1024 START"),
             std::string::npos);
   EXPECT_NE(text.find("600000 LIBRARY 1 SENT"), std::string::npos);
@@ -353,6 +358,33 @@ TEST(TxnQuery, ReconstructsLifetimeAndBreakdown) {
             std::string::npos);
   EXPECT_NE(obs::txnq::format_breakdown(breakdown).find("process"),
             std::string::npos);
+}
+
+TEST(TxnQuery, CacheSummaryRollsUpAllFourVerbs) {
+  obs::TxnLog log(64, "");
+  log.cache_insert(100, 0, 7, 1000);
+  log.cache_insert(200, 1, 7, 1000);
+  log.cache_evict(300, 0, 7, 1000);
+  log.cache_gc(400, 1, 7, 1000);
+  log.cache_gc(450, 1, 8, 500);
+  log.cache_lost(500, 2, 9, 250);
+  const auto events = obs::txnq::parse_log(log.text());
+
+  const auto cs = obs::txnq::cache_summary(events);
+  EXPECT_EQ(cs.inserts, 2u);
+  EXPECT_EQ(cs.inserted_bytes, 2000u);
+  EXPECT_EQ(cs.evictions, 1u);
+  EXPECT_EQ(cs.evicted_bytes, 1000u);
+  EXPECT_EQ(cs.gc_drops, 2u);
+  EXPECT_EQ(cs.gc_bytes, 1500u);
+  EXPECT_EQ(cs.losses, 1u);
+  EXPECT_EQ(cs.lost_bytes, 250u);
+
+  const std::string rendered = obs::txnq::format_cache_summary(cs);
+  EXPECT_NE(rendered.find("INSERT"), std::string::npos);
+  EXPECT_NE(rendered.find("EVICT"), std::string::npos);
+  EXPECT_NE(rendered.find("GC"), std::string::npos);
+  EXPECT_NE(rendered.find("LOST"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------

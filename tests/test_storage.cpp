@@ -21,12 +21,12 @@ TEST(LocalDisk, ReserveRespectsCapacity) {
   EXPECT_EQ(disk.available(), 0u);
 }
 
-TEST(LocalDisk, UncheckedReserveReportsOverflow) {
+TEST(LocalDisk, TryReserveReportsOverflow) {
   LocalDisk disk(nvme_disk(), 100);
-  EXPECT_FALSE(disk.reserve_unchecked(80));
-  EXPECT_TRUE(disk.reserve_unchecked(80));
+  EXPECT_TRUE(disk.try_reserve(80)) << "within capacity: still healthy";
+  EXPECT_FALSE(disk.try_reserve(80)) << "overflow: partition is doomed";
   EXPECT_TRUE(disk.over_capacity());
-  EXPECT_EQ(disk.used(), 160u);
+  EXPECT_EQ(disk.used(), 160u) << "bytes are accounted regardless";
 }
 
 TEST(LocalDisk, ReleaseClampsAtZero) {

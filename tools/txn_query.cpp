@@ -7,6 +7,7 @@
 //   txn_query <txn.log> tasks          lifecycle of every task (brief)
 //   txn_query <txn.log> categories     per-category wait/run breakdown
 //   txn_query <txn.log> workers        connection/disconnection summary
+//   txn_query <txn.log> cache          cache lifecycle (INSERT/EVICT/GC/LOST)
 //   txn_query <txn.log> summary        everything above, condensed
 
 #include <cstdio>
@@ -30,6 +31,7 @@ int usage(const char* argv0) {
                "  tasks        one-line lifecycle per task\n"
                "  categories   per-category wait/run breakdown\n"
                "  workers      worker connection summary\n"
+               "  cache        cache lifecycle rollup (INSERT/EVICT/GC/LOST)\n"
                "  summary      condensed overview\n",
                argv0);
   return 2;
@@ -112,6 +114,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cmd == "cache") {
+    std::fputs(obs::txnq::format_cache_summary(
+                   obs::txnq::cache_summary(events))
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
   if (cmd == "summary") {
     const auto all = obs::txnq::all_task_lifetimes(events);
     std::size_t complete = 0;
@@ -122,6 +132,10 @@ int main(int argc, char** argv) {
     print_workers(obs::txnq::worker_summary(events));
     std::fputs(obs::txnq::format_breakdown(
                    obs::txnq::category_breakdown(events))
+                   .c_str(),
+               stdout);
+    std::fputs(obs::txnq::format_cache_summary(
+                   obs::txnq::cache_summary(events))
                    .c_str(),
                stdout);
     return 0;
