@@ -14,6 +14,7 @@
 #include "cluster/calibration.h"
 #include "dd/dask_distributed.h"
 #include "exec/scheduler.h"
+#include "obs/attribution.h"
 #include "storage/shared_fs.h"
 #include "util/env.h"
 #include "vine/vine_scheduler.h"
@@ -44,6 +45,40 @@ inline void apply_txn_capture(exec::RunOptions& options) {
   options.observability.chrome_trace = false;
   options.observability.txn_path =
       std::string(prefix) + "." + std::to_string(run_index++) + ".txn";
+}
+
+/// Profiler capture hook: when HEPVINE_SPANS is set, write each run's span
+/// log to "<prefix>.<n>.spans" (n increments per run, in launch order).
+/// vine_profile consumes the files; CI replays a bench twice and diffs
+/// them (plus the vine_profile text/json output) to prove the profiler is
+/// deterministic, and gates on the core-second accounting identity.
+inline void maybe_write_spans(const exec::RunReport& report) {
+  const char* prefix = util::env_cstr("HEPVINE_SPANS");
+  if (prefix == nullptr || *prefix == '\0') return;
+  static int run_index = 0;
+  const std::string path =
+      std::string(prefix) + "." + std::to_string(run_index++) + ".spans";
+  if (!report.profile.write_file(path)) {
+    std::fprintf(stderr, "warning: could not write span log %s\n",
+                 path.c_str());
+  }
+}
+
+/// One-line core-second blame breakdown for a run, from the attribution
+/// ledger (obs::attribute over RunReport::profile).
+inline void print_blame_line(const char* label,
+                             const exec::RunReport& report) {
+  const obs::AttributionLedger ledger = obs::attribute(report.profile);
+  if (ledger.capacity <= 0) return;
+  std::printf("  %-28s compute %5.1f%%  transfer %5.1f%%  dispatch %5.1f%%  "
+              "import %5.1f%%  recovery %5.1f%%  idle %5.1f%%%s\n",
+              label, ledger.fraction(obs::Blame::kCompute) * 100,
+              ledger.fraction(obs::Blame::kTransferWait) * 100,
+              ledger.fraction(obs::Blame::kDispatchWait) * 100,
+              ledger.fraction(obs::Blame::kImport) * 100,
+              ledger.fraction(obs::Blame::kRecovery) * 100,
+              ledger.fraction(obs::Blame::kIdle) * 100,
+              ledger.identity_ok() ? "" : "  [IDENTITY VIOLATION]");
 }
 
 struct RunConfig {

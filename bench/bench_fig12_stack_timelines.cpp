@@ -56,11 +56,38 @@ int main() {
       wq::WorkQueueScheduler scheduler;
       report = run_workload(scheduler, workload, cfg, options);
     }
+    maybe_write_spans(report);
     std::printf("\n%s (completes at %.0fs):\n", stack.label,
                 report.makespan_seconds());
     const auto series =
         report.trace.concurrency_series(2 * util::kSec, window);
     std::printf("%s", metrics::render_concurrency(series, 10, 72).c_str());
+
+    // The paper's diagnosis, re-derived from the attribution ledger: which
+    // non-compute blame category dominates the cluster's core-seconds.
+    const obs::AttributionLedger ledger = obs::attribute(report.profile);
+    print_blame_line("blame:", report);
+    if (ledger.capacity > 0) {
+      struct Axis {
+        const char* verdict = "";
+        obs::Blame blame = obs::Blame::kIdle;
+      };
+      const Axis axes[] = {
+          {"transfer-bound", obs::Blame::kTransferWait},
+          {"dispatch-bound", obs::Blame::kDispatchWait},
+          {"import-bound", obs::Blame::kImport},
+      };
+      const Axis* worst = &axes[0];
+      for (const Axis& a : axes) {
+        if (ledger.fraction(a.blame) > ledger.fraction(worst->blame)) {
+          worst = &a;
+        }
+      }
+      std::printf("  %-28s %s (%.1f%% of core-seconds waiting on %s)\n",
+                  "diagnosis:", worst->verdict,
+                  ledger.fraction(worst->blame) * 100,
+                  obs::to_string(worst->blame));
+    }
   }
   return 0;
 }

@@ -33,11 +33,27 @@ int main() {
 
       vine::VineScheduler scheduler;
       const auto report = run_workload(scheduler, workload, config, options);
+      maybe_write_spans(report);
 
-      const auto occupancy = report.trace.worker_occupancy(
-          static_cast<std::int32_t>(workers), 0, report.makespan);
+      // Occupancy from the attribution ledger: the share of each worker's
+      // core-seconds not blamed on idle or preemption. Unlike the old
+      // task-interval overlap estimate, this is exact and sums to the
+      // cluster capacity by construction.
+      const obs::AttributionLedger ledger = obs::attribute(report.profile);
+      std::vector<double> occupancy;
+      occupancy.reserve(ledger.workers.size());
       double mean = 0;
-      for (double o : occupancy) mean += o;
+      for (const auto& w : ledger.workers) {
+        const std::int64_t unused =
+            w.ticks[static_cast<std::size_t>(obs::Blame::kIdle)] +
+            w.ticks[static_cast<std::size_t>(obs::Blame::kPreempted)];
+        const double occ =
+            w.capacity > 0 ? 1.0 - static_cast<double>(unused) /
+                                       static_cast<double>(w.capacity)
+                           : 0.0;
+        occupancy.push_back(occ);
+        mean += occ;
+      }
       mean /= occupancy.empty() ? 1.0 : static_cast<double>(occupancy.size());
 
       std::printf("\n%u workers, %s: makespan %.0fs, mean occupancy %.0f%%, "
@@ -46,6 +62,7 @@ int main() {
                   report.manager_busy_fraction * 100);
       std::printf("%s",
                   metrics::TaskTrace::render_occupancy(occupancy).c_str());
+      print_blame_line("blame:", report);
     }
   }
   std::printf("\n  shape: Stack 3 starves the large cluster (low occupancy at "

@@ -68,6 +68,7 @@ int main() {
       wq::WorkQueueScheduler scheduler;
       report = run_workload(scheduler, workload, cfg, opts);
     }
+    maybe_write_spans(report);
     if (baseline == 0) {
       baseline = report.makespan_seconds();
       paper_baseline = stack.paper_seconds;
@@ -78,6 +79,7 @@ int main() {
                 report.makespan_seconds(),
                 baseline / report.makespan_seconds(),
                 report.success ? "" : "[FAILED]");
+    print_blame_line("", report);
   }
   return 0;
 }

@@ -12,7 +12,9 @@
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
+#include "obs/attribution.h"
 #include "obs/observer.h"
+#include "obs/span.h"
 #include "sim/rng.h"
 
 namespace hepvine::dd {
@@ -54,6 +56,7 @@ class DaskRun {
     }
     begin_observation();
     begin_fault_injection();
+    begin_profile();
     cluster_.request_workers([this](WorkerId w) { on_node_up(w); },
                              [this](WorkerId w) { on_node_down(w); });
     engine_.schedule_at(options_.max_sim_time, [this] {
@@ -78,10 +81,11 @@ class DaskRun {
     report_.task_failures = report_.trace.failures();
     report_.lineage_resets = lineage_resets_;
     if (report_.makespan > 0) {
-      report_.manager_busy_fraction =
+      report_.manager_busy_fraction_legacy =
           std::min(1.0, static_cast<double>(scheduler_.total_busy_time()) /
                             static_cast<double>(report_.makespan));
     }
+    finish_profile();
     if (obs_->enabled()) {
       obs_->txn().manager_end(engine_.now());
       obs_->finalize(engine_.now());
@@ -258,8 +262,86 @@ class DaskRun {
     std::int32_t proc = kNoProc;
     std::uint32_t staging_outstanding = 0;
     std::vector<dag::ValuePtr> inputs;
+    /// Lifecycle phase boundaries for the profiler (obs/span.h); -1 until
+    /// the attempt reaches the phase. span_exec_end is stamped at process
+    /// exit in complete_exec (dd has no exec_finished_at equivalent).
+    Tick span_ready = -1;
+    Tick span_dispatched = -1;
+    Tick span_staged = -1;
+    Tick span_exec = -1;
+    Tick span_compute = -1;
+    Tick span_exec_end = -1;
   };
   std::map<TaskId, Attempt> attempts_;
+
+  /// Capture one finished attempt into the profiler span log (and the
+  /// transaction log as a SPAN line), before the Attempt is erased.
+  void record_attempt_span(TaskId t, std::int32_t pid, const Attempt& a,
+                           bool failed) {
+    obs::AttemptSpan s;
+    s.task = t;
+    s.attempt = table_.at(t).attempts;
+    s.worker = pid == kNoProc ? -1 : static_cast<std::int32_t>(node_of(pid));
+    s.ready_at = a.span_ready;
+    s.dispatched_at = a.span_dispatched;
+    s.staged_at = a.span_staged;
+    s.exec_at = a.span_exec;
+    s.compute_at = a.span_compute;
+    s.exec_end_at = a.span_exec_end;
+    s.retrieved_at = engine_.now();
+    s.failed = failed;
+    s.category = graph_.task(t).spec.category;
+    if (txn_on()) {
+      obs_->txn().span_attempt(engine_.now(), t, s.attempt, s.worker,
+                               s.ready_at, s.dispatched_at, s.staged_at,
+                               s.exec_at, s.compute_at, s.exec_end_at,
+                               !failed, s.category);
+    }
+    report_.profile.add_attempt(std::move(s));
+  }
+
+  /// Arm the profiler: static cluster/DAG shape plus the wire-level flow
+  /// span listener. Node up/down and attempt spans are recorded at their
+  /// natural call sites.
+  void begin_profile() {
+    std::vector<std::uint32_t> cores;
+    cores.reserve(cluster_.worker_count());
+    for (WorkerId w = 0; w < static_cast<WorkerId>(cluster_.worker_count());
+         ++w) {
+      cores.push_back(cluster_.worker(w).cores);
+    }
+    report_.profile.set_worker_cores(std::move(cores));
+    for (const auto& task : graph_.tasks()) {
+      report_.profile.set_deps(task.id, task.spec.deps);
+    }
+    cluster_.network().set_span_listener(
+        [this](Tick started, Tick ended, net::FlowId id, std::uint64_t bytes,
+               std::uint64_t carried, char outcome) {
+          obs::FlowSpan fs;
+          fs.flow = id;
+          fs.bytes = bytes;
+          fs.carried = carried;
+          fs.started_at = started;
+          fs.ended_at = ended;
+          fs.outcome = outcome;
+          report_.profile.add_flow(fs);
+        });
+  }
+
+  /// Seal the span log once the makespan is known and derive the
+  /// attribution ledger, which supplies the reported busy fraction.
+  void finish_profile() {
+    report_.profile.set_manager(scheduler_.total_busy_time(),
+                                scheduler_.operations());
+    report_.profile.set_run(report_.makespan, report_.scheduler,
+                            report_.success);
+    const obs::AttributionLedger ledger = obs::attribute(report_.profile);
+    report_.manager_busy_fraction = ledger.manager_busy_fraction;
+    assert(ledger.identity_ok());
+    if (trace_on() && obs_->config().trace_lifecycle_spans) {
+      obs::emit_lifecycle_trace(report_.profile, obs_->trace());
+    }
+  }
 
   // --------------------------------------------------------------------
   // Node / process lifecycle.
@@ -267,6 +349,7 @@ class DaskRun {
   void on_node_up(WorkerId w) {
     if (finished_) return;
     if (txn_on()) obs_->txn().worker_connection(engine_.now(), w);
+    report_.profile.worker_up(engine_.now(), w);
     for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
       auto& p = proc(proc_id(w, k));
       p = Proc{};
@@ -284,6 +367,7 @@ class DaskRun {
                                        crashed ? "FAILURE" : "PREEMPTED");
     }
     pending_crash_[static_cast<std::size_t>(w)] = false;
+    report_.profile.worker_down(engine_.now(), w);
     for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
       kill_proc(proc_id(w, k), /*restart=*/false);
       if (finished_) return;
@@ -557,6 +641,8 @@ class DaskRun {
     Attempt attempt;
     attempt.proc = pid;
     attempt.inputs = table_.gather_inputs(t);
+    attempt.span_ready = table_.at(t).ready_at;
+    attempt.span_dispatched = engine_.now();
     attempts_[t] = std::move(attempt);
     const Token token{t, table_.at(t).attempts};
 
@@ -575,6 +661,7 @@ class DaskRun {
     if (!token_valid(token)) return;
     const auto& task = graph_.task(token.task);
     auto& attempt = attempts_[token.task];
+    attempt.span_staged = engine_.now();
 
     std::vector<std::pair<FileId, bool>> needed;  // (file, is_dataset)
     for (FileId f : task.spec.input_files) needed.emplace_back(f, true);
@@ -753,6 +840,7 @@ class DaskRun {
     if (txn_on()) {
       obs_->txn().task_running(engine_.now(), token.task, node_of(pid));
     }
+    attempts_.at(token.task).span_exec = engine_.now();
     const auto& task = graph_.task(token.task);
     const auto& node = cluster_.worker(node_of(pid));
     Proc& p = proc(pid);
@@ -795,8 +883,12 @@ class DaskRun {
                           record_transfer(cluster_.fs_endpoint(),
                                           cluster_.worker_endpoint(node_id),
                                           code);
+                          const Tick cpu =
+                              options_.imports.total_cpu_cost();
+                          attempts_.at(token.task).span_compute =
+                              engine_.now() + cpu;
                           engine_.schedule_after(
-                              options_.imports.total_cpu_cost() + compute,
+                              cpu + compute,
                               [this, token, pid] {
                                 complete_exec(token, pid);
                               });
@@ -807,6 +899,7 @@ class DaskRun {
       return;
     }
 
+    attempts_.at(token.task).span_compute = engine_.now() + pre;
     engine_.schedule_after(pre + compute, [this, token, pid] {
       complete_exec(token, pid);
     });
@@ -830,6 +923,7 @@ class DaskRun {
     file(task.output_file).holders.push_back(pid);
 
     auto& attempt = attempts_.at(t);
+    attempt.span_exec_end = engine_.now();
     dag::ValuePtr value =
         task.spec.fn ? task.spec.fn(attempt.inputs) : nullptr;
 
@@ -868,6 +962,7 @@ class DaskRun {
               std::to_string(pid) + "}");
     }
     report_.trace.add(std::move(rec));
+    record_attempt_span(t, pid, attempts_.at(t), /*failed=*/false);
 
     table_.mark_done(t, std::move(value), engine_.now());
     attempts_.erase(t);
@@ -998,6 +1093,7 @@ class DaskRun {
         running_on_.erase(pid);
         if (proc(pid).alive) proc(pid).busy = false;
       }
+      record_attempt_span(t, pid, it->second, /*failed=*/true);
       attempts_.erase(it);
     }
     if (table_.at(t).attempts >= options_.max_task_retries) {

@@ -2,7 +2,21 @@
 
 #include <cstdio>
 
+#include "obs/attribution.h"
+
 namespace hepvine::exec {
+
+namespace {
+
+/// One blame category's core-seconds for CSV output (exact int64 ticks
+/// divided once for display).
+double blame_core_s(const obs::AttributionLedger& ledger, obs::Blame b) {
+  return static_cast<double>(
+             ledger.ticks[static_cast<std::size_t>(b)]) /
+         static_cast<double>(util::kSec);
+}
+
+}  // namespace
 
 std::string summarize(const RunReport& report) {
   char buf[512];
@@ -52,6 +66,27 @@ std::string summarize(const RunReport& report) {
   std::snprintf(buf, sizeof(buf), "manager busy:   %.1f%% of makespan\n",
                 report.manager_busy_fraction * 100.0);
   out += buf;
+  {
+    const obs::AttributionLedger ledger = obs::attribute(report.profile);
+    if (ledger.capacity > 0) {
+      std::snprintf(
+          buf, sizeof(buf),
+          "core-seconds:   %.1f capacity: compute %.1f%%, transfer-wait "
+          "%.1f%%, dispatch-wait %.1f%%, import %.1f%%, recovery %.1f%%, "
+          "idle %.1f%%, preempted %.1f%%%s\n",
+          static_cast<double>(ledger.capacity) /
+              static_cast<double>(util::kSec),
+          ledger.fraction(obs::Blame::kCompute) * 100.0,
+          ledger.fraction(obs::Blame::kTransferWait) * 100.0,
+          ledger.fraction(obs::Blame::kDispatchWait) * 100.0,
+          ledger.fraction(obs::Blame::kImport) * 100.0,
+          ledger.fraction(obs::Blame::kRecovery) * 100.0,
+          ledger.fraction(obs::Blame::kIdle) * 100.0,
+          ledger.fraction(obs::Blame::kPreempted) * 100.0,
+          ledger.identity_ok() ? "" : "  [IDENTITY VIOLATION]");
+      out += buf;
+    }
+  }
   if (report.faults.faults_injected > 0) {
     std::snprintf(
         buf, sizeof(buf),
@@ -90,15 +125,19 @@ std::string csv_header() {
          "lineage_resets,preemptions,crashes,manager_busy_fraction,"
          "manager_bytes,peer_bytes,peak_cache_bytes,faults_injected,"
          "transfers_killed,transfer_retries,cache_evictions,"
-         "cache_gc_drops,peer_slot_underflows\n";
+         "cache_gc_drops,peer_slot_underflows,"
+         "compute_core_s,import_core_s,transfer_wait_core_s,"
+         "dispatch_wait_core_s,recovery_core_s,idle_core_s,"
+         "preempted_core_s\n";
 }
 
 std::string csv_row(const RunReport& report) {
-  char buf[512];
+  const obs::AttributionLedger ledger = obs::attribute(report.profile);
+  char buf[768];
   std::snprintf(
       buf, sizeof(buf),
       "%s,%d,%.3f,%zu,%zu,%zu,%zu,%u,%u,%.4f,%llu,%llu,%llu,%llu,%llu,"
-      "%llu,%llu,%llu,%llu\n",
+      "%llu,%llu,%llu,%llu,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f,%.3f\n",
       report.scheduler.c_str(), report.success ? 1 : 0,
       report.makespan_seconds(), report.tasks_total, report.task_attempts,
       report.task_failures, report.lineage_resets, report.worker_preemptions,
@@ -111,7 +150,14 @@ std::string csv_row(const RunReport& report) {
       static_cast<unsigned long long>(report.faults.transfer_retries),
       static_cast<unsigned long long>(report.cache_evictions),
       static_cast<unsigned long long>(report.cache_gc_drops),
-      static_cast<unsigned long long>(report.peer_slot_underflows));
+      static_cast<unsigned long long>(report.peer_slot_underflows),
+      blame_core_s(ledger, obs::Blame::kCompute),
+      blame_core_s(ledger, obs::Blame::kImport),
+      blame_core_s(ledger, obs::Blame::kTransferWait),
+      blame_core_s(ledger, obs::Blame::kDispatchWait),
+      blame_core_s(ledger, obs::Blame::kRecovery),
+      blame_core_s(ledger, obs::Blame::kIdle),
+      blame_core_s(ledger, obs::Blame::kPreempted));
   return buf;
 }
 

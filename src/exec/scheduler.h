@@ -14,6 +14,7 @@
 #include "metrics/task_trace.h"
 #include "metrics/transfer_matrix.h"
 #include "obs/observer.h"
+#include "obs/span.h"
 #include "pyrt/python_runtime.h"
 #include "util/units.h"
 
@@ -114,8 +115,18 @@ struct RunReport {
 
   /// Fraction of the makespan the manager's control loop was busy
   /// (dispatching, ingesting results, brokering transfers). Near 1.0 means
-  /// the run was dispatch-bound — the Stack-3 regime of Fig 13.
+  /// the run was dispatch-bound — the Stack-3 regime of Fig 13. Derived
+  /// from the attribution ledger (obs::attribute over `profile`);
+  /// `manager_busy_fraction_legacy` keeps the backend's direct measurement
+  /// for cross-checking, and the two must agree exactly.
   double manager_busy_fraction = 0.0;
+  double manager_busy_fraction_legacy = 0.0;
+
+  /// Per-attempt lifecycle spans, worker capacity timeline, wire flows and
+  /// cache drops — the raw material for core-second blame accounting and
+  /// critical-path extraction (obs/attribution.h, obs/critical_path.h).
+  /// Always recorded; serialize with profile.write_file for vine_profile.
+  obs::SpanLog profile;
 
   metrics::TaskTrace trace;
   metrics::TransferMatrix transfers;

@@ -81,6 +81,7 @@ FlowId Network::start_flow(std::vector<LinkId> path, std::uint64_t bytes,
   flow.total_bytes = bytes;
   flow.remaining = static_cast<double>(bytes);
   flow.done = std::move(done);
+  flow.created_at = engine_.now();
   flow.last_update = engine_.now();
   for (LinkId link : flow.path) {
     assert(link >= 0 && static_cast<std::size_t>(link) < links_.size());
@@ -134,7 +135,11 @@ void Network::cancel_flow(FlowId id) {
   release_links(*flow);
   flows_cancelled_ += 1;
   bytes_abandoned_ += flow->attributed;
+  const Tick created = flow->created_at;
+  const std::uint64_t total = flow->total_bytes;
+  const std::uint64_t carried = flow->attributed;
   destroy_flow(id);
+  if (on_span_) on_span_(created, engine_.now(), id, total, carried, 'C');
 }
 
 void Network::fail_flow(FlowId id) {
@@ -147,7 +152,11 @@ void Network::fail_flow(FlowId id) {
   release_links(*flow);
   flows_failed_ += 1;
   bytes_abandoned_ += flow->attributed;
+  const Tick created = flow->created_at;
+  const std::uint64_t total = flow->total_bytes;
+  const std::uint64_t carried = flow->attributed;
   destroy_flow(id);
+  if (on_span_) on_span_(created, engine_.now(), id, total, carried, 'F');
   if (on_fail_) on_fail_(id);
 }
 
@@ -205,8 +214,11 @@ void Network::finish_flow(FlowId id) {
   }
   bytes_completed_ += flow->total_bytes;
   auto done = std::move(flow->done);
+  const Tick created = flow->created_at;
+  const std::uint64_t total = flow->total_bytes;
   destroy_flow(id);
   flows_completed_ += 1;
+  if (on_span_) on_span_(created, engine_.now(), id, total, total, 'D');
   if (done) done(id);
   request_recompute();
 }

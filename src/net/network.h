@@ -121,6 +121,17 @@ class Network {
     on_warn_ = std::move(cb);
   }
 
+  /// Observer invoked once per flow when it leaves the network, with its
+  /// full wire-level span: (started_at, ended_at, id, total_bytes,
+  /// carried_bytes, outcome) where outcome is 'D' done, 'C' cancelled,
+  /// 'F' failed. Fires for every teardown path; null = no cost.
+  void set_span_listener(std::function<void(Tick, Tick, FlowId,
+                                            std::uint64_t, std::uint64_t,
+                                            char)>
+                             cb) {
+    on_span_ = std::move(cb);
+  }
+
   /// Scale a link's effective capacity by `factor` (1 = nominal, 0 = full
   /// outage: flows stall at rate zero and resume when the factor recovers).
   void set_link_scale(LinkId id, double factor);
@@ -189,6 +200,7 @@ class Network {
     std::uint64_t attributed = 0;  // whole bytes charged to links so far
     std::uint64_t fail_at = 0;     // injected failure offset; 0 = none
     Bandwidth rate = 0;    // current allocation; 0 during setup
+    Tick created_at = 0;   // when start_flow admitted it (span listener)
     Tick last_update = 0;  // when `remaining` was last settled
     bool transferring = false;
     bool in_component = false;  // scratch flag owned by recompute_now
@@ -268,6 +280,8 @@ class Network {
   std::uint64_t starvation_rescues_ = 0;
   std::function<void(FlowId)> on_fail_;
   std::function<void(Tick, FlowId, const char*)> on_warn_;
+  std::function<void(Tick, Tick, FlowId, std::uint64_t, std::uint64_t, char)>
+      on_span_;
 };
 
 }  // namespace hepvine::net

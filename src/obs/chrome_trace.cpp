@@ -62,6 +62,31 @@ void ChromeTraceBuilder::add_span(std::int32_t pid, const std::string& name,
   events_.emplace_back(buf);
 }
 
+void ChromeTraceBuilder::add_begin(std::int32_t pid, std::int64_t tid,
+                                   const std::string& name,
+                                   const std::string& category, Tick start,
+                                   const std::string& args_json) {
+  char buf[384];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"pid\":%d,"
+                "\"tid\":%" PRId64 ",\"ts\":%" PRId64 "%s%s}",
+                escape(name).c_str(),
+                escape(category.empty() ? "task" : category).c_str(), pid,
+                tid, start, args_json.empty() ? "" : ",\"args\":",
+                args_json.c_str());
+  events_.emplace_back(buf);
+}
+
+void ChromeTraceBuilder::add_end(std::int32_t pid, std::int64_t tid,
+                                 Tick end) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"ph\":\"E\",\"pid\":%d,\"tid\":%" PRId64
+                ",\"ts\":%" PRId64 "}",
+                pid, tid, end);
+  events_.emplace_back(buf);
+}
+
 void ChromeTraceBuilder::add_flow(std::int32_t src, std::int32_t dst,
                                   const std::string& name, Tick start,
                                   Tick end) {

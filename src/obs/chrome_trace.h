@@ -33,6 +33,18 @@ class ChromeTraceBuilder {
                 const std::string& category, Tick start, Tick duration,
                 const std::string& args_json = {});
 
+  /// Duration-begin ("B") event on thread `tid` of lane `pid`. Pair with
+  /// add_end on the same (pid, tid); properly nested pairs render as
+  /// nested spans in Perfetto. Lifecycle spans use the task id as the tid
+  /// so concurrent attempts on one worker nest independently.
+  void add_begin(std::int32_t pid, std::int64_t tid, const std::string& name,
+                 const std::string& category, Tick start,
+                 const std::string& args_json = {});
+
+  /// Duration-end ("E") event closing the innermost open add_begin on
+  /// (pid, tid).
+  void add_end(std::int32_t pid, std::int64_t tid, Tick end);
+
   /// Flow arrow from lane `src` at `start` to lane `dst` at `end` (e.g. a
   /// peer transfer). Rendered as an arrow connecting the two lanes.
   void add_flow(std::int32_t src, std::int32_t dst, const std::string& name,

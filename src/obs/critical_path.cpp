@@ -1,0 +1,127 @@
+#include "obs/critical_path.h"
+
+#include <algorithm>
+#include <map>
+
+namespace hepvine::obs {
+
+namespace {
+
+constexpr std::size_t idx(Blame blame) {
+  return static_cast<std::size_t>(blame);
+}
+
+struct TaskRealization {
+  const AttemptSpan* final_attempt = nullptr;  // last successful attempt
+  Tick first_ready = -1;  // earliest ready_at over all attempts
+  bool had_failure = false;
+};
+
+}  // namespace
+
+CriticalPath extract_critical_path(const SpanLog& log) {
+  CriticalPath path;
+  path.makespan = log.makespan();
+
+  // Realize each task: its finish time is the exec_end of its last
+  // successful attempt (ties on equal exec_end keep the later record,
+  // which is the higher attempt number in emission order).
+  std::map<std::int64_t, TaskRealization> tasks;
+  for (const AttemptSpan& a : log.attempts()) {
+    TaskRealization& tr = tasks[a.task];
+    if (tr.first_ready < 0 || (a.ready_at >= 0 && a.ready_at < tr.first_ready)) {
+      tr.first_ready = a.ready_at;
+    }
+    if (a.failed) {
+      tr.had_failure = true;
+    } else if (tr.final_attempt == nullptr ||
+               a.exec_end_at >= tr.final_attempt->exec_end_at) {
+      tr.final_attempt = &a;
+    }
+  }
+
+  // Head of the chain: the task that finished last (smallest id on ties —
+  // std::map iteration order makes the first strict maximum win).
+  std::int64_t head = -1;
+  Tick head_finish = -1;
+  for (const auto& [task, tr] : tasks) {
+    if (tr.final_attempt == nullptr) continue;
+    if (tr.final_attempt->exec_end_at > head_finish) {
+      head = task;
+      head_finish = tr.final_attempt->exec_end_at;
+    }
+  }
+  if (head < 0) return path;
+
+  // Walk backwards: each step follows the predecessor with the latest
+  // finish (smallest id on ties). Loop guard: each step strictly moves to
+  // a task that finished no later and has a distinct id; bounded by the
+  // task count.
+  std::vector<PathNode> reversed;
+  std::int64_t current = head;
+  const auto& deps = log.deps();
+  while (reversed.size() <= tasks.size()) {
+    const TaskRealization& tr = tasks.at(current);
+    const AttemptSpan& a = *tr.final_attempt;
+
+    std::int64_t pred = -1;
+    Tick gate = -1;
+    const auto dit = deps.find(current);
+    if (dit != deps.end()) {
+      for (const std::int64_t d : dit->second) {
+        const auto pit = tasks.find(d);
+        if (pit == tasks.end() || pit->second.final_attempt == nullptr) {
+          continue;
+        }
+        const Tick f = pit->second.final_attempt->exec_end_at;
+        if (f > gate || (f == gate && d < pred)) {
+          pred = d;
+          gate = f;
+        }
+      }
+    }
+    if (pred < 0) gate = tr.first_ready >= 0 ? tr.first_ready : a.ready_at;
+
+    PathNode node;
+    node.task = current;
+    node.attempt = a.attempt;
+    node.worker = a.worker;
+    node.finish = a.exec_end_at;
+    node.gate = std::min(gate, node.finish);
+
+    // Decompose [gate, finish] with monotone clamping, mirroring the
+    // ledger's per-attempt segments. The gap between the gate and this
+    // attempt becoming ready is recovery when earlier attempts failed
+    // (requeue/backoff), otherwise manager pipeline latency
+    // (dispatch-wait: the predecessor's result was still being ingested).
+    const Tick lo = node.gate;
+    const Tick hi = node.finish;
+    auto clamp = [lo, hi](Tick t, Tick floor) {
+      return std::max(floor, std::min(t < 0 ? floor : t, hi));
+    };
+    const Tick ready = clamp(a.ready_at, lo);
+    const Tick staged = clamp(a.staged_at, clamp(a.dispatched_at, ready));
+    const Tick exec = clamp(a.exec_at, staged);
+    const Tick compute = clamp(a.compute_at, exec);
+    node.ticks[idx(tr.had_failure ? Blame::kRecovery
+                                  : Blame::kDispatchWait)] += ready - lo;
+    node.ticks[idx(Blame::kDispatchWait)] += staged - ready;
+    node.ticks[idx(Blame::kTransferWait)] += exec - staged;
+    node.ticks[idx(Blame::kImport)] += compute - exec;
+    node.ticks[idx(Blame::kCompute)] += hi - compute;
+    reversed.push_back(std::move(node));
+
+    if (pred < 0) break;
+    current = pred;
+  }
+
+  path.nodes.assign(reversed.rbegin(), reversed.rend());
+  path.start = path.nodes.front().gate;
+  path.finish = path.nodes.back().finish;
+  for (const PathNode& n : path.nodes) {
+    for (std::size_t c = 0; c < kBlameCount; ++c) path.ticks[c] += n.ticks[c];
+  }
+  return path;
+}
+
+}  // namespace hepvine::obs

@@ -1,0 +1,84 @@
+// Critical-path extraction: which dependency chain bounded the makespan,
+// and what each link on it was waiting for.
+//
+// Walks the completed task graph recorded in a SpanLog backwards from the
+// last task to finish, at each step following the predecessor whose
+// completion gated this task the longest. The realized length of the
+// resulting chain is a hard lower bound on the makespan of any schedule
+// of this DAG on this hardware — no worker count can beat it — and each
+// link's span decomposes into the same blame categories as the cluster
+// ledger, yielding Amdahl-style bounds per category: "even infinite
+// workers save ≤ X because the critical path is Y% transfer-wait."
+//
+// All arithmetic is exact integer ticks; the extraction is deterministic
+// (ties broken by smallest task id) so output is bit-identical across
+// replays.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/attribution.h"
+#include "obs/span.h"
+#include "util/units.h"
+
+namespace hepvine::obs {
+
+/// One link of the critical chain: task `task` could not start before
+/// `gate` (its slowest predecessor's finish, or its own first ready time
+/// for a root) and finished at `finish`. `ticks` decomposes
+/// [gate, finish] into blame categories.
+struct PathNode {
+  std::int64_t task = -1;
+  std::uint32_t attempt = 0;
+  std::int32_t worker = -1;
+  Tick gate = -1;
+  Tick finish = -1;
+  BlameVector ticks{};
+};
+
+struct CriticalPath {
+  std::vector<PathNode> nodes;  // root first, head (last finisher) last
+  Tick start = 0;               // gate of the root node
+  Tick finish = 0;              // finish of the head node
+  Tick makespan = 0;
+  BlameVector ticks{};  // Σ over nodes; sums to realized_length()
+
+  [[nodiscard]] Tick realized_length() const { return finish - start; }
+
+  /// Fraction of the realized path in `blame` (display only).
+  [[nodiscard]] double category_share(Blame blame) const {
+    const Tick len = realized_length();
+    if (len <= 0) return 0.0;
+    return static_cast<double>(
+               ticks[static_cast<std::size_t>(blame)]) /
+           static_cast<double>(len);
+  }
+
+  /// Ceiling on speedup from parallelism alone: infinite workers cannot
+  /// finish before the critical path does.
+  [[nodiscard]] double overall_speedup_bound() const {
+    const Tick len = realized_length();
+    if (len <= 0 || makespan <= 0) return 1.0;
+    return static_cast<double>(makespan) / static_cast<double>(len);
+  }
+
+  /// Amdahl-style ceiling if `blame` were eliminated from the path (e.g.
+  /// perfect data placement zeroes transfer-wait): the path cannot shrink
+  /// below realized_length − ticks[blame]. Returns 0 when the whole path
+  /// is `blame` (the bound is unbounded).
+  [[nodiscard]] double speedup_bound_without(Blame blame) const {
+    if (makespan <= 0) return 1.0;
+    const Tick rest =
+        realized_length() - ticks[static_cast<std::size_t>(blame)];
+    if (rest <= 0) return 0.0;
+    return static_cast<double>(makespan) / static_cast<double>(rest);
+  }
+};
+
+/// Extract the critical chain from a recorded run. Uses the last
+/// successful attempt of each task; a log with no successful attempts
+/// yields an empty path.
+[[nodiscard]] CriticalPath extract_critical_path(const SpanLog& log);
+
+}  // namespace hepvine::obs

@@ -1,0 +1,34 @@
+// The "where did the time go" report: ledger + critical path rendered as
+// text and JSON with byte-stable formatting, shared by the vine_profile
+// CLI, the bench harness and the tests so every consumer prints the same
+// numbers the same way (and CI can diff the output across replays).
+#pragma once
+
+#include <string>
+
+#include "obs/attribution.h"
+#include "obs/critical_path.h"
+#include "obs/span.h"
+
+namespace hepvine::obs {
+
+struct ProfileReport {
+  AttributionLedger ledger;
+  CriticalPath path;
+};
+
+/// Run both analyses over a recorded log.
+[[nodiscard]] ProfileReport build_profile(const SpanLog& log);
+
+/// Human-readable report. `top_k` limits the per-link critical-path
+/// listing (head-first); 0 hides it.
+[[nodiscard]] std::string profile_text(const SpanLog& log,
+                                       const ProfileReport& profile,
+                                       std::size_t top_k = 5);
+
+/// Machine-readable report with stable key order and fixed float
+/// formatting; bit-identical across replays of the same run.
+[[nodiscard]] std::string profile_json(const SpanLog& log,
+                                       const ProfileReport& profile);
+
+}  // namespace hepvine::obs

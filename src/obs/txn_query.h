@@ -112,4 +112,70 @@ struct CacheSummary {
 /// Human-readable cache-lifecycle table.
 [[nodiscard]] std::string format_cache_summary(const CacheSummary& cs);
 
+/// One `SPAN task ATTEMPT ...` record: the full lifecycle phase
+/// boundaries of a task attempt (see obs/txn_log.h for the line format).
+/// `retrieved` is the line's own timestamp — the manager finalized the
+/// attempt then. Boundaries the attempt never reached are -1.
+struct SpanRecord {
+  std::int64_t task = -1;
+  std::uint32_t attempt = 0;
+  std::int32_t worker = -1;
+  Tick ready = -1;
+  Tick dispatched = -1;
+  Tick staged = -1;
+  Tick exec = -1;
+  Tick compute = -1;
+  Tick exec_end = -1;
+  Tick retrieved = -1;
+  bool success = false;
+  std::string category;
+};
+
+/// All SPAN ATTEMPT records in the log, in emission order.
+[[nodiscard]] std::vector<SpanRecord> span_records(
+    const std::vector<Event>& events);
+
+/// Blame rollup over the core time occupied by the recorded attempts. A
+/// txn log carries no cluster-capacity information, so unlike the full
+/// attribution ledger this has no idle/preempted categories — it answers
+/// "how was occupied core time spent", not "where did capacity go".
+struct ProfileRollup {
+  std::size_t attempts = 0;
+  std::size_t failures = 0;
+  Tick compute = 0;
+  Tick import_cost = 0;
+  Tick transfer_wait = 0;
+  Tick dispatch_wait = 0;
+  Tick recovery = 0;
+
+  [[nodiscard]] Tick occupied() const {
+    return compute + import_cost + transfer_wait + dispatch_wait + recovery;
+  }
+};
+[[nodiscard]] ProfileRollup profile_rollup(
+    const std::vector<SpanRecord>& spans);
+
+/// One link of the critical chain reconstructed from the log: `task`
+/// could not become ready before `gate` (its slowest predecessor's DONE
+/// time) and its process exited at `finish`.
+struct ChainLink {
+  std::int64_t task = -1;
+  Tick gate = -1;
+  Tick finish = -1;
+  SpanRecord span;
+};
+
+/// Walk back from the last task to finish, at each step following the
+/// task whose DONE line coincides with this task's ready time (ties to
+/// the smallest id). Head first. The reconstruction is timestamp-based:
+/// a requeued link (ready gated by a retry rather than a dependency)
+/// terminates the chain.
+[[nodiscard]] std::vector<ChainLink> critical_chain(
+    const std::vector<Event>& events);
+
+/// Human-readable profile: blame rollup plus the top-`top_k`
+/// critical-chain links.
+[[nodiscard]] std::string format_profile(const std::vector<Event>& events,
+                                         std::size_t top_k);
+
 }  // namespace hepvine::obs::txnq

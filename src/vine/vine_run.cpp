@@ -25,7 +25,9 @@
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
+#include "obs/attribution.h"
 #include "obs/observer.h"
+#include "obs/span.h"
 #include "sim/rng.h"
 #include "vine/replica_table.h"
 #include "vine/vine_scheduler.h"
@@ -74,6 +76,7 @@ class VineRun {
 
     begin_observation();
     begin_fault_injection();
+    begin_profile();
 
     cluster_.network().set_warn_listener(
         [this](Tick t, net::FlowId f, const char* detail) {
@@ -105,10 +108,11 @@ class VineRun {
     report_.task_failures = report_.trace.failures();
     report_.lineage_resets = lineage_resets_;
     if (report_.makespan > 0) {
-      report_.manager_busy_fraction =
+      report_.manager_busy_fraction_legacy =
           std::min(1.0, static_cast<double>(manager_.total_busy_time()) /
                             static_cast<double>(report_.makespan));
     }
+    finish_profile();
     if (obs_->enabled()) {
       obs_->txn().manager_end(engine_.now());
       obs_->finalize(engine_.now());
@@ -225,6 +229,15 @@ class VineRun {
     std::vector<dag::ValuePtr> inputs;
     bool resources_released = false;
     Tick exec_finished_at = 0;  // when the worker-side process exited
+    /// Lifecycle phase boundaries for the profiler (obs/span.h): when the
+    /// attempt became dispatchable, left the manager, finished input
+    /// staging, started its worker process, and began user compute.
+    /// -1 until the attempt reaches the phase.
+    Tick span_ready = -1;
+    Tick span_dispatched = -1;
+    Tick span_staged = -1;
+    Tick span_exec = -1;
+    Tick span_compute = -1;
     /// Disk bytes this attempt expects to add to its worker (missing
     /// inputs + output); reserved logically at dispatch so concurrent
     /// dispatches cannot over-commit a scratch disk.
@@ -447,6 +460,7 @@ class VineRun {
   void on_worker_up(WorkerId w) {
     if (finished_) return;
     if (txn_on()) obs_->txn().worker_connection(engine_.now(), w);
+    report_.profile.worker_up(engine_.now(), w);
     eligible_.insert(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt = WorkerRt{};
@@ -465,6 +479,7 @@ class VineRun {
                                        crashed ? "FAILURE" : "PREEMPTED");
     }
     pending_crash_[static_cast<std::size_t>(w)] = false;
+    report_.profile.worker_down(engine_.now(), w);
     eligible_.erase(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
 
@@ -883,6 +898,8 @@ class VineRun {
     attempt.pin_worker = w;
     attempt.pin_incarnation = node.incarnation;
     attempt.pinned = scratch_files_;
+    attempt.span_ready = table_.at(t).ready_at;
+    attempt.span_dispatched = engine_.now();
     for (FileId f : scratch_files_) pin_file(w, f);
     attempts_[t] = std::move(attempt);
     const Token token{t, table_.at(t).attempts};
@@ -910,6 +927,7 @@ class VineRun {
     if (!token_valid(token)) return;
     needed_files(token.task, scratch_files_);
     auto& attempt = attempts_[token.task];
+    attempt.span_staged = engine_.now();
     std::vector<FileId> missing;
     for (FileId f : scratch_files_) {
       if (!in_cache(w, f)) missing.push_back(f);
@@ -1410,6 +1428,7 @@ class VineRun {
     const TaskId t = token.task;
     table_.mark_running(t, engine_.now());
     if (txn_on()) obs_->txn().task_running(engine_.now(), t, w);
+    attempts_.at(t).span_exec = engine_.now();
     const auto& task = graph_.task(t);
     const auto& node = cluster_.worker(w);
 
@@ -1459,6 +1478,8 @@ class VineRun {
                       record_transfer(cluster_.fs_endpoint(),
                                       cluster_.worker_endpoint(w), code);
                       const Tick cpu = options_.imports.total_cpu_cost();
+                      attempts_.at(token.task).span_compute =
+                          engine_.now() + cpu;
                       engine_.schedule_after(
                           cpu + compute + write,
                           [this, token, w] { complete_exec(token, w); });
@@ -1467,6 +1488,7 @@ class VineRun {
             });
       });
     } else {
+      attempts_.at(t).span_compute = engine_.now() + pre;
       engine_.schedule_after(pre + compute + write, [this, token, w] {
         complete_exec(token, w);
       });
@@ -1583,10 +1605,12 @@ class VineRun {
     node.disk.release(bytes);
     rt.last_use.erase(f);
     if (pin_count(w, f) == 0) reclaim_sub(rt, f);
+    char span_verb = 'G';
     switch (why) {
       case DropReason::kGc:
         report_.cache_gc_drops += 1;
         if (txn_on()) obs_->txn().cache_gc(engine_.now(), w, f, bytes);
+        span_verb = 'G';
         break;
       case DropReason::kEvict:
         report_.cache_evictions += 1;
@@ -1594,14 +1618,24 @@ class VineRun {
         report_.cache.mark_eviction(static_cast<std::size_t>(w),
                                     engine_.now(), bytes);
         if (txn_on()) obs_->txn().cache_evict(engine_.now(), w, f, bytes);
+        span_verb = 'E';
         break;
       case DropReason::kSandbox:
         if (txn_on()) obs_->txn().cache_evict(engine_.now(), w, f, bytes);
+        span_verb = 'S';
         break;
       case DropReason::kLoss:
         if (txn_on()) obs_->txn().cache_lost(engine_.now(), w, f, bytes);
+        span_verb = 'L';
         break;
     }
+    obs::CacheSpan cs;
+    cs.t = engine_.now();
+    cs.worker = static_cast<std::int32_t>(w);
+    cs.file = f;
+    cs.bytes = bytes;
+    cs.verb = span_verb;
+    report_.profile.add_cache(cs);
   }
 
   void finalize_task(const Token& token, WorkerId w, dag::ValuePtr value) {
@@ -1636,6 +1670,9 @@ class VineRun {
           "{\"task\":" + std::to_string(t) + "}");
     }
     report_.trace.add(std::move(rec));
+    record_attempt_span(t, w, attempts_.at(t),
+                        exec_end > 0 ? exec_end : engine_.now(),
+                        /*failed=*/false);
 
     table_.mark_done(t, std::move(value), engine_.now());
     unpin_attempt(attempts_.at(t));
@@ -1945,6 +1982,10 @@ class VineRun {
       remove_from_here(w, t);
     }
     if (auto ait = attempts_.find(t); ait != attempts_.end()) {
+      const Attempt& a = ait->second;
+      record_attempt_span(t, w, a,
+                          a.exec_finished_at > 0 ? a.exec_finished_at : -1,
+                          /*failed=*/true);
       unpin_attempt(ait->second);
       attempts_.erase(ait);
     }
@@ -2007,6 +2048,76 @@ class VineRun {
   [[nodiscard]] bool trace_on() const { return obs_->trace_enabled(); }
   [[nodiscard]] std::int32_t lane(std::size_t endpoint) const {
     return static_cast<std::int32_t>(endpoint);
+  }
+
+  /// Capture one finished attempt into the profiler span log (and the
+  /// transaction log as a SPAN line). Called from finalize_task and
+  /// fail_attempt, before the Attempt record is erased.
+  void record_attempt_span(TaskId t, WorkerId w, const Attempt& a,
+                           Tick exec_end, bool failed) {
+    obs::AttemptSpan s;
+    s.task = t;
+    s.attempt = a.attempt;
+    s.worker = w == cluster::kNoWorker ? -1 : static_cast<std::int32_t>(w);
+    s.ready_at = a.span_ready;
+    s.dispatched_at = a.span_dispatched;
+    s.staged_at = a.span_staged;
+    s.exec_at = a.span_exec;
+    s.compute_at = a.span_compute;
+    s.exec_end_at = exec_end;
+    s.retrieved_at = engine_.now();
+    s.failed = failed;
+    s.category = graph_.task(t).spec.category;
+    if (txn_on()) {
+      obs_->txn().span_attempt(engine_.now(), t, s.attempt, s.worker,
+                               s.ready_at, s.dispatched_at, s.staged_at,
+                               s.exec_at, s.compute_at, s.exec_end_at,
+                               !failed, s.category);
+    }
+    report_.profile.add_attempt(std::move(s));
+  }
+
+  /// Arm the profiler at the start of execute(): static cluster/DAG shape
+  /// plus the network span listener (worker up/down and attempt spans are
+  /// recorded at their natural call sites).
+  void begin_profile() {
+    std::vector<std::uint32_t> cores;
+    cores.reserve(cluster_.worker_count());
+    for (WorkerId w = 0; w < static_cast<WorkerId>(cluster_.worker_count());
+         ++w) {
+      cores.push_back(cluster_.worker(w).cores);
+    }
+    report_.profile.set_worker_cores(std::move(cores));
+    for (const auto& task : graph_.tasks()) {
+      report_.profile.set_deps(task.id, task.spec.deps);
+    }
+    cluster_.network().set_span_listener(
+        [this](Tick started, Tick ended, net::FlowId id, std::uint64_t bytes,
+               std::uint64_t carried, char outcome) {
+          obs::FlowSpan fs;
+          fs.flow = id;
+          fs.bytes = bytes;
+          fs.carried = carried;
+          fs.started_at = started;
+          fs.ended_at = ended;
+          fs.outcome = outcome;
+          report_.profile.add_flow(fs);
+        });
+  }
+
+  /// Seal the span log once the makespan is known, derive the attribution
+  /// ledger (which replaces the legacy busy-fraction scalar), and emit the
+  /// lifecycle Chrome-trace events when opted in.
+  void finish_profile() {
+    report_.profile.set_manager(manager_.total_busy_time(),
+                                manager_.operations());
+    report_.profile.set_run(report_.makespan, name_, report_.success);
+    const obs::AttributionLedger ledger = obs::attribute(report_.profile);
+    report_.manager_busy_fraction = ledger.manager_busy_fraction;
+    assert(ledger.identity_ok());
+    if (trace_on() && obs_->config().trace_lifecycle_spans) {
+      obs::emit_lifecycle_trace(report_.profile, obs_->trace());
+    }
   }
 
   void begin_observation() {

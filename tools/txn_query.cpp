@@ -8,6 +8,7 @@
 //   txn_query <txn.log> categories     per-category wait/run breakdown
 //   txn_query <txn.log> workers        connection/disconnection summary
 //   txn_query <txn.log> cache          cache lifecycle (INSERT/EVICT/GC/LOST)
+//   txn_query <txn.log> profile [k]    blame rollup + top-k critical chain
 //   txn_query <txn.log> summary        everything above, condensed
 
 #include <cstdio>
@@ -32,6 +33,7 @@ int usage(const char* argv0) {
                "  categories   per-category wait/run breakdown\n"
                "  workers      worker connection summary\n"
                "  cache        cache lifecycle rollup (INSERT/EVICT/GC/LOST)\n"
+               "  profile [k]  blame rollup + top-k critical-chain links\n"
                "  summary      condensed overview\n",
                argv0);
   return 2;
@@ -119,6 +121,15 @@ int main(int argc, char** argv) {
                    obs::txnq::cache_summary(events))
                    .c_str(),
                stdout);
+    return 0;
+  }
+
+  if (cmd == "profile") {
+    std::size_t top_k = 5;
+    if (argc >= 4) {
+      top_k = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
+    }
+    std::fputs(obs::txnq::format_profile(events, top_k).c_str(), stdout);
     return 0;
   }
 
