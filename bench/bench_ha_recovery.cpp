@@ -1,0 +1,272 @@
+// Manager-HA recovery campaign: crash the manager mid-run under every
+// scheduler, recover by deterministic re-execution, and prove bit-identity.
+//
+// Three gates, each exiting non-zero on violation:
+//
+//   1. Bit-identity — for every scheduler (vine, wq, dd) and every snapshot
+//      cadence in the sweep, the recovered run's run_digest() must equal an
+//      independently executed uninterrupted baseline, the latest snapshot
+//      must converge (digest compare at the anchor tick), and the txn tail
+//      must replay verbatim.
+//   2. Tail scaling — denser checkpoints leave shorter txn tails, so the
+//      modeled recovery time must grow with cadence interval across the
+//      sweep (work since the last checkpoint, not campaign length).
+//   3. Campaign independence — at a FIXED absolute cadence, doubling the
+//      campaign must not proportionally grow recovery time: the tail is
+//      bounded by the cadence window no matter how long the run is.
+//
+// A fourth scenario exercises the elastic factory under opportunistic
+// preemption: the pool must grow from the configured minimum, absorb
+// preempted workers, and still finish successfully.
+//
+// Emits BENCH_ha_recovery.json in the working directory.
+#include "bench_common.h"
+
+#include <string>
+#include <vector>
+
+#include "ha/recovery.h"
+
+using namespace hepvine;
+using namespace hepvine::bench;
+using util::Tick;
+
+namespace {
+
+int violations = 0;
+
+void violation(const std::string& what) {
+  std::fprintf(stderr, "VIOLATION: %s\n", what.c_str());
+  ++violations;
+}
+
+std::unique_ptr<exec::SchedulerBackend> make_scheduler(
+    const std::string& kind) {
+  if (kind == "vine") return std::make_unique<vine::VineScheduler>();
+  if (kind == "wq") return std::make_unique<wq::WorkQueueScheduler>();
+  return std::make_unique<dd::DaskDistScheduler>();
+}
+
+exec::RunReport run_kind(const std::string& kind,
+                         const apps::WorkloadSpec& workload,
+                         const RunConfig& config,
+                         exec::RunOptions options) {
+  apply_txn_capture(options);
+  const auto scheduler = make_scheduler(kind);
+  return run_workload(*scheduler, workload, config, options);
+}
+
+struct SweepPoint {
+  std::string scheduler;
+  Tick interval = 0;
+  Tick crash_at = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::size_t tail_lines = 0;
+  Tick restore_cost = 0;
+  Tick replay_cost = 0;
+  bool identical = false;
+};
+
+/// Crash at `crash_at` with checkpoints every `interval`, recover, verify
+/// against an independently executed uninterrupted baseline.
+SweepPoint recover_case(const std::string& kind,
+                        const apps::WorkloadSpec& workload,
+                        const RunConfig& config,
+                        const exec::RunOptions& base, Tick interval,
+                        Tick crash_at) {
+  SweepPoint point;
+  point.scheduler = kind;
+  point.interval = interval;
+  point.crash_at = crash_at;
+
+  exec::RunOptions crash_options = base;
+  crash_options.ha.snapshot_interval = interval;
+  crash_options.faults.crash_manager(crash_at);
+  const auto crashed = run_kind(kind, workload, config, crash_options);
+  if (!crashed.ha.manager_crashed) {
+    violation(kind + ": injected manager crash never landed");
+    return point;
+  }
+
+  exec::RunOptions rerun_options = crash_options;
+  rerun_options.faults = ha::strip_manager_crash(crash_options.faults);
+  const auto outcome = ha::recover(crashed, crash_options.ha, [&] {
+    return run_kind(kind, workload, config, rerun_options);
+  });
+  if (!outcome.recovered) {
+    violation(kind + ": recovery failed: " + outcome.error);
+    return point;
+  }
+
+  // The rerun already proved snapshot convergence and tail identity; the
+  // end-to-end gate compares it against a separate uninterrupted execution.
+  const auto baseline = run_kind(kind, workload, config, rerun_options);
+  point.snapshot_bytes = outcome.snapshot_bytes;
+  point.tail_lines = outcome.tail_lines;
+  point.restore_cost = outcome.restore_cost;
+  point.replay_cost = outcome.replay_cost;
+  point.identical =
+      ha::run_digest(outcome.report) == ha::run_digest(baseline);
+  if (!point.identical) {
+    violation(kind + ": recovered run diverged from uninterrupted baseline");
+  }
+  std::printf("  %-5s cadence %6.1fs  snapshot %7llu B  tail %6zu lines  "
+              "restore %6.1f ms  replay %6.1f ms  %s\n",
+              kind.c_str(), util::to_seconds(interval),
+              static_cast<unsigned long long>(point.snapshot_bytes),
+              point.tail_lines, util::to_seconds(point.restore_cost) * 1e3,
+              util::to_seconds(point.replay_cost) * 1e3,
+              point.identical ? "bit-identical" : "DIVERGED");
+  return point;
+}
+
+void json_point(std::FILE* f, const SweepPoint& p, bool last) {
+  std::fprintf(f,
+               "    {\"scheduler\": \"%s\", \"cadence_us\": %lld, "
+               "\"snapshot_bytes\": %llu, \"tail_lines\": %zu, "
+               "\"restore_us\": %lld, \"replay_us\": %lld, "
+               "\"recovery_us\": %lld, \"bit_identical\": %s}%s\n",
+               p.scheduler.c_str(), static_cast<long long>(p.interval),
+               static_cast<unsigned long long>(p.snapshot_bytes),
+               p.tail_lines, static_cast<long long>(p.restore_cost),
+               static_cast<long long>(p.replay_cost),
+               static_cast<long long>(p.restore_cost + p.replay_cost),
+               p.identical ? "true" : "false", last ? "" : ",");
+}
+
+}  // namespace
+
+int main() {
+  print_header("Manager HA: crash, snapshot-restore, txn-tail replay");
+
+  apps::WorkloadSpec workload = apps::dv3_medium();
+  workload.events_per_chunk = 100;
+  if (fast_mode()) {
+    workload.process_tasks = 400;
+    workload.input_bytes = 32 * util::kGB;
+  }
+  RunConfig config;
+  config.workers = scaled(50, 8);
+  config.preemption_rate_per_hour = 0.0;
+
+  exec::RunOptions base;
+  base.seed = 53;
+  base.mode = exec::ExecMode::kFunctionCalls;
+  base.max_task_retries = 60;
+  base.observability.enabled = true;
+  base.observability.txn_log = true;
+  base.observability.perf_log = false;
+  base.observability.chrome_trace = false;
+
+  // --- cadence sweep per scheduler --------------------------------------
+  std::vector<SweepPoint> sweep;
+  const std::vector<std::string> kinds = {"vine", "wq", "dd"};
+  for (const std::string& kind : kinds) {
+    const auto probe = run_kind(kind, workload, config, base);
+    if (!probe.success) {
+      violation(kind + ": clean probe failed: " + probe.failure_reason);
+      continue;
+    }
+    const Tick crash_at = probe.makespan * 6 / 10;
+    // Denominators chosen so every cadence checkpoints at least once
+    // before the crash and the tails differ by construction.
+    std::vector<SweepPoint> row;
+    for (const Tick denom : {16, 8, 4, 2}) {
+      row.push_back(recover_case(kind, workload, config, base,
+                                 crash_at / denom + 1, crash_at));
+    }
+    for (std::size_t i = 1; i < row.size(); ++i) {
+      if (row[i].identical && row[i - 1].identical &&
+          row[i].replay_cost <= row[i - 1].replay_cost) {
+        violation(kind + ": replay cost did not grow with cadence interval");
+      }
+    }
+    sweep.insert(sweep.end(), row.begin(), row.end());
+  }
+
+  // --- campaign-length independence (vine, fixed absolute cadence) ------
+  print_header("Recovery tracks the checkpoint window, not campaign length");
+  apps::WorkloadSpec longer = workload;
+  longer.process_tasks = workload.process_tasks * 2;
+  const auto probe_short = run_kind("vine", workload, config, base);
+  const auto probe_long = run_kind("vine", longer, config, base);
+  SweepPoint fixed_short;
+  SweepPoint fixed_long;
+  if (!probe_short.success || !probe_long.success) {
+    violation("campaign-independence probes failed");
+  } else {
+    const Tick cadence = probe_short.makespan / 8 + 1;
+    fixed_short = recover_case("vine", workload, config, base, cadence,
+                               probe_short.makespan * 6 / 10);
+    fixed_long = recover_case("vine", longer, config, base, cadence,
+                              probe_long.makespan * 6 / 10);
+    const double stretch = static_cast<double>(probe_long.makespan) /
+                           static_cast<double>(probe_short.makespan);
+    const double recovery_ratio =
+        static_cast<double>(fixed_long.restore_cost + fixed_long.replay_cost) /
+        static_cast<double>(fixed_short.restore_cost +
+                            fixed_short.replay_cost);
+    std::printf("  campaign stretched %.2fx, recovery cost %.2fx\n", stretch,
+                recovery_ratio);
+    if (fixed_short.identical && fixed_long.identical &&
+        recovery_ratio > stretch) {
+      violation("recovery cost grew faster than the campaign itself");
+    }
+  }
+
+  // --- elastic factory under opportunistic preemption -------------------
+  print_header("Elastic factory under preemption");
+  RunConfig churn = config;
+  churn.preemption_rate_per_hour = 60.0;
+  exec::RunOptions elastic = base;
+  elastic.ha.factory.min_workers = 2;
+  elastic.ha.factory.max_workers = config.workers;
+  elastic.ha.factory.tasks_per_worker = 4;
+  elastic.ha.factory.evaluation_interval = util::seconds(10);
+  const auto pool = run_kind("vine", workload, churn, elastic);
+  std::printf("  grow %u shrink %u started %u released %u preempted %u  %s\n",
+              pool.ha.factory_grow_events, pool.ha.factory_shrink_events,
+              pool.ha.workers_started, pool.ha.workers_released,
+              pool.worker_preemptions,
+              pool.success ? "ok" : pool.failure_reason.c_str());
+  if (!pool.success) {
+    violation("factory-under-preemption campaign failed: " +
+              pool.failure_reason);
+  }
+  if (pool.ha.factory_grow_events == 0 || pool.ha.workers_started == 0) {
+    violation("factory never grew the pool from its minimum");
+  }
+
+  // --- JSON ---------------------------------------------------------------
+  std::FILE* f = std::fopen("BENCH_ha_recovery.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f, "{\n  \"bench\": \"ha_recovery\",\n  \"fast_mode\": %s,\n",
+                 fast_mode() ? "true" : "false");
+    std::fprintf(f, "  \"cadence_sweep\": [\n");
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+      json_point(f, sweep[i], i + 1 == sweep.size());
+    }
+    std::fprintf(f, "  ],\n  \"campaign_independence\": [\n");
+    json_point(f, fixed_short, false);
+    json_point(f, fixed_long, true);
+    std::fprintf(f,
+                 "  ],\n  \"factory\": {\"grow_events\": %u, "
+                 "\"shrink_events\": %u, \"workers_started\": %u, "
+                 "\"workers_released\": %u, \"success\": %s},\n",
+                 pool.ha.factory_grow_events, pool.ha.factory_shrink_events,
+                 pool.ha.workers_started, pool.ha.workers_released,
+                 pool.success ? "true" : "false");
+    std::fprintf(f, "  \"violations\": %d\n}\n", violations);
+    std::fclose(f);
+  } else {
+    violation("could not write BENCH_ha_recovery.json");
+  }
+
+  if (violations > 0) {
+    std::fprintf(stderr, "\n%d violation(s)\n", violations);
+    return 1;
+  }
+  std::printf("\n  all recoveries bit-identical; recovery time tracks the "
+              "txn tail, not the campaign\n");
+  return 0;
+}

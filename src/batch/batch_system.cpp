@@ -9,11 +9,35 @@ BatchSystem::BatchSystem(sim::Engine& engine, BatchSpec spec,
     : engine_(engine), spec_(spec), rng_(seed, "batch") {}
 
 void BatchSystem::submit(std::uint32_t count, SlotCallback on_start,
-                         SlotCallback on_preempt) {
+                         SlotCallback on_preempt, std::uint32_t initial) {
   on_start_ = std::move(on_start);
   on_preempt_ = std::move(on_preempt);
   slot_states_.assign(count, SlotState{});
+  if (initial > count) initial = count;
   for (std::uint32_t slot = 0; slot < count; ++slot) {
+    // Draw the match window for every slot — parked ones included — so the
+    // rng stream does not depend on how many slots start now; an elastic
+    // run and a fixed-pool run stay comparable draw-for-draw.
+    const Tick window =
+        spec_.match_window > 0
+            ? static_cast<Tick>(rng_.uniform() *
+                                static_cast<double>(spec_.match_window))
+            : 0;
+    if (slot < initial) {
+      engine_.schedule_after(spec_.first_match_delay + window,
+                             [this, slot] { start_slot(slot); });
+    } else {
+      parked_.push_back(slot);
+    }
+  }
+}
+
+std::uint32_t BatchSystem::start_slots(std::uint32_t n) {
+  if (draining_) return 0;
+  std::uint32_t started = 0;
+  while (started < n && !parked_.empty()) {
+    const std::uint32_t slot = parked_.front();
+    parked_.erase(parked_.begin());
     const Tick window =
         spec_.match_window > 0
             ? static_cast<Tick>(rng_.uniform() *
@@ -21,7 +45,24 @@ void BatchSystem::submit(std::uint32_t count, SlotCallback on_start,
             : 0;
     engine_.schedule_after(spec_.first_match_delay + window,
                            [this, slot] { start_slot(slot); });
+    ++started;
   }
+  return started;
+}
+
+bool BatchSystem::release_slot(std::uint32_t slot) {
+  if (draining_ || slot >= slot_states_.size()) return false;
+  SlotState& state = slot_states_[slot];
+  if (!state.running) return false;
+  state.preemption_event.cancel();
+  state.running = false;
+  --active_;
+  ++releases_;
+  const std::uint32_t ended_incarnation = state.incarnation;
+  state.incarnation += 1;
+  if (on_preempt_) on_preempt_(slot, ended_incarnation);
+  parked_.push_back(slot);
+  return true;
 }
 
 void BatchSystem::drain() {

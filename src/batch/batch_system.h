@@ -46,9 +46,26 @@ class BatchSystem {
 
   BatchSystem(sim::Engine& engine, BatchSpec spec, std::uint64_t seed);
 
-  /// Submit `count` worker jobs. May be called once per run.
+  /// Submit `count` worker jobs. May be called once per run. When
+  /// `initial` < count, only the first `initial` slots begin matching;
+  /// the rest are parked for an elastic factory to start later
+  /// (`start_slots`). The per-slot match-window draw happens for every
+  /// slot regardless, so the rng stream — and every downstream component —
+  /// is independent of the initial pool size.
   void submit(std::uint32_t count, SlotCallback on_start,
-              SlotCallback on_preempt);
+              SlotCallback on_preempt,
+              std::uint32_t initial = 0xffffffffU);
+
+  /// Start up to `n` parked slots (factory grow). Each draws a fresh match
+  /// window. Returns how many actually started matching.
+  std::uint32_t start_slots(std::uint32_t n);
+
+  /// Voluntarily release a running slot (factory shrink). Cancels its
+  /// preemption timer, fires `on_preempt` so the scheduler runs its normal
+  /// disconnect path, and parks the slot for a later `start_slots` —
+  /// counted in `releases()`, not `preemptions()`, and never resubmitted
+  /// on its own. Returns false if the slot was not running.
+  bool release_slot(std::uint32_t slot);
 
   /// Stop scheduling further preemptions/replacements (workflow finished).
   void drain();
@@ -68,6 +85,12 @@ class BatchSystem {
     return forced_evictions_;
   }
   [[nodiscard]] std::uint32_t active_workers() const { return active_; }
+  /// Slots voluntarily released by the factory (not preemptions).
+  [[nodiscard]] std::uint32_t releases() const { return releases_; }
+  /// Slots currently parked and available to `start_slots`.
+  [[nodiscard]] std::uint32_t parked() const {
+    return static_cast<std::uint32_t>(parked_.size());
+  }
 
   /// Register gauges (`<prefix>.active_workers`, `<prefix>.preemptions`,
   /// `<prefix>.slots`) into a per-run stats registry. The gauges read live
@@ -92,8 +115,11 @@ class BatchSystem {
   SlotCallback on_start_;
   SlotCallback on_preempt_;
   std::vector<SlotState> slot_states_;
+  // Slots not yet (or no longer) submitted for matching, in release order.
+  std::vector<std::uint32_t> parked_;
   std::uint32_t preemptions_ = 0;
   std::uint32_t forced_evictions_ = 0;
+  std::uint32_t releases_ = 0;
   std::uint32_t active_ = 0;
   bool draining_ = false;
 };

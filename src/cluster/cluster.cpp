@@ -109,7 +109,8 @@ net::FlowId Cluster::read_fs_to_manager(std::uint64_t bytes,
 }
 
 void Cluster::request_workers(std::function<void(WorkerId)> on_up,
-                              std::function<void(WorkerId)> on_down) {
+                              std::function<void(WorkerId)> on_down,
+                              std::uint32_t initial) {
   batch_->submit(
       spec_.worker_count,
       [this, up = std::move(on_up)](std::uint32_t slot,
@@ -129,7 +130,8 @@ void Cluster::request_workers(std::function<void(WorkerId)> on_up,
         node.alive = false;
         node.cores_in_use = 0;
         if (down) down(static_cast<WorkerId>(slot));
-      });
+      },
+      initial);
 }
 
 }  // namespace hepvine::cluster

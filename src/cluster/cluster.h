@@ -162,9 +162,12 @@ class Cluster {
   // --- batch integration ---------------------------------------------------
   /// Ask the batch system for all configured workers. `on_up` / `on_down`
   /// fire as nodes are matched and preempted; the cluster updates the node
-  /// state (alive flag, cleared disk) before forwarding.
+  /// state (alive flag, cleared disk) before forwarding. When `initial` is
+  /// smaller than the configured pool, the remainder stays parked for an
+  /// elastic factory to start via `batch().start_slots()`.
   void request_workers(std::function<void(WorkerId)> on_up,
-                       std::function<void(WorkerId)> on_down);
+                       std::function<void(WorkerId)> on_down,
+                       std::uint32_t initial = 0xffffffffU);
 
  private:
   ClusterSpec spec_;

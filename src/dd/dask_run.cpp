@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cassert>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "dd/dask_distributed.h"
 #include "exec/serial_resource.h"
+#include "fault/backoff_ledger.h"
 #include "fault/fault_injector.h"
+#include "ha/factory.h"
+#include "ha/snapshot.h"
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
@@ -57,8 +61,16 @@ class DaskRun {
     begin_observation();
     begin_fault_injection();
     begin_profile();
+    // With the elastic factory on, only min_workers slots start matching;
+    // the factory starts parked slots as queue depth demands.
+    const std::uint32_t initial_workers =
+        options_.ha.factory.enabled()
+            ? std::max(options_.ha.factory.min_workers, 1U)
+            : 0xffffffffU;
     cluster_.request_workers([this](WorkerId w) { on_node_up(w); },
-                             [this](WorkerId w) { on_node_down(w); });
+                             [this](WorkerId w) { on_node_down(w); },
+                             initial_workers);
+    begin_factory();
     engine_.schedule_at(options_.max_sim_time, [this] {
       if (!finished_) fail_run("exceeded max simulated time");
     });
@@ -67,6 +79,7 @@ class DaskRun {
     scheduler_.acquire(static_cast<Tick>(graph_.size()) *
                        tun_.graph_intake_cost_per_task);
     schedule_heartbeats();
+    schedule_snapshot();
 
     while (!finished_ && engine_.step()) {
     }
@@ -75,6 +88,13 @@ class DaskRun {
     if (injector_) {
       injector_->stop();
       report_.faults = injector_->stats();
+    }
+    if (factory_) {
+      factory_->stop();
+      report_.ha.factory_grow_events = factory_->grow_events();
+      report_.ha.factory_shrink_events = factory_->shrink_events();
+      report_.ha.workers_started = factory_->workers_started();
+      report_.ha.workers_released = factory_->workers_released();
     }
     report_.worker_preemptions = cluster_.batch().preemptions();
     report_.task_attempts = total_attempts_;
@@ -230,6 +250,7 @@ class DaskRun {
     is_sink_.assign(graph_.size(), false);
     reset_counts_.assign(graph_.size(), 0);
     pending_crash_.assign(cluster_.worker_count(), false);
+    pending_release_.assign(cluster_.worker_count(), false);
     mem_per_proc_ = cluster_.spec().worker.memory / cores_per_node_;
   }
 
@@ -363,10 +384,13 @@ class DaskRun {
     if (finished_) return;
     if (txn_on()) {
       const bool crashed = pending_crash_[static_cast<std::size_t>(w)];
-      obs_->txn().worker_disconnection(engine_.now(), w,
-                                       crashed ? "FAILURE" : "PREEMPTED");
+      const bool released = pending_release_[static_cast<std::size_t>(w)];
+      obs_->txn().worker_disconnection(
+          engine_.now(), w,
+          crashed ? "FAILURE" : released ? "RELEASED" : "PREEMPTED");
     }
     pending_crash_[static_cast<std::size_t>(w)] = false;
+    pending_release_[static_cast<std::size_t>(w)] = false;
     report_.profile.worker_down(engine_.now(), w);
     for (std::uint32_t k = 0; k < cores_per_node_; ++k) {
       kill_proc(proc_id(w, k), /*restart=*/false);
@@ -454,6 +478,11 @@ class DaskRun {
     };
     hooks.lose_cached_file = [this](std::int32_t w, std::int64_t f) {
       return lose_held_key(w, static_cast<FileId>(f));
+    };
+    hooks.crash_manager = [this] {
+      if (finished_) return false;
+      on_manager_crash();
+      return true;
     };
     injector_->arm(std::move(hooks));
   }
@@ -821,9 +850,15 @@ class DaskRun {
                 cluster_.worker_endpoint(node_of(pid)), f, file(f).size);
           }
           if (!token_valid(token)) return;
-          auto& kills = transfer_kill_counts_[token.task];
-          kills += 1;
-          if (kills > options_.fault_retry.max_transfer_retries) {
+          // Budget check: the Nth kill (N = max_transfer_retries)
+          // exhausts it — N-1 backoff re-fetches happen before the
+          // attempt takes the lost-input path.
+          const std::uint32_t kills =
+              transfer_backoff_.next_attempt(token.task);
+          if (kills >= options_.fault_retry.max_transfer_retries) {
+            injector_->record_giveup(
+                "task=" + std::to_string(token.task) + " file=" +
+                std::to_string(f) + " kills=" + std::to_string(kills));
             arrival(false);
             return;
           }
@@ -836,6 +871,8 @@ class DaskRun {
 
   void start_exec(const Token& token, std::int32_t pid) {
     if (!token_valid(token)) return;
+    // All inputs staged: the transfer episode (if any) ended in success.
+    transfer_backoff_.reset(token.task);
     table_.mark_running(token.task, engine_.now());
     if (txn_on()) {
       obs_->txn().task_running(engine_.now(), token.task, node_of(pid));
@@ -1022,6 +1059,7 @@ class DaskRun {
             file(graph_.task(t).output_file).at_client = true;
             if (!sink_gathered_[t]) {
               sink_gathered_[t] = true;
+              sink_backoff_.reset(t);  // gather episode over
               --sinks_outstanding_;
             }
             check_completion();
@@ -1043,7 +1081,8 @@ class DaskRun {
                                     cluster_.manager_endpoint(), f,
                                     file(f).size);
       }
-      const Tick delay = injector_->backoff_delay(++sink_kill_counts_[t]);
+      const Tick delay =
+          injector_->backoff_delay(sink_backoff_.next_attempt(t));
       engine_.schedule_after(delay, [this, t, node] {
         if (!finished_ && !sink_gathered_[t]) gather_sink(t, node);
       });
@@ -1061,6 +1100,155 @@ class DaskRun {
       }
       cluster_.batch().drain();
     }
+  }
+
+  // --------------------------------------------------------------------
+  // Manager HA: crash handling, checkpointing, elastic factory. Mirrors
+  // the vine engine's scheme (vine_run.cpp); the snapshot schema differs
+  // because dd's state lives in process memory, not worker disks.
+  // --------------------------------------------------------------------
+  void on_manager_crash() {
+    report_.ha.manager_crashed = true;
+    report_.ha.crash_tick = engine_.now();
+    fail_run("manager crashed (injected manager_crash fault)");
+  }
+
+  void schedule_snapshot() {
+    if (!options_.ha.snapshots_enabled()) return;
+    engine_.schedule_after(options_.ha.snapshot_interval, [this] {
+      if (finished_) return;
+      take_snapshot();
+      schedule_snapshot();
+    });
+  }
+
+  void take_snapshot() {
+    ha::SnapshotBuilder b;
+
+    b.section("run");
+    b.field("tasks_total", graph_.size());
+    b.field("tasks_done", table_.done_count());
+    b.field("task_attempts", total_attempts_);
+    b.field("lineage_resets", lineage_resets_);
+    b.field("sinks_outstanding", sinks_outstanding_);
+    b.field("worker_crashes", report_.worker_crashes);
+
+    b.section("tasks");
+    for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+      const auto& st = table_.at(t);
+      b.field_s("t" + std::to_string(t),
+                std::to_string(static_cast<int>(st.state)) + "/" +
+                    std::to_string(st.attempts) + "/" +
+                    std::to_string(st.worker));
+    }
+
+    b.section("keys");
+    for (FileId f = 0; f < static_cast<FileId>(files_.size()); ++f) {
+      const auto& info = files_[static_cast<std::size_t>(f)];
+      if (!info.at_client && info.holders.empty() &&
+          info.consumers_left == 0) {
+        continue;
+      }
+      std::string v = info.at_client ? "c" : "-";
+      v += "/";
+      std::vector<std::int32_t> holders = info.holders;
+      std::sort(holders.begin(), holders.end());
+      for (std::size_t i = 0; i < holders.size(); ++i) {
+        if (i) v += ",";
+        v += std::to_string(holders[i]);
+      }
+      v += "/" + std::to_string(info.consumers_left);
+      b.field_s("f" + std::to_string(f), v);
+    }
+
+    b.section("procs");
+    for (std::size_t pid = 0; pid < procs_.size(); ++pid) {
+      const Proc& p = procs_[pid];
+      if (!p.alive) continue;
+      b.field_s("p" + std::to_string(pid),
+                "inc=" + std::to_string(p.incarnation) +
+                    " busy=" + std::to_string(p.busy ? 1 : 0) +
+                    " mem=" + std::to_string(p.mem_used) +
+                    " held=" + std::to_string(p.holding.size()));
+    }
+
+    b.section("backoff");
+    transfer_backoff_.for_each([&b](TaskId t, std::uint32_t n) {
+      b.field("transfer." + std::to_string(t), n);
+    });
+    sink_backoff_.for_each([&b](TaskId t, std::uint32_t n) {
+      b.field("sink." + std::to_string(t), n);
+    });
+
+    // Unconditional (zeros without an injector): a run whose only fault
+    // was the manager crash itself must snapshot byte-identically to its
+    // crash-stripped recovery rerun, which has no injector at all.
+    {
+      const fault::InjectionStats zero;
+      const fault::InjectionStats& fs =
+          injector_ ? injector_->stats() : zero;
+      b.section("injector");
+      b.field("faults_injected", fs.faults_injected);
+      b.field("worker_crashes", fs.worker_crashes);
+      b.field("cache_losses", fs.cache_losses);
+      b.field("transfers_killed", fs.transfers_killed);
+      b.field("transfer_retries", fs.transfer_retries);
+      b.field("transfer_giveups", fs.transfer_giveups);
+      b.field("backoff_wait", static_cast<std::uint64_t>(fs.backoff_wait));
+    }
+
+    b.section("rng");
+    b.field_rng("dask_run", rng_.state());
+
+    ha::SnapshotRecord rec = b.finish(engine_.now(), snapshot_seq_++);
+    scheduler_.acquire(options_.ha.snapshot_cost(rec.bytes));
+    if (txn_on()) {
+      obs_->txn().snapshot_write(engine_.now(), rec.seq, rec.bytes,
+                                 rec.digest);
+    }
+    report_.ha.snapshots.push_back(std::move(rec));
+  }
+
+  void begin_factory() {
+    if (!options_.ha.factory.enabled()) return;
+    ha::Factory::Hooks hooks;
+    hooks.queue_depth = [this]() -> std::size_t {
+      return table_.ready_count() + attempts_.size();
+    };
+    hooks.connected_workers = [this] { return cluster_.alive_workers(); };
+    hooks.grow = [this](std::uint32_t n) {
+      return cluster_.batch().start_slots(n);
+    };
+    hooks.shrink = [this](std::uint32_t n) {
+      return release_idle_nodes(n);
+    };
+    factory_ = std::make_unique<ha::Factory>(engine_, options_.ha.factory,
+                                             std::move(hooks));
+    factory_->start();
+  }
+
+  /// Factory shrink: release nodes whose processes are all idle and hold
+  /// no result keys (releasing a holder would force lineage resets).
+  /// Highest ids go first, keeping the stable low-id core of the pool.
+  std::uint32_t release_idle_nodes(std::uint32_t n) {
+    std::uint32_t released = 0;
+    for (WorkerId w = static_cast<WorkerId>(cluster_.worker_count()) - 1;
+         w >= 0 && released < n; --w) {
+      if (!cluster_.worker(w).alive) continue;
+      bool idle = true;
+      for (std::uint32_t k = 0; k < cores_per_node_ && idle; ++k) {
+        const Proc& p = procs_[static_cast<std::size_t>(proc_id(w, k))];
+        if (p.alive && (p.busy || !p.holding.empty())) idle = false;
+      }
+      if (!idle) continue;
+      pending_release_[static_cast<std::size_t>(w)] = true;
+      if (cluster_.batch().release_slot(static_cast<std::uint32_t>(w))) {
+        ++released;
+      } else {
+        pending_release_[static_cast<std::size_t>(w)] = false;
+      }
+    }
+    return released;
   }
 
   // --------------------------------------------------------------------
@@ -1138,12 +1326,19 @@ class DaskRun {
   std::shared_ptr<obs::RunObservation> obs_;
 
   // Fault-injection state (null/empty when RunOptions::faults is empty).
+  // Backoff ledgers reset on success, so escalation counts consecutive
+  // failures of the current episode, never a task's lifetime kills.
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<bool> pending_crash_;
+  std::vector<bool> pending_release_;
   std::vector<std::uint32_t> reset_counts_;
-  std::map<TaskId, std::uint32_t> transfer_kill_counts_;
-  std::map<TaskId, std::uint32_t> sink_kill_counts_;
+  fault::BackoffLedger<TaskId> transfer_backoff_;
+  fault::BackoffLedger<TaskId> sink_backoff_;
   std::size_t lineage_resets_ = 0;
+
+  // Manager-HA state (see vine_run.cpp for the scheme; dd mirrors it).
+  std::unique_ptr<ha::Factory> factory_;
+  std::uint64_t snapshot_seq_ = 0;
 
   exec::RunReport report_;
   std::uint32_t cores_per_node_ = 1;

@@ -10,6 +10,7 @@
 #include "cluster/cluster.h"
 #include "dag/task_graph.h"
 #include "fault/fault_schedule.h"
+#include "ha/ha_options.h"
 #include "metrics/cache_trace.h"
 #include "metrics/task_trace.h"
 #include "metrics/transfer_matrix.h"
@@ -77,6 +78,10 @@ struct RunOptions {
   /// Recovery knobs: capped exponential re-fetch backoff and the
   /// poisoned-task detector. Always consulted, faults or not.
   fault::RetryPolicy fault_retry;
+  /// Manager high availability: snapshot cadence + recovery cost model +
+  /// elastic worker factory. All disabled by default — a default-HA run is
+  /// byte-identical to a pre-HA run.
+  ha::HaOptions ha;
 };
 
 struct RunReport {
@@ -112,6 +117,11 @@ struct RunReport {
   /// (faults_injected, transfers_killed, backoff_wait, ...). All zero when
   /// RunOptions::faults was empty.
   fault::InjectionStats faults;
+
+  /// Manager-HA observations: whether (and when) the manager crashed, the
+  /// snapshot series it produced, and factory elasticity counters. Feed a
+  /// crashed report to ha::recover() (ha/recovery.h) to rebuild the run.
+  ha::HaRunState ha;
 
   /// Fraction of the makespan the manager's control loop was busy
   /// (dispatching, ingesting results, brokering transfers). Near 1.0 means

@@ -79,6 +79,14 @@ void FaultInjector::fire(const FaultEvent& ev) {
     case FaultKind::kStraggler:
       begin_straggle_window(ev.worker, ev.factor, ev.duration);
       break;
+    case FaultKind::kManagerCrash: {
+      if (hooks_.crash_manager && hooks_.crash_manager()) {
+        stats_.manager_crashes += 1;
+        stats_.faults_injected += 1;
+        txn(to_string(ev.kind), "manager=0");
+      }
+      break;
+    }
   }
 }
 
@@ -178,6 +186,11 @@ Tick FaultInjector::backoff_delay(std::uint32_t attempt) {
   stats_.transfer_retries += 1;
   stats_.backoff_wait += delay;
   return delay;
+}
+
+void FaultInjector::record_giveup(const std::string& detail) {
+  stats_.transfer_giveups += 1;
+  txn("TRANSFER_GIVEUP", detail);
 }
 
 }  // namespace hepvine::fault

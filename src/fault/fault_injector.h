@@ -48,6 +48,11 @@ class FaultInjector {
     /// Returns the number of replicas actually lost.
     std::function<std::size_t(std::int32_t worker, std::int64_t file)>
         lose_cached_file;
+    /// Tear the manager itself down. The scheduler records its HA state
+    /// (crash tick, snapshot series) and ends the run; ha::recover()
+    /// rebuilds it from the latest snapshot + txn tail. Returns true if the
+    /// run was still live (a crash after completion does not count).
+    std::function<bool()> crash_manager;
   };
 
   /// `observation` may be null (or disabled); the injector then records
@@ -80,6 +85,12 @@ class FaultInjector {
   /// Backoff before retry number `attempt` (1-based); records the retry and
   /// the waited time in the recovery breakdown.
   [[nodiscard]] Tick backoff_delay(std::uint32_t attempt);
+
+  /// A transfer's kill budget (RetryPolicy::max_transfer_retries) is
+  /// exhausted: the consumer stops re-fetching and takes the lost-input
+  /// path. Emits a `FAULT <seq> TRANSFER_GIVEUP <detail>` txn line so the
+  /// budget semantics are auditable from the journal.
+  void record_giveup(const std::string& detail);
 
   [[nodiscard]] const RetryPolicy& retry() const noexcept { return retry_; }
   [[nodiscard]] const InjectionStats& stats() const noexcept {

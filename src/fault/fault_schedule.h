@@ -28,6 +28,7 @@ enum class FaultKind : std::uint8_t {
   kTransferKill,  // kill up to `count` registered in-flight transfers
   kFsDegrade,     // scale shared-FS bandwidth to `factor` for `duration`
   kStraggler,     // slow a worker's compute by `factor` for `duration`
+  kManagerCrash,  // tear the manager down mid-campaign (HA recovery path)
 };
 
 [[nodiscard]] const char* to_string(FaultKind kind);
@@ -65,8 +66,11 @@ struct StochasticFaults {
 /// lineage loss. Always consulted (defaults apply even with no faults), so
 /// organic failure loops hit the same poisoned-task detector.
 struct RetryPolicy {
-  /// Kills of one logical transfer before its consumer gives up and the
-  /// normal lost-input path (attempt abort + lineage reset) takes over.
+  /// Kill budget for one logical transfer: the Nth kill (N = this value)
+  /// exhausts it, so N-1 backoff re-fetches are attempted before the
+  /// consumer gives up (TRANSFER_GIVEUP in the txn log) and the normal
+  /// lost-input path (attempt abort + lineage reset) takes over. 0 means
+  /// give up on the first kill with no re-fetch.
   std::uint32_t max_transfer_retries = 6;
   /// Capped exponential backoff before each re-fetch.
   Tick backoff_base = 100 * util::kMsec;
@@ -101,6 +105,7 @@ struct FaultSchedule {
   FaultSchedule& fs_outage(Tick at, Tick duration);
   FaultSchedule& straggler(Tick at, std::int32_t worker, double slowdown,
                            Tick duration);
+  FaultSchedule& crash_manager(Tick at);
 };
 
 /// What the injector actually did, copied into RunReport at the end of the
@@ -118,8 +123,12 @@ struct InjectionStats {
   std::uint64_t transfers_killed = 0;
   std::uint64_t fs_degradations = 0;
   std::uint64_t stragglers = 0;
+  std::uint64_t manager_crashes = 0;
   // Recovery-time breakdown:
   std::uint64_t transfer_retries = 0;  // backoff re-fetches taken
+  /// Transfers whose kill budget was exhausted: the consumer stopped
+  /// re-fetching and fell through to the lost-input path.
+  std::uint64_t transfer_giveups = 0;
   Tick backoff_wait = 0;               // total delay injected by backoff
   Tick fs_degraded_time = 0;           // cumulative degraded-window span
 };

@@ -1,0 +1,73 @@
+// Elastic worker-pool autoscaler, modeled on CCTools' `vine_factory`.
+//
+// The real factory is a sidecar process that polls the manager's queue
+// status and submits or removes batch workers to keep the pool sized to
+// demand between --min-workers and --max-workers. Here it is an engine
+// component: a recurring evaluation event reads the scheduler's queue
+// depth through hooks, computes the demand target, and asks the scheduler
+// to start parked batch slots (grow) or release idle connected workers
+// (shrink). All decisions are deterministic functions of simulated state,
+// so factory-driven elasticity replays bit-identically like everything
+// else.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "ha/ha_options.h"
+#include "sim/engine.h"
+
+namespace hepvine::ha {
+
+class Factory {
+ public:
+  struct Hooks {
+    /// Tasks queued or in flight — the demand signal.
+    std::function<std::size_t()> queue_depth;
+    /// Workers currently connected to the manager.
+    std::function<std::uint32_t()> connected_workers;
+    /// Start up to n parked workers; returns how many were started.
+    std::function<std::uint32_t(std::uint32_t n)> grow;
+    /// Release up to n idle workers; returns how many were released.
+    std::function<std::uint32_t(std::uint32_t n)> shrink;
+  };
+
+  Factory(sim::Engine& engine, const FactorySpec& spec, Hooks hooks);
+
+  Factory(const Factory&) = delete;
+  Factory& operator=(const Factory&) = delete;
+
+  /// Begin the evaluation loop (first evaluation after one interval).
+  void start();
+  /// The run ended: pending evaluation events become no-ops.
+  void stop() { stopped_ = true; }
+
+  /// Demand target for a queue depth: ceil(depth / tasks_per_worker),
+  /// clamped to [min_workers, max_workers]. Exposed for unit tests.
+  [[nodiscard]] std::uint32_t target(std::size_t depth) const;
+
+  [[nodiscard]] std::uint32_t grow_events() const { return grow_events_; }
+  [[nodiscard]] std::uint32_t shrink_events() const {
+    return shrink_events_;
+  }
+  [[nodiscard]] std::uint32_t workers_started() const {
+    return workers_started_;
+  }
+  [[nodiscard]] std::uint32_t workers_released() const {
+    return workers_released_;
+  }
+
+ private:
+  void evaluate();
+
+  sim::Engine& engine_;
+  FactorySpec spec_;
+  Hooks hooks_;
+  bool stopped_ = false;
+  std::uint32_t grow_events_ = 0;
+  std::uint32_t shrink_events_ = 0;
+  std::uint32_t workers_started_ = 0;
+  std::uint32_t workers_released_ = 0;
+};
+
+}  // namespace hepvine::ha

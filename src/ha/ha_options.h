@@ -1,0 +1,89 @@
+// Manager high-availability knobs and run-state, shared by every scheduler
+// backend through exec::RunOptions / exec::RunReport.
+//
+// Kept header-only and dependency-light (util only) because exec/scheduler.h
+// includes it; the snapshot/recovery machinery itself lives in the
+// hepvine_ha library (snapshot.h, recovery.h, factory.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/units.h"
+
+namespace hepvine::ha {
+
+using util::Tick;
+
+/// Elastic worker-pool autoscaling, modeled on `vine_factory`: a sidecar
+/// that watches the manager's queue depth and grows/shrinks the submitted
+/// worker pool between min and max. Disabled (max_workers == 0) the run
+/// starts every provisioned worker up front, exactly as before.
+struct FactorySpec {
+  std::uint32_t min_workers = 1;
+  /// 0 disables the factory entirely.
+  std::uint32_t max_workers = 0;
+  /// Demand model: one worker per this many queued-or-running tasks.
+  std::uint32_t tasks_per_worker = 4;
+  /// Cadence of the factory's evaluation loop.
+  Tick evaluation_interval = 5 * util::kSec;
+
+  [[nodiscard]] bool enabled() const { return max_workers > 0; }
+};
+
+/// Manager checkpointing + recovery-cost model. The snapshot is the
+/// serialized logical scheduler state (ha/snapshot.h); recovery restores
+/// the latest one and replays the txn tail through the event engine
+/// (ha/recovery.h). Costs are modeled, charged against the manager's
+/// serial control loop so they show up in the blame ledger.
+struct HaOptions {
+  /// Snapshot cadence; 0 disables checkpointing (default: byte-identical
+  /// behaviour to a pre-HA run).
+  Tick snapshot_interval = 0;
+  /// Manager busy time per snapshot: base + per-byte serialization cost.
+  Tick snapshot_base_cost = 2 * util::kMsec;
+  double snapshot_cost_per_byte_us = 0.0005;
+  /// Recovery model: restoring a snapshot costs base + per-byte, replaying
+  /// the txn tail costs per-line. Recovery time must scale with the tail
+  /// (the work since the last checkpoint), never the whole campaign.
+  Tick restore_base_cost = 50 * util::kMsec;
+  double restore_cost_per_byte_us = 0.001;
+  double replay_cost_per_line_us = 20.0;
+  FactorySpec factory;
+
+  [[nodiscard]] bool snapshots_enabled() const {
+    return snapshot_interval > 0;
+  }
+
+  [[nodiscard]] Tick snapshot_cost(std::uint64_t bytes) const {
+    return snapshot_base_cost +
+           static_cast<Tick>(snapshot_cost_per_byte_us *
+                             static_cast<double>(bytes));
+  }
+};
+
+/// One checkpoint: the serialized state text plus its identity. `digest`
+/// also appears on the run's `SNAPSHOT seq WRITE bytes digest` txn line,
+/// which is the anchor recovery cuts the txn tail at.
+struct SnapshotRecord {
+  Tick tick = 0;
+  std::uint64_t seq = 0;
+  std::uint64_t bytes = 0;
+  std::string digest;
+  std::string state;
+};
+
+/// What HA machinery observed during one run, carried in RunReport.
+struct HaRunState {
+  bool manager_crashed = false;
+  Tick crash_tick = 0;
+  std::vector<SnapshotRecord> snapshots;
+  // Factory activity (zero when the factory is disabled):
+  std::uint32_t factory_grow_events = 0;
+  std::uint32_t factory_shrink_events = 0;
+  std::uint32_t workers_started = 0;
+  std::uint32_t workers_released = 0;
+};
+
+}  // namespace hepvine::ha

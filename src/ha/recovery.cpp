@@ -1,0 +1,215 @@
+#include "ha/recovery.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <vector>
+
+#include "obs/txn_log.h"
+
+namespace hepvine::ha {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    lines.push_back(text.substr(pos, eol - pos));
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+/// The `SNAPSHOT seq WRITE ...` txn line `rec` produced — the tail anchor.
+std::string anchor_line(const SnapshotRecord& rec) {
+  char buf[224];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " SNAPSHOT %" PRIu64 " WRITE %" PRIu64 " %s",
+                rec.tick, rec.seq, rec.bytes, rec.digest.c_str());
+  return buf;
+}
+
+/// The crash-injection record: present only in the crashed timeline, so
+/// the tail comparison must not charge the rerun with reproducing it.
+bool is_crash_injection(const std::string& line) {
+  return line.find(" FAULT ") != std::string::npos &&
+         line.find(" MANAGER_CRASH ") != std::string::npos;
+}
+
+bool is_manager_end(const std::string& line) {
+  const std::string suffix = " MANAGER 0 END";
+  return line.size() >= suffix.size() &&
+         line.compare(line.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+std::size_t find_last(const std::vector<std::string>& lines,
+                      const std::string& needle) {
+  for (std::size_t i = lines.size(); i > 0; --i) {
+    if (lines[i - 1] == needle) return i - 1;
+  }
+  return lines.size();
+}
+
+}  // namespace
+
+fault::FaultSchedule strip_manager_crash(const fault::FaultSchedule& in) {
+  fault::FaultSchedule out = in;
+  out.events.clear();
+  for (const fault::FaultEvent& ev : in.events) {
+    if (ev.kind != fault::FaultKind::kManagerCrash) out.events.push_back(ev);
+  }
+  return out;
+}
+
+util::Digest128 run_digest(const exec::RunReport& report) {
+  util::Hasher h;
+  h.update(report.scheduler);
+  h.update_u64(report.success ? 1 : 0);
+  h.update_i64(report.makespan);
+  h.update_u64(report.tasks_total);
+  h.update_u64(report.task_attempts);
+  h.update_u64(report.task_failures);
+  h.update_u64(report.lineage_resets);
+  h.update_u64(report.worker_preemptions);
+  h.update_u64(report.worker_crashes);
+  h.update_u64(report.cache_evictions);
+  h.update_u64(report.cache_gc_drops);
+  for (const auto& [task, value] : report.results) {
+    h.update_i64(task);
+    if (value != nullptr) {
+      const util::Digest128 d = value->digest();
+      h.update_u64(d.hi);
+      h.update_u64(d.lo);
+    }
+  }
+  if (report.observation != nullptr && report.observation->txn_enabled()) {
+    h.update(report.observation->txn().text());
+  }
+  return h.digest();
+}
+
+RecoveryOutcome recover(const exec::RunReport& crashed, const HaOptions& ha,
+                        const std::function<exec::RunReport()>& rerun) {
+  RecoveryOutcome out;
+  if (!crashed.ha.manager_crashed) {
+    out.error = "recover() called on a run whose manager did not crash";
+    return out;
+  }
+  if (crashed.ha.snapshots.empty()) {
+    out.error =
+        "no snapshot to restore: the manager crashed before the first "
+        "checkpoint (HaOptions::snapshot_interval)";
+    return out;
+  }
+
+  const SnapshotRecord& last = crashed.ha.snapshots.back();
+  out.snapshot_tick = last.tick;
+  out.snapshot_seq = last.seq;
+  out.snapshot_bytes = last.bytes;
+  out.restore_cost =
+      ha.restore_base_cost +
+      static_cast<Tick>(ha.restore_cost_per_byte_us *
+                        static_cast<double>(last.bytes));
+
+  // Re-execute the campaign (the caller strips the crash event). The rerun
+  // IS the successor manager: deterministic replay carries it through the
+  // checkpoint and on to completion.
+  out.report = rerun();
+
+  // --- 1. RESTORE: the rerun must pass through the checkpoint exactly.
+  const SnapshotRecord* match = nullptr;
+  for (const SnapshotRecord& rec : out.report.ha.snapshots) {
+    if (rec.seq == last.seq) {
+      match = &rec;
+      break;
+    }
+  }
+  if (match == nullptr) {
+    out.error = "rerun never reached snapshot seq " +
+                std::to_string(last.seq);
+  } else if (match->tick != last.tick || match->digest != last.digest ||
+             match->state != last.state) {
+    out.error = "snapshot " + std::to_string(last.seq) +
+                " diverged between crashed run and rerun (crashed digest " +
+                last.digest + ", rerun digest " + match->digest + ")";
+  } else {
+    out.snapshot_converged = true;
+  }
+
+  // --- 2. REPLAY: the crashed run's post-snapshot journal tail must be
+  // reproduced verbatim. The crash-injection FAULT line and the dying
+  // manager's END line belong only to the crashed timeline and are cut.
+  const bool crashed_txn_on =
+      crashed.observation != nullptr && crashed.observation->txn_enabled();
+  const bool rerun_txn_on = out.report.observation != nullptr &&
+                            out.report.observation->txn_enabled();
+  std::string tail_note;
+  if (crashed_txn_on && rerun_txn_on && out.snapshot_converged) {
+    const auto crashed_lines =
+        split_lines(crashed.observation->txn().text());
+    const auto rerun_lines =
+        split_lines(out.report.observation->txn().text());
+    const std::string anchor = anchor_line(last);
+    const std::size_t c_at = find_last(crashed_lines, anchor);
+    const std::size_t r_at = find_last(rerun_lines, anchor);
+    if (c_at == crashed_lines.size() || r_at == rerun_lines.size()) {
+      out.error = "snapshot anchor line rotated out of the txn ring; "
+                  "raise ObsConfig::txn_ring_capacity";
+    } else {
+      std::vector<std::string> tail;
+      for (std::size_t i = c_at + 1; i < crashed_lines.size(); ++i) {
+        const std::string& line = crashed_lines[i];
+        if (is_crash_injection(line)) continue;
+        if (i + 1 == crashed_lines.size() && is_manager_end(line)) continue;
+        tail.push_back(line);
+      }
+      out.tail_lines = tail.size();
+      out.tail_identical = true;
+      for (std::size_t i = 0; i < tail.size(); ++i) {
+        const std::size_t j = r_at + 1 + i;
+        if (j >= rerun_lines.size() || rerun_lines[j] != tail[i]) {
+          out.tail_identical = false;
+          out.error = "txn tail diverged at line " + std::to_string(i) +
+                      " after snapshot " + std::to_string(last.seq) +
+                      ": expected \"" + tail[i] + "\"";
+          break;
+        }
+      }
+    }
+  } else if (out.snapshot_converged) {
+    // No journal to replay against: state convergence is the only check.
+    out.tail_identical = true;
+    tail_note = " (txn log disabled; verified by state digest only)";
+  }
+  out.replay_cost = static_cast<Tick>(
+      ha.replay_cost_per_line_us * static_cast<double>(out.tail_lines));
+
+  out.recovered =
+      out.snapshot_converged && out.tail_identical && out.report.success;
+
+  // --- 3. journal the protocol in txn-line format.
+  obs::TxnLog journal(64, "");
+  Tick t = crashed.ha.crash_tick;
+  journal.recover_phase(
+      t, last.seq, "RESTORE",
+      "snapshot_tick=" + std::to_string(last.tick) +
+          " bytes=" + std::to_string(last.bytes) + " digest=" + last.digest +
+          " converged=" + (out.snapshot_converged ? "1" : "0"));
+  t += out.restore_cost;
+  journal.recover_phase(
+      t, last.seq, "REPLAY",
+      "lines=" + std::to_string(out.tail_lines) +
+          " identical=" + (out.tail_identical ? "1" : "0") + tail_note);
+  t += out.replay_cost;
+  journal.recover_phase(
+      t, last.seq, "DONE",
+      std::string("recovered=") + (out.recovered ? "1" : "0") +
+          " recovery_cost_us=" + std::to_string(out.recovery_cost()));
+  out.journal = journal.text();
+  return out;
+}
+
+}  // namespace hepvine::ha

@@ -1,0 +1,88 @@
+// Manager crash recovery: restore the latest snapshot, replay the txn
+// tail, prove bit-identity.
+//
+// The simulation's whole determinism contract (seeded RNG streams,
+// (time,seq)-ordered events, vine_lint's static rules) exists so that a
+// run is a pure function of its inputs. Recovery exploits that: a crashed
+// manager cannot hand its live closures to a successor, so the successor
+// re-executes the campaign deterministically and we *verify* rather than
+// assume that it passes through the crashed manager's checkpoint —
+//
+//   1. RESTORE  load the latest SnapshotRecord the crashed run produced;
+//               the rerun must reach the same tick with a byte-identical
+//               serialized state (digest compare).
+//   2. REPLAY   the txn tail — every journal line the crashed manager
+//               wrote after that snapshot — must be reproduced verbatim by
+//               the rerun (the crash-injection FAULT line and the dying
+//               manager's END line excluded, since the uninterrupted
+//               timeline does not contain the crash itself).
+//   3. DONE     the rerun continues past the crash tick to completion;
+//               callers then compare run_digest() against an uninterrupted
+//               baseline for end-to-end bit-identity.
+//
+// Recovery *time* is modeled from HaOptions: restoring costs
+// base + per-byte of snapshot, replaying costs per-line of tail — so it
+// scales with the work since the last checkpoint, never with campaign
+// length (the bench_ha_recovery acceptance axis).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "exec/scheduler.h"
+#include "ha/ha_options.h"
+#include "util/hash.h"
+
+namespace hepvine::ha {
+
+struct RecoveryOutcome {
+  /// Snapshot converged, tail replayed verbatim, rerun completed.
+  bool recovered = false;
+  bool snapshot_converged = false;
+  bool tail_identical = false;
+
+  Tick snapshot_tick = 0;
+  std::uint64_t snapshot_seq = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::size_t tail_lines = 0;
+
+  /// Modeled recovery time (HaOptions cost model).
+  Tick restore_cost = 0;
+  Tick replay_cost = 0;
+  [[nodiscard]] Tick recovery_cost() const {
+    return restore_cost + replay_cost;
+  }
+
+  /// RECOVER-verb journal of the protocol (txn-log line format).
+  std::string journal;
+  /// First verification failure, empty on success.
+  std::string error;
+  /// The recovered (re-executed) run.
+  exec::RunReport report;
+};
+
+/// The crash-free schedule a recovering manager runs under: identical to
+/// the crashed run's except the kManagerCrash events are removed. Removing
+/// an engine event shifts every later sequence number uniformly, so
+/// pairwise event order — and therefore the whole txn stream up to the
+/// crash tick — is unperturbed.
+[[nodiscard]] fault::FaultSchedule strip_manager_crash(
+    const fault::FaultSchedule& schedule);
+
+/// Digest of everything a run observably produced: outcome, makespan,
+/// attempt/failure/recovery counters, sink result digests, and the full
+/// retained txn text. Two runs with equal digests are operationally
+/// indistinguishable.
+[[nodiscard]] util::Digest128 run_digest(const exec::RunReport& report);
+
+/// Recover from `crashed` (a report with ha.manager_crashed set) by
+/// re-executing via `rerun` — a callback that runs the same graph, same
+/// cluster spec, same options with strip_manager_crash applied. Verifies
+/// snapshot convergence and tail identity; the outcome carries the
+/// completed rerun's report.
+[[nodiscard]] RecoveryOutcome recover(
+    const exec::RunReport& crashed, const HaOptions& ha,
+    const std::function<exec::RunReport()>& rerun);
+
+}  // namespace hepvine::ha

@@ -1,0 +1,91 @@
+#include "ha/snapshot.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/hash.h"
+
+namespace hepvine::ha {
+
+void SnapshotBuilder::section(const std::string& name) {
+  text_ += "## ";
+  text_ += name;
+  text_ += '\n';
+}
+
+void SnapshotBuilder::field(const std::string& key, std::uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  text_ += key;
+  text_ += '=';
+  text_ += buf;
+  text_ += '\n';
+}
+
+void SnapshotBuilder::field_i(const std::string& key, std::int64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, value);
+  text_ += key;
+  text_ += '=';
+  text_ += buf;
+  text_ += '\n';
+}
+
+void SnapshotBuilder::field_s(const std::string& key,
+                              const std::string& value) {
+  text_ += key;
+  text_ += '=';
+  text_ += value;
+  text_ += '\n';
+}
+
+void SnapshotBuilder::field_rng(const std::string& key,
+                                const std::array<std::uint64_t, 4>& words) {
+  char buf[72];
+  std::snprintf(buf, sizeof(buf),
+                "%016" PRIx64 "%016" PRIx64 "%016" PRIx64 "%016" PRIx64,
+                words[0], words[1], words[2], words[3]);
+  field_s(key, buf);
+}
+
+SnapshotRecord SnapshotBuilder::finish(Tick tick, std::uint64_t seq) const {
+  SnapshotRecord rec;
+  rec.tick = tick;
+  rec.seq = seq;
+  rec.bytes = text_.size();
+  rec.digest = util::digest128(text_).hex();
+  rec.state = text_;
+  return rec;
+}
+
+std::vector<std::pair<std::string, std::string>> parse_snapshot(
+    const std::string& state) {
+  std::vector<std::pair<std::string, std::string>> fields;
+  std::string current;
+  std::size_t pos = 0;
+  while (pos < state.size()) {
+    std::size_t eol = state.find('\n', pos);
+    if (eol == std::string::npos) eol = state.size();
+    const std::string line = state.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("## ", 0) == 0) {
+      current = line.substr(3);
+      continue;
+    }
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    fields.emplace_back(current + "." + line.substr(0, eq),
+                        line.substr(eq + 1));
+  }
+  return fields;
+}
+
+std::string snapshot_field(const std::string& state,
+                           const std::string& dotted_key) {
+  for (const auto& [key, value] : parse_snapshot(state)) {
+    if (key == dotted_key) return value;
+  }
+  return {};
+}
+
+}  // namespace hepvine::ha

@@ -57,6 +57,24 @@ std::vector<Event> parse_log(const std::string& text) {
   return out;
 }
 
+bool looks_like_txn_log(const std::string& text) {
+  // Bounded scan: the header comments sit at the top and a real log has a
+  // parsable event within its first lines.
+  std::size_t begin = 0;
+  for (int scanned = 0; scanned < 200 && begin < text.size(); ++scanned) {
+    std::size_t nl = text.find('\n', begin);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(begin, nl - begin);
+    if (line.rfind("# time_us", 0) == 0) return true;
+    if (auto ev = parse_line(line);
+        ev && txn_subject_registered(ev->subject)) {
+      return true;
+    }
+    begin = nl + 1;
+  }
+  return false;
+}
+
 namespace {
 
 void apply_task_event(TaskLifetime& lt, const Event& ev) {

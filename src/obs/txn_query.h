@@ -35,6 +35,12 @@ struct Event {
 /// Parse a whole log text (newline-separated), skipping unparsable lines.
 [[nodiscard]] std::vector<Event> parse_log(const std::string& text);
 
+/// Heuristic: does `text` look like a transactions log — the `# time_us`
+/// header comment or at least one parsable event line? CLIs use this to
+/// give a pointed diagnostic when a txn log is handed to the span-log
+/// profiler (or vice versa) instead of a generic parse error.
+[[nodiscard]] bool looks_like_txn_log(const std::string& text);
+
 /// Reconstructed lifecycle of one task (last attempt wins for the
 /// RUNNING/RETRIEVED timestamps; `attempts` counts WAITING records).
 struct TaskLifetime {

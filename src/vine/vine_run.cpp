@@ -13,6 +13,7 @@
 #include <cassert>
 #include <deque>
 #include <map>
+#include <memory>
 #include <optional>
 #include <set>
 #include <utility>
@@ -21,7 +22,10 @@
 #include "cluster/cluster.h"
 #include "dag/task_graph.h"
 #include "exec/serial_resource.h"
+#include "fault/backoff_ledger.h"
 #include "fault/fault_injector.h"
+#include "ha/factory.h"
+#include "ha/snapshot.h"
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
@@ -59,7 +63,8 @@ class VineRun {
         manager_(cluster.engine()),
         workers_rt_(cluster.worker_count()),
         obs_(obs::make_observation(options.observability)),
-        pending_crash_(cluster.worker_count(), false) {
+        pending_crash_(cluster.worker_count(), false),
+        pending_release_(cluster.worker_count(), false) {
     build_file_table();
     report_.scheduler = name_;
     report_.tasks_total = graph.size();
@@ -83,13 +88,22 @@ class VineRun {
           if (txn_on()) obs_->txn().net_warn(t, f, detail);
         });
 
+    // With the elastic factory on, only min_workers slots start matching;
+    // the factory starts parked slots as queue depth demands.
+    const std::uint32_t initial_workers =
+        options_.ha.factory.enabled()
+            ? std::max(options_.ha.factory.min_workers, 1U)
+            : 0xffffffffU;
     cluster_.request_workers([this](WorkerId w) { on_worker_up(w); },
-                             [this](WorkerId w) { on_worker_down(w); });
+                             [this](WorkerId w) { on_worker_down(w); },
+                             initial_workers);
+    begin_factory();
 
     engine_.schedule_at(options_.max_sim_time, [this] {
       if (!finished_) fail_run("exceeded max simulated time");
     });
     schedule_cache_sample();
+    schedule_snapshot();
 
     while (!finished_ && engine_.step()) {
     }
@@ -102,6 +116,13 @@ class VineRun {
     if (injector_) {
       injector_->stop();
       report_.faults = injector_->stats();
+    }
+    if (factory_) {
+      factory_->stop();
+      report_.ha.factory_grow_events = factory_->grow_events();
+      report_.ha.factory_shrink_events = factory_->shrink_events();
+      report_.ha.workers_started = factory_->workers_started();
+      report_.ha.workers_released = factory_->workers_released();
     }
     report_.worker_preemptions = cluster_.batch().preemptions();
     report_.task_attempts = total_attempts_;
@@ -475,10 +496,13 @@ class VineRun {
     if (finished_) return;
     if (txn_on()) {
       const bool crashed = pending_crash_[static_cast<std::size_t>(w)];
-      obs_->txn().worker_disconnection(engine_.now(), w,
-                                       crashed ? "FAILURE" : "PREEMPTED");
+      const bool released = pending_release_[static_cast<std::size_t>(w)];
+      obs_->txn().worker_disconnection(
+          engine_.now(), w,
+          crashed ? "FAILURE" : released ? "RELEASED" : "PREEMPTED");
     }
     pending_crash_[static_cast<std::size_t>(w)] = false;
+    pending_release_[static_cast<std::size_t>(w)] = false;
     report_.profile.worker_down(engine_.now(), w);
     eligible_.erase(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
@@ -595,6 +619,11 @@ class VineRun {
     hooks.lose_cached_file = [this](std::int32_t w, std::int64_t f) {
       return lose_cached_file(w, static_cast<FileId>(f));
     };
+    hooks.crash_manager = [this] {
+      if (finished_) return false;
+      on_manager_crash();
+      return true;
+    };
     injector_->arm(std::move(hooks));
   }
 
@@ -658,7 +687,13 @@ class VineRun {
     fetch.flow = net::kInvalidFlow;
     fetch.src_ep = static_cast<std::size_t>(-1);
     fetch.kill_retries += 1;
-    if (fetch.kill_retries > retry_policy().max_transfer_retries) {
+    if (fetch.kill_retries >= retry_policy().max_transfer_retries) {
+      // The budget counts kills tolerated: the Nth kill exhausts it after
+      // N-1 backoff re-fetches (RetryPolicy::max_transfer_retries).
+      injector_->record_giveup(
+          "file=" + std::to_string(fetch.file) +
+          " dst=" + std::to_string(fetch.dst) +
+          " kills=" + std::to_string(fetch.kill_retries));
       fail_fetch(key);
       pump();
       return;
@@ -1240,6 +1275,9 @@ class VineRun {
             txn_xfer_done(cluster_.fs_endpoint(), cluster_.manager_endpoint(),
                           f, file(f).size);
             replicas_->set_at_manager(f);
+            // The read landed: close the backoff episode so a later,
+            // independent failure of this file starts at backoff(1).
+            manager_fs_backoff_.reset(f);
             auto node = manager_inflight_.extract(f);
             for (auto& cb : node.mapped()) cb(true);
           });
@@ -1260,7 +1298,7 @@ class VineRun {
       txn_xfer_failed(cluster_.fs_endpoint(), cluster_.manager_endpoint(), f,
                       file(f).size);
       const Tick delay =
-          injector_->backoff_delay(++manager_fs_kill_counts_[f]);
+          injector_->backoff_delay(manager_fs_backoff_.next_attempt(f));
       engine_.schedule_after(delay, [this, f] {
         if (!finished_ && manager_inflight_.count(f) > 0) {
           submit_manager_fs_read(f);
@@ -1338,6 +1376,7 @@ class VineRun {
               txn_xfer_done(cluster_.worker_endpoint(holder),
                             cluster_.manager_endpoint(), f, file(f).size);
               replicas_->set_at_manager(f);
+              relay_backoff_.reset(f);
               auto node = manager_inflight_.extract(f);
               for (auto& cb : node.mapped()) cb(true);
             }),
@@ -1360,7 +1399,8 @@ class VineRun {
       if (worker_current(holder, holder_inc)) unpin_file(holder, f);
       txn_xfer_failed(cluster_.worker_endpoint(holder),
                       cluster_.manager_endpoint(), f, file(f).size);
-      const Tick delay = injector_->backoff_delay(++relay_kill_counts_[f]);
+      const Tick delay =
+          injector_->backoff_delay(relay_backoff_.next_attempt(f));
       engine_.schedule_after(delay, [this, f] {
         if (finished_ || manager_inflight_.count(f) == 0) return;
         mgr_gate_.submit([this, f](net::FlowGate::SlotToken slot) {
@@ -1773,6 +1813,7 @@ class VineRun {
                 txn_xfer_done(cluster_.worker_endpoint(src),
                               cluster_.manager_endpoint(), f, bytes);
                 replicas_->set_at_manager(f);
+                sink_backoff_.reset(t);
                 forget_flow(sink_flows_.at(t).first);
                 sink_flows_.erase(t);
                 on_sink_fetched(t);
@@ -1801,7 +1842,8 @@ class VineRun {
       txn_xfer_failed(cluster_.worker_endpoint(src),
                       cluster_.manager_endpoint(),
                       graph_.task(t).output_file, bytes);
-      const Tick delay = injector_->backoff_delay(++sink_kill_counts_[t]);
+      const Tick delay =
+          injector_->backoff_delay(sink_backoff_.next_attempt(t));
       engine_.schedule_after(delay, [this, t] {
         if (!finished_ && !sink_fetched_[t]) fetch_sink_result(t);
       });
@@ -2251,6 +2293,194 @@ class VineRun {
   }
 
   // ---------------------------------------------------------------------
+  // Manager HA: crash handling, checkpointing, elastic factory.
+  // ---------------------------------------------------------------------
+
+  /// An injected MANAGER_CRASH landed. The crash tick and the snapshot
+  /// series already sit in report_.ha; ending the run here leaves the txn
+  /// log with its tail intact, which is exactly what ha::recover() replays.
+  void on_manager_crash() {
+    report_.ha.manager_crashed = true;
+    report_.ha.crash_tick = engine_.now();
+    fail_run("manager crashed (injected manager_crash fault)");
+  }
+
+  void schedule_snapshot() {
+    if (!options_.ha.snapshots_enabled()) return;
+    engine_.schedule_after(options_.ha.snapshot_interval, [this] {
+      if (finished_) return;
+      take_snapshot();
+      schedule_snapshot();
+    });
+  }
+
+  /// Serialize the manager's logical state (ha/snapshot.h documents what is
+  /// deliberately excluded). Field order is fixed by construction so two
+  /// runs that agree on state produce byte-identical snapshots; the digest
+  /// lands on a SNAPSHOT txn anchor line and the serialization cost is
+  /// charged to the manager's serial control loop.
+  void take_snapshot() {
+    ha::SnapshotBuilder b;
+
+    b.section("run");
+    b.field("tasks_total", graph_.size());
+    b.field("tasks_done", table_.done_count());
+    b.field("task_attempts", total_attempts_);
+    b.field("lineage_resets", lineage_resets_);
+    b.field("sinks_outstanding", sinks_outstanding_);
+    b.field("worker_crashes", report_.worker_crashes);
+    b.field("cache_evictions", report_.cache_evictions);
+    b.field("cache_evicted_bytes", report_.cache_evicted_bytes);
+    b.field("cache_gc_drops", report_.cache_gc_drops);
+
+    b.section("tasks");
+    for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+      const auto& st = table_.at(t);
+      // One compact line per task: state/attempts/worker.
+      b.field_s("t" + std::to_string(t),
+                std::to_string(static_cast<int>(st.state)) + "/" +
+                    std::to_string(st.attempts) + "/" +
+                    std::to_string(st.worker));
+    }
+
+    b.section("replicas");
+    for (FileId f = 0; f < static_cast<FileId>(files_.size()); ++f) {
+      const bool at_mgr = replicas_->at_manager(f);
+      const auto holders = replicas_->holders_sorted(f);
+      const std::uint32_t left =
+          consumers_left_[static_cast<std::size_t>(f)];
+      if (!at_mgr && holders.empty() && left == 0) continue;
+      std::string v = at_mgr ? "m" : "-";
+      v += "/";
+      for (std::size_t i = 0; i < holders.size(); ++i) {
+        if (i) v += ",";
+        v += std::to_string(holders[i]);
+      }
+      v += "/" + std::to_string(left);
+      b.field_s("f" + std::to_string(f), v);
+    }
+
+    // Peer-slot ledger + pin sets, guarded by incarnation so a recovered
+    // manager never resurrects a pin against a re-matched slot.
+    b.section("workers");
+    for (WorkerId w = 0; w < static_cast<WorkerId>(cluster_.worker_count());
+         ++w) {
+      const auto& node = cluster_.worker(w);
+      if (!node.alive) continue;
+      const auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+      std::string v = "inc=" + std::to_string(node.incarnation) +
+                      " out=" + std::to_string(rt.active_out) +
+                      " cores=" + std::to_string(node.cores_in_use) +
+                      " pins=";
+      bool first = true;
+      for (const auto& [f, n] : rt.pins) {
+        if (!first) v += ",";
+        first = false;
+        v += std::to_string(f) + ":" + std::to_string(n);
+      }
+      b.field_s("w" + std::to_string(w), v);
+    }
+
+    b.section("flows");
+    for (const auto& [key, fetch] : fetches_) {
+      b.field_s("fetch." + std::to_string(key.first) + "." +
+                    std::to_string(key.second),
+                "kills=" + std::to_string(fetch.kill_retries));
+    }
+    for (const auto& [f, fw] : relay_flows_) {
+      b.field_s("relay." + std::to_string(f), std::to_string(fw.second));
+    }
+    for (const auto& [t, flow] : return_flows_) {
+      b.field_s("return." + std::to_string(t), std::to_string(flow));
+    }
+    for (const auto& [t, fw] : sink_flows_) {
+      b.field_s("sink." + std::to_string(t), std::to_string(fw.second));
+    }
+    for (const auto& [f, waiters] : manager_inflight_) {
+      b.field_s("mgr." + std::to_string(f),
+                std::to_string(waiters.size()));
+    }
+
+    b.section("backoff");
+    manager_fs_backoff_.for_each([&b](FileId f, std::uint32_t n) {
+      b.field("fs." + std::to_string(f), n);
+    });
+    relay_backoff_.for_each([&b](FileId f, std::uint32_t n) {
+      b.field("relay." + std::to_string(f), n);
+    });
+    sink_backoff_.for_each([&b](TaskId t, std::uint32_t n) {
+      b.field("sink." + std::to_string(t), n);
+    });
+
+    // Unconditional (zeros without an injector): a run whose only fault
+    // was the manager crash itself must snapshot byte-identically to its
+    // crash-stripped recovery rerun, which has no injector at all.
+    {
+      const fault::InjectionStats zero;
+      const fault::InjectionStats& fs =
+          injector_ ? injector_->stats() : zero;
+      b.section("injector");
+      b.field("faults_injected", fs.faults_injected);
+      b.field("worker_crashes", fs.worker_crashes);
+      b.field("cache_losses", fs.cache_losses);
+      b.field("transfers_killed", fs.transfers_killed);
+      b.field("transfer_retries", fs.transfer_retries);
+      b.field("transfer_giveups", fs.transfer_giveups);
+      b.field("backoff_wait", static_cast<std::uint64_t>(fs.backoff_wait));
+    }
+
+    b.section("rng");
+    b.field_rng("vine_run", rng_.state());
+
+    ha::SnapshotRecord rec = b.finish(engine_.now(), snapshot_seq_++);
+    manager_.acquire(options_.ha.snapshot_cost(rec.bytes));
+    if (txn_on()) {
+      obs_->txn().snapshot_write(engine_.now(), rec.seq, rec.bytes,
+                                 rec.digest);
+    }
+    report_.ha.snapshots.push_back(std::move(rec));
+  }
+
+  void begin_factory() {
+    if (!options_.ha.factory.enabled()) return;
+    ha::Factory::Hooks hooks;
+    hooks.queue_depth = [this]() -> std::size_t {
+      return table_.ready_count() + attempts_.size();
+    };
+    hooks.connected_workers = [this] { return cluster_.alive_workers(); };
+    hooks.grow = [this](std::uint32_t n) {
+      return cluster_.batch().start_slots(n);
+    };
+    hooks.shrink = [this](std::uint32_t n) {
+      return release_idle_workers(n);
+    };
+    factory_ = std::make_unique<ha::Factory>(engine_, options_.ha.factory,
+                                             std::move(hooks));
+    factory_->start();
+  }
+
+  /// Factory shrink: voluntarily release up to `n` idle workers — alive,
+  /// running nothing, sourcing no peer transfer. Highest ids go first so
+  /// the stable low-id core of the pool keeps its warm caches.
+  std::uint32_t release_idle_workers(std::uint32_t n) {
+    std::uint32_t released = 0;
+    for (WorkerId w = static_cast<WorkerId>(cluster_.worker_count()) - 1;
+         w >= 0 && released < n; --w) {
+      const auto& node = cluster_.worker(w);
+      if (!node.alive || node.cores_in_use > 0) continue;
+      const auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+      if (rt.active_out > 0 || !rt.here.empty()) continue;
+      pending_release_[static_cast<std::size_t>(w)] = true;
+      if (cluster_.batch().release_slot(static_cast<std::uint32_t>(w))) {
+        ++released;
+      } else {
+        pending_release_[static_cast<std::size_t>(w)] = false;
+      }
+    }
+    return released;
+  }
+
+  // ---------------------------------------------------------------------
   const dag::TaskGraph& graph_;
   cluster::Cluster& cluster_;
   sim::Engine& engine_;
@@ -2283,19 +2513,27 @@ class VineRun {
   std::vector<bool> is_sink_;
 
   // Fault-injection state. injector_ stays null (and every hook a no-op)
-  // when RunOptions::faults is empty. The kill-count maps feed the capped
-  // exponential backoff for paths that retry without a cap.
+  // when RunOptions::faults is empty. The backoff ledgers feed the capped
+  // exponential backoff for paths that retry without a cap; each resets on
+  // success so escalation counts consecutive failures, not lifetime kills.
   std::unique_ptr<fault::FaultInjector> injector_;
   std::vector<std::uint32_t> reset_counts_;  // lineage resets per producer
   std::map<FileId, net::FlowId> manager_fs_flows_;
-  std::map<FileId, std::uint32_t> manager_fs_kill_counts_;
-  std::map<FileId, std::uint32_t> relay_kill_counts_;
-  std::map<TaskId, std::uint32_t> sink_kill_counts_;
+  fault::BackoffLedger<FileId> manager_fs_backoff_;
+  fault::BackoffLedger<FileId> relay_backoff_;
+  fault::BackoffLedger<TaskId> sink_backoff_;
+
+  // Manager-HA state: the elastic factory (null unless enabled) and the
+  // checkpoint sequence counter feeding SNAPSHOT txn anchors.
+  std::unique_ptr<ha::Factory> factory_;
+  std::uint64_t snapshot_seq_ = 0;
 
   std::shared_ptr<obs::RunObservation> obs_;
   // Workers destroyed by the run itself (disk overflow) rather than batch
   // preemption; consulted when the disconnect lands to attribute a reason.
   std::vector<bool> pending_crash_;
+  // Workers the factory is releasing voluntarily (shrink, not a fault).
+  std::vector<bool> pending_release_;
   // Perf counters (owned by the stats registry; null when perf is off).
   std::uint64_t* bytes_via_manager_ = nullptr;
   std::uint64_t* bytes_peer_ = nullptr;

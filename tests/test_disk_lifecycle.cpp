@@ -28,6 +28,7 @@
 #include "dag/task_graph.h"
 #include "dag/value.h"
 #include "exec/scheduler.h"
+#include "ha/snapshot.h"
 #include "obs/observer.h"
 #include "obs/txn_query.h"
 #include "scheduler_test_util.h"
@@ -259,6 +260,60 @@ TEST(DiskLifecycle, PeerSlotReleasesBalanceUnderPreemption) {
                                 << report.failure_reason;
     EXPECT_EQ(report.peer_slot_underflows, 0u) << "seed " << seed;
   }
+}
+
+// --- manager snapshots under disk pressure -------------------------------
+
+TEST(DiskLifecycle, MidPressureSnapshotCarriesPinsAndIsDeterministic) {
+  // The PR 5 invariants — pin sets guarded by worker incarnation and the
+  // peer-slot/active-out balance — must survive serialization: a snapshot
+  // taken while the pressure chain is staging carries them in the workers
+  // section, and two identical runs serialize byte-identical state at
+  // every cadence tick.
+  exec::RunOptions options = fast_options();
+  options.observability.enabled = true;
+  options.ha.snapshot_interval = util::seconds(1);
+  const auto a = run_chain(taskvine_policy(), options);
+  const auto b = run_chain(taskvine_policy(), options);
+  ASSERT_TRUE(a.success) << a.failure_reason;
+  ASSERT_TRUE(b.success) << b.failure_reason;
+  ASSERT_FALSE(a.ha.snapshots.empty());
+  ASSERT_EQ(a.ha.snapshots.size(), b.ha.snapshots.size());
+  for (std::size_t i = 0; i < a.ha.snapshots.size(); ++i) {
+    EXPECT_EQ(a.ha.snapshots[i].digest, b.ha.snapshots[i].digest)
+        << "snapshot " << i;
+    EXPECT_EQ(a.ha.snapshots[i].state, b.ha.snapshots[i].state)
+        << "snapshot " << i;
+    EXPECT_EQ(a.ha.snapshots[i].tick, b.ha.snapshots[i].tick)
+        << "snapshot " << i;
+  }
+
+  // Every snapshot serializes the single worker with its incarnation and
+  // pin set; while an input chunk is staged-or-executing it is pinned, so
+  // at least one cadence tick must catch a non-empty pin set.
+  // (Snapshots taken before the worker connects have no workers entries.)
+  bool saw_worker = false;
+  bool saw_pin = false;
+  for (const auto& rec : a.ha.snapshots) {
+    const std::string w0 = ha::snapshot_field(rec.state, "workers.w0");
+    if (w0.empty()) continue;
+    saw_worker = true;
+    EXPECT_NE(w0.find("inc="), std::string::npos) << rec.state;
+    ASSERT_NE(w0.find("pins="), std::string::npos) << rec.state;
+    const std::string pins = w0.substr(w0.find("pins=") + 5);
+    if (!pins.empty()) saw_pin = true;
+    // Replica bookkeeping rides along in the same state blob.
+    EXPECT_FALSE(ha::parse_snapshot(rec.state).empty());
+  }
+  EXPECT_TRUE(saw_worker) << "no cadence tick observed the live worker";
+  EXPECT_TRUE(saw_pin)
+      << "no cadence tick observed a pinned file during staging";
+
+  // The txn log anchors each snapshot with its digest — the line recovery
+  // uses to find the replay tail.
+  ASSERT_TRUE(a.observation != nullptr);
+  EXPECT_NE(a.observation->txn().text().find("SNAPSHOT"),
+            std::string::npos);
 }
 
 }  // namespace

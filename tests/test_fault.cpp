@@ -6,6 +6,7 @@
 
 #include <string>
 
+#include "fault/backoff_ledger.h"
 #include "fault/fault_schedule.h"
 #include "scheduler_test_util.h"
 #include "vine/vine_scheduler.h"
@@ -55,6 +56,50 @@ TEST(FaultSchedule, BuildersFillEventFields) {
   EXPECT_DOUBLE_EQ(schedule.events[4].factor, 0.0);  // outage = zero bw
   EXPECT_EQ(schedule.events[5].kind, fault::FaultKind::kStraggler);
   EXPECT_DOUBLE_EQ(schedule.events[5].factor, 8.0);
+}
+
+TEST(FaultSchedule, ManagerCrashBuilderFillsEventFields) {
+  fault::FaultSchedule schedule;
+  schedule.crash_manager(util::seconds(9));
+  ASSERT_EQ(schedule.events.size(), 1u);
+  EXPECT_EQ(schedule.events[0].kind, fault::FaultKind::kManagerCrash);
+  EXPECT_EQ(schedule.events[0].at, util::seconds(9));
+  EXPECT_FALSE(schedule.empty());
+}
+
+TEST(BackoffLedger, EscalatesPerKeyAndResetsOnSuccess) {
+  // Regression (sticky escalation): the raw per-file counters this class
+  // replaced were never cleared on success, so a later, independent failure
+  // of the same file inherited the earlier episode's escalation. reset()
+  // must make the next failure a fresh attempt 1.
+  fault::BackoffLedger<std::int64_t> ledger;
+  EXPECT_TRUE(ledger.empty());
+  EXPECT_EQ(ledger.attempts(7), 0u);
+  EXPECT_EQ(ledger.next_attempt(7), 1u);
+  EXPECT_EQ(ledger.next_attempt(7), 2u);
+  EXPECT_EQ(ledger.next_attempt(9), 1u);  // keys escalate independently
+  EXPECT_EQ(ledger.attempts(7), 2u);
+  EXPECT_EQ(ledger.size(), 2u);
+  ledger.reset(7);
+  EXPECT_EQ(ledger.attempts(7), 0u);
+  EXPECT_EQ(ledger.next_attempt(7), 1u);  // fresh episode, not 3
+  ledger.reset(42);  // resetting an unknown key is a no-op
+  EXPECT_EQ(ledger.size(), 2u);
+}
+
+TEST(BackoffLedger, VisitsOpenEpisodesInKeyOrder) {
+  // Snapshot serialization (ha/snapshot.h) depends on a deterministic
+  // visitation order regardless of insertion order.
+  fault::BackoffLedger<std::int64_t> ledger;
+  ledger.next_attempt(30);
+  ledger.next_attempt(10);
+  ledger.next_attempt(20);
+  ledger.next_attempt(10);
+  std::string seen;
+  ledger.for_each([&seen](std::int64_t key, std::uint32_t attempts) {
+    seen += std::to_string(key) + ":" + std::to_string(attempts) + " ";
+  });
+  EXPECT_EQ(seen, "10:2 20:1 30:1 ");
 }
 
 TEST(FaultSchedule, EmptyDetection) {
@@ -251,6 +296,45 @@ TEST(VineFaults, TransferKillStormOnRelayPathRecovers) {
   const auto report = scheduler.run(graph, cluster, options);
   ASSERT_TRUE(report.success) << report.failure_reason;
   EXPECT_GE(report.faults.transfers_killed, 1u);
+  EXPECT_EQ(sink_digest(report), reference_digest(graph));
+}
+
+TEST(VineFaults, ExhaustedKillBudgetRecordsGiveupAndConverges) {
+  // Regression (off-by-one budget): max_transfer_retries counts kills
+  // tolerated, and the Nth kill exhausts it — with the budget at 1 the
+  // FIRST kill of a staging fetch must give up immediately (no backoff
+  // re-fetch), emit a TRANSFER_GIVEUP audit line, and hand the file to the
+  // lost-input path. The run still converges bit-identically.
+  const apps::WorkloadSpec workload = tiny_dv3(16);
+  const dag::TaskGraph graph = apps::build_workload(workload, 31);
+  vine::DataPolicy policy = vine::taskvine_policy();
+  policy.peer_transfers = false;
+
+  exec::RunOptions options = fast_options();
+  options.seed = 31;
+  options.max_task_retries = 30;
+  options.observability.enabled = true;
+  options.observability.txn_log = true;
+  auto run_with = [&](const exec::RunOptions& opts) {
+    cluster::Cluster cluster(tiny_cluster(3));
+    vine::VineScheduler scheduler(policy, vine::VineTunables{});
+    return scheduler.run(graph, cluster, opts);
+  };
+
+  const auto probe = run_with(options);
+  ASSERT_TRUE(probe.success) << probe.failure_reason;
+
+  options.fault_retry.max_transfer_retries = 1;
+  for (int i = 1; i <= 8; ++i) {
+    options.faults.kill_transfers(probe.makespan * i / 10, 3);
+  }
+  const auto report = run_with(options);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  EXPECT_GE(report.faults.transfers_killed, 1u);
+  EXPECT_GE(report.faults.transfer_giveups, 1u);
+  ASSERT_NE(report.observation, nullptr);
+  EXPECT_NE(report.observation->txn().text().find("TRANSFER_GIVEUP"),
+            std::string::npos);
   EXPECT_EQ(sink_digest(report), reference_digest(graph));
 }
 

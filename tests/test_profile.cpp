@@ -228,6 +228,18 @@ TEST(SpanLog, SerializeParseRoundTripsExactly) {
   EXPECT_FALSE(obs::SpanLog::parse("not a spans file").has_value());
 }
 
+TEST(SpanLog, ParseRejectsTxnLogText) {
+  // Handing a transactions log to the span parser must fail cleanly (the
+  // vine_profile CLI then points the user at txn_query), never produce a
+  // zero-filled log.
+  const std::string txn =
+      "# time_us SUBJECT id EVENT ...\n"
+      "0 MANAGER 0 START\n"
+      "12 TASK 7 WAITING process 0\n"
+      "99 MANAGER 0 END\n";
+  EXPECT_FALSE(obs::SpanLog::parse(txn).has_value());
+}
+
 TEST(SpanLog, LifecycleTraceNestsAndEmptyLogIsByteStable) {
   obs::ChromeTraceBuilder trace;
   trace.set_lane_name(0, "manager");

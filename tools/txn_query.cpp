@@ -129,6 +129,15 @@ int main(int argc, char** argv) {
     if (argc >= 4) {
       top_k = static_cast<std::size_t>(std::strtoull(argv[3], nullptr, 10));
     }
+    if (obs::txnq::span_records(events).empty()) {
+      std::fprintf(stderr,
+                   "error: no SPAN ATTEMPT records in %s — the profile "
+                   "command needs a transactions log captured with span "
+                   "lines (a pre-profiler run, or a log from a build "
+                   "without obs spans, cannot be profiled)\n",
+                   argv[1]);
+      return 1;
+    }
     std::fputs(obs::txnq::format_profile(events, top_k).c_str(), stdout);
     return 0;
   }

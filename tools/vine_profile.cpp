@@ -24,6 +24,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/profile_report.h"
 #include "obs/span.h"
+#include "obs/txn_query.h"
 
 namespace {
 
@@ -75,8 +76,25 @@ int main(int argc, char** argv) {
   }
   const auto log = obs::SpanLog::parse(text);
   if (!log) {
+    if (obs::txnq::looks_like_txn_log(text)) {
+      std::fprintf(stderr,
+                   "error: %s is a transactions log, not a span log — "
+                   "profile it with `txn_query %s profile` instead (and if "
+                   "that reports no SPAN lines, the run predates the "
+                   "profiler and cannot be attributed)\n",
+                   path.c_str(), path.c_str());
+      return 1;
+    }
     std::fprintf(stderr, "error: %s is not a span log (expected a "
                          "'# hepvine spans v1' header)\n",
+                 path.c_str());
+    return 1;
+  }
+  if (log->attempts().empty()) {
+    std::fprintf(stderr,
+                 "error: %s parsed as a span log but carries no attempt "
+                 "spans — an empty or truncated capture cannot be "
+                 "attributed\n",
                  path.c_str());
     return 1;
   }
