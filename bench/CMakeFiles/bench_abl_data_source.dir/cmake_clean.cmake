@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_data_source.dir/bench_abl_data_source.cpp.o"
+  "CMakeFiles/bench_abl_data_source.dir/bench_abl_data_source.cpp.o.d"
+  "bench_abl_data_source"
+  "bench_abl_data_source.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_data_source.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

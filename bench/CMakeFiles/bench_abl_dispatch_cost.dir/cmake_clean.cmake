@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_dispatch_cost.dir/bench_abl_dispatch_cost.cpp.o"
+  "CMakeFiles/bench_abl_dispatch_cost.dir/bench_abl_dispatch_cost.cpp.o.d"
+  "bench_abl_dispatch_cost"
+  "bench_abl_dispatch_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_dispatch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

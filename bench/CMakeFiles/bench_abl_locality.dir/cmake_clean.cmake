@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_locality.dir/bench_abl_locality.cpp.o"
+  "CMakeFiles/bench_abl_locality.dir/bench_abl_locality.cpp.o.d"
+  "bench_abl_locality"
+  "bench_abl_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

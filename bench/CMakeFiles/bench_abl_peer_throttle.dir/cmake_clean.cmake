@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_peer_throttle.dir/bench_abl_peer_throttle.cpp.o"
+  "CMakeFiles/bench_abl_peer_throttle.dir/bench_abl_peer_throttle.cpp.o.d"
+  "bench_abl_peer_throttle"
+  "bench_abl_peer_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_peer_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_preemption.dir/bench_abl_preemption.cpp.o"
+  "CMakeFiles/bench_abl_preemption.dir/bench_abl_preemption.cpp.o.d"
+  "bench_abl_preemption"
+  "bench_abl_preemption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_preemption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abl_reduction_arity.dir/bench_abl_reduction_arity.cpp.o"
+  "CMakeFiles/bench_abl_reduction_arity.dir/bench_abl_reduction_arity.cpp.o.d"
+  "bench_abl_reduction_arity"
+  "bench_abl_reduction_arity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abl_reduction_arity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_disk_pressure.dir/bench_disk_pressure.cpp.o"
+  "CMakeFiles/bench_disk_pressure.dir/bench_disk_pressure.cpp.o.d"
+  "bench_disk_pressure"
+  "bench_disk_pressure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_disk_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

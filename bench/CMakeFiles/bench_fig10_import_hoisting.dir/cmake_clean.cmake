@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_import_hoisting.dir/bench_fig10_import_hoisting.cpp.o"
+  "CMakeFiles/bench_fig10_import_hoisting.dir/bench_fig10_import_hoisting.cpp.o.d"
+  "bench_fig10_import_hoisting"
+  "bench_fig10_import_hoisting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_import_hoisting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_tree_reduction.dir/bench_fig11_tree_reduction.cpp.o"
+  "CMakeFiles/bench_fig11_tree_reduction.dir/bench_fig11_tree_reduction.cpp.o.d"
+  "bench_fig11_tree_reduction"
+  "bench_fig11_tree_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_tree_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_stack_timelines.dir/bench_fig12_stack_timelines.cpp.o"
+  "CMakeFiles/bench_fig12_stack_timelines.dir/bench_fig12_stack_timelines.cpp.o.d"
+  "bench_fig12_stack_timelines"
+  "bench_fig12_stack_timelines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_stack_timelines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14a_scaling_vs_dask.dir/bench_fig14a_scaling_vs_dask.cpp.o"
+  "CMakeFiles/bench_fig14a_scaling_vs_dask.dir/bench_fig14a_scaling_vs_dask.cpp.o.d"
+  "bench_fig14a_scaling_vs_dask"
+  "bench_fig14a_scaling_vs_dask.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14a_scaling_vs_dask.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig14a_scaling_vs_dask.
+# This may be replaced when dependencies are built.

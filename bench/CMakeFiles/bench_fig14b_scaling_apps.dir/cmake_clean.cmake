@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14b_scaling_apps.dir/bench_fig14b_scaling_apps.cpp.o"
+  "CMakeFiles/bench_fig14b_scaling_apps.dir/bench_fig14b_scaling_apps.cpp.o.d"
+  "bench_fig14b_scaling_apps"
+  "bench_fig14b_scaling_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_scaling_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dv3_huge.dir/bench_fig15_dv3_huge.cpp.o"
+  "CMakeFiles/bench_fig15_dv3_huge.dir/bench_fig15_dv3_huge.cpp.o.d"
+  "bench_fig15_dv3_huge"
+  "bench_fig15_dv3_huge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dv3_huge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

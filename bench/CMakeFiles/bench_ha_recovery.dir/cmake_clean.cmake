@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ha_recovery.dir/bench_ha_recovery.cpp.o"
+  "CMakeFiles/bench_ha_recovery.dir/bench_ha_recovery.cpp.o.d"
+  "bench_ha_recovery"
+  "bench_ha_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ha_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

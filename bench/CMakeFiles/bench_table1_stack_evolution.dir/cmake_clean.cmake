@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_stack_evolution.dir/bench_table1_stack_evolution.cpp.o"
+  "CMakeFiles/bench_table1_stack_evolution.dir/bench_table1_stack_evolution.cpp.o.d"
+  "bench_table1_stack_evolution"
+  "bench_table1_stack_evolution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_stack_evolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

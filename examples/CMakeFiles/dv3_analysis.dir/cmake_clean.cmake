@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dv3_analysis.dir/dv3_analysis.cpp.o"
+  "CMakeFiles/dv3_analysis.dir/dv3_analysis.cpp.o.d"
+  "dv3_analysis"
+  "dv3_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dv3_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

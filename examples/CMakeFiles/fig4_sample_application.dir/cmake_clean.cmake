@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_sample_application.dir/fig4_sample_application.cpp.o"
+  "CMakeFiles/fig4_sample_application.dir/fig4_sample_application.cpp.o.d"
+  "fig4_sample_application"
+  "fig4_sample_application.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_sample_application.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/serverless_functions.dir/serverless_functions.cpp.o"
+  "CMakeFiles/serverless_functions.dir/serverless_functions.cpp.o.d"
+  "serverless_functions"
+  "serverless_functions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/serverless_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/triphoton_tree_reduction.dir/triphoton_tree_reduction.cpp.o"
+  "CMakeFiles/triphoton_tree_reduction.dir/triphoton_tree_reduction.cpp.o.d"
+  "triphoton_tree_reduction"
+  "triphoton_tree_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/triphoton_tree_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_apps.dir/workloads.cpp.o"
+  "CMakeFiles/hepvine_apps.dir/workloads.cpp.o.d"
+  "libhepvine_apps.a"
+  "libhepvine_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_batch.dir/batch_system.cpp.o"
+  "CMakeFiles/hepvine_batch.dir/batch_system.cpp.o.d"
+  "libhepvine_batch.a"
+  "libhepvine_batch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hepvine_cluster.dir/cluster.cpp.o.d"
+  "libhepvine_cluster.a"
+  "libhepvine_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_coffea.dir/analysis.cpp.o"
+  "CMakeFiles/hepvine_coffea.dir/analysis.cpp.o.d"
+  "libhepvine_coffea.a"
+  "libhepvine_coffea.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_coffea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

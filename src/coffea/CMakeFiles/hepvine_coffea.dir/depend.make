@@ -1,0 +1,2 @@
+# Empty dependencies file for hepvine_coffea.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/builders.cpp" "src/dag/CMakeFiles/hepvine_dag.dir/builders.cpp.o" "gcc" "src/dag/CMakeFiles/hepvine_dag.dir/builders.cpp.o.d"
+  "/root/repo/src/dag/evaluate.cpp" "src/dag/CMakeFiles/hepvine_dag.dir/evaluate.cpp.o" "gcc" "src/dag/CMakeFiles/hepvine_dag.dir/evaluate.cpp.o.d"
+  "/root/repo/src/dag/export.cpp" "src/dag/CMakeFiles/hepvine_dag.dir/export.cpp.o" "gcc" "src/dag/CMakeFiles/hepvine_dag.dir/export.cpp.o.d"
+  "/root/repo/src/dag/task_graph.cpp" "src/dag/CMakeFiles/hepvine_dag.dir/task_graph.cpp.o" "gcc" "src/dag/CMakeFiles/hepvine_dag.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/data/CMakeFiles/hepvine_data.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/hepvine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_dag.dir/builders.cpp.o"
+  "CMakeFiles/hepvine_dag.dir/builders.cpp.o.d"
+  "CMakeFiles/hepvine_dag.dir/evaluate.cpp.o"
+  "CMakeFiles/hepvine_dag.dir/evaluate.cpp.o.d"
+  "CMakeFiles/hepvine_dag.dir/export.cpp.o"
+  "CMakeFiles/hepvine_dag.dir/export.cpp.o.d"
+  "CMakeFiles/hepvine_dag.dir/task_graph.cpp.o"
+  "CMakeFiles/hepvine_dag.dir/task_graph.cpp.o.d"
+  "libhepvine_dag.a"
+  "libhepvine_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_data.dir/dataset.cpp.o"
+  "CMakeFiles/hepvine_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/hepvine_data.dir/file_catalog.cpp.o"
+  "CMakeFiles/hepvine_data.dir/file_catalog.cpp.o.d"
+  "libhepvine_data.a"
+  "libhepvine_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_dd.dir/dask_run.cpp.o"
+  "CMakeFiles/hepvine_dd.dir/dask_run.cpp.o.d"
+  "libhepvine_dd.a"
+  "libhepvine_dd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_exec.dir/report_io.cpp.o"
+  "CMakeFiles/hepvine_exec.dir/report_io.cpp.o.d"
+  "CMakeFiles/hepvine_exec.dir/scheduler.cpp.o"
+  "CMakeFiles/hepvine_exec.dir/scheduler.cpp.o.d"
+  "CMakeFiles/hepvine_exec.dir/task_state.cpp.o"
+  "CMakeFiles/hepvine_exec.dir/task_state.cpp.o.d"
+  "libhepvine_exec.a"
+  "libhepvine_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

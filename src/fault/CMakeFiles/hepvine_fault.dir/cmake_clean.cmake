@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_fault.dir/fault_injector.cpp.o"
+  "CMakeFiles/hepvine_fault.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/hepvine_fault.dir/fault_schedule.cpp.o"
+  "CMakeFiles/hepvine_fault.dir/fault_schedule.cpp.o.d"
+  "libhepvine_fault.a"
+  "libhepvine_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhepvine_fault.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_ha.dir/factory.cpp.o"
+  "CMakeFiles/hepvine_ha.dir/factory.cpp.o.d"
+  "CMakeFiles/hepvine_ha.dir/recovery.cpp.o"
+  "CMakeFiles/hepvine_ha.dir/recovery.cpp.o.d"
+  "CMakeFiles/hepvine_ha.dir/snapshot.cpp.o"
+  "CMakeFiles/hepvine_ha.dir/snapshot.cpp.o.d"
+  "libhepvine_ha.a"
+  "libhepvine_ha.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_ha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

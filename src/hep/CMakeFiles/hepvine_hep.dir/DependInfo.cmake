@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hep/events.cpp" "src/hep/CMakeFiles/hepvine_hep.dir/events.cpp.o" "gcc" "src/hep/CMakeFiles/hepvine_hep.dir/events.cpp.o.d"
+  "/root/repo/src/hep/histogram.cpp" "src/hep/CMakeFiles/hepvine_hep.dir/histogram.cpp.o" "gcc" "src/hep/CMakeFiles/hepvine_hep.dir/histogram.cpp.o.d"
+  "/root/repo/src/hep/processors.cpp" "src/hep/CMakeFiles/hepvine_hep.dir/processors.cpp.o" "gcc" "src/hep/CMakeFiles/hepvine_hep.dir/processors.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/dag/CMakeFiles/hepvine_dag.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/hepvine_sim.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/hepvine_util.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hepvine_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_hep.dir/events.cpp.o"
+  "CMakeFiles/hepvine_hep.dir/events.cpp.o.d"
+  "CMakeFiles/hepvine_hep.dir/histogram.cpp.o"
+  "CMakeFiles/hepvine_hep.dir/histogram.cpp.o.d"
+  "CMakeFiles/hepvine_hep.dir/processors.cpp.o"
+  "CMakeFiles/hepvine_hep.dir/processors.cpp.o.d"
+  "libhepvine_hep.a"
+  "libhepvine_hep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_hep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

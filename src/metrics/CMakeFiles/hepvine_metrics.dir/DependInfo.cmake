@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cache_trace.cpp" "src/metrics/CMakeFiles/hepvine_metrics.dir/cache_trace.cpp.o" "gcc" "src/metrics/CMakeFiles/hepvine_metrics.dir/cache_trace.cpp.o.d"
+  "/root/repo/src/metrics/task_trace.cpp" "src/metrics/CMakeFiles/hepvine_metrics.dir/task_trace.cpp.o" "gcc" "src/metrics/CMakeFiles/hepvine_metrics.dir/task_trace.cpp.o.d"
+  "/root/repo/src/metrics/transfer_matrix.cpp" "src/metrics/CMakeFiles/hepvine_metrics.dir/transfer_matrix.cpp.o" "gcc" "src/metrics/CMakeFiles/hepvine_metrics.dir/transfer_matrix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/hepvine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

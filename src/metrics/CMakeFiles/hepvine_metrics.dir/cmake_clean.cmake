@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_metrics.dir/cache_trace.cpp.o"
+  "CMakeFiles/hepvine_metrics.dir/cache_trace.cpp.o.d"
+  "CMakeFiles/hepvine_metrics.dir/task_trace.cpp.o"
+  "CMakeFiles/hepvine_metrics.dir/task_trace.cpp.o.d"
+  "CMakeFiles/hepvine_metrics.dir/transfer_matrix.cpp.o"
+  "CMakeFiles/hepvine_metrics.dir/transfer_matrix.cpp.o.d"
+  "libhepvine_metrics.a"
+  "libhepvine_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

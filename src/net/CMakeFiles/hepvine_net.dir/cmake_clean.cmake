@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_net.dir/network.cpp.o"
+  "CMakeFiles/hepvine_net.dir/network.cpp.o.d"
+  "libhepvine_net.a"
+  "libhepvine_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

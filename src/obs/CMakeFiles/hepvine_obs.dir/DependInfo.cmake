@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/attribution.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/attribution.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/attribution.cpp.o.d"
+  "/root/repo/src/obs/chrome_trace.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/chrome_trace.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/chrome_trace.cpp.o.d"
+  "/root/repo/src/obs/critical_path.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/critical_path.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/critical_path.cpp.o.d"
+  "/root/repo/src/obs/observer.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/observer.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/observer.cpp.o.d"
+  "/root/repo/src/obs/perf_log.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/perf_log.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/perf_log.cpp.o.d"
+  "/root/repo/src/obs/profile_report.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/profile_report.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/profile_report.cpp.o.d"
+  "/root/repo/src/obs/span.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/span.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/span.cpp.o.d"
+  "/root/repo/src/obs/stats_registry.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/stats_registry.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/stats_registry.cpp.o.d"
+  "/root/repo/src/obs/txn_log.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/txn_log.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/txn_log.cpp.o.d"
+  "/root/repo/src/obs/txn_query.cpp" "src/obs/CMakeFiles/hepvine_obs.dir/txn_query.cpp.o" "gcc" "src/obs/CMakeFiles/hepvine_obs.dir/txn_query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/util/CMakeFiles/hepvine_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_obs.dir/attribution.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/attribution.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/chrome_trace.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/chrome_trace.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/critical_path.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/critical_path.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/observer.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/observer.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/perf_log.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/perf_log.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/profile_report.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/profile_report.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/span.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/span.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/stats_registry.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/stats_registry.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/txn_log.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/txn_log.cpp.o.d"
+  "CMakeFiles/hepvine_obs.dir/txn_query.cpp.o"
+  "CMakeFiles/hepvine_obs.dir/txn_query.cpp.o.d"
+  "libhepvine_obs.a"
+  "libhepvine_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

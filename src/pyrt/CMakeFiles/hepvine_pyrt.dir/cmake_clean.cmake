@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_pyrt.dir/python_runtime.cpp.o"
+  "CMakeFiles/hepvine_pyrt.dir/python_runtime.cpp.o.d"
+  "libhepvine_pyrt.a"
+  "libhepvine_pyrt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_pyrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_sim.dir/engine.cpp.o"
+  "CMakeFiles/hepvine_sim.dir/engine.cpp.o.d"
+  "libhepvine_sim.a"
+  "libhepvine_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

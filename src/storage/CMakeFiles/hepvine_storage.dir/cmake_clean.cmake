@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_storage.dir/shared_fs.cpp.o"
+  "CMakeFiles/hepvine_storage.dir/shared_fs.cpp.o.d"
+  "libhepvine_storage.a"
+  "libhepvine_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_util.dir/hash.cpp.o"
+  "CMakeFiles/hepvine_util.dir/hash.cpp.o.d"
+  "CMakeFiles/hepvine_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/hepvine_util.dir/thread_pool.cpp.o.d"
+  "CMakeFiles/hepvine_util.dir/units.cpp.o"
+  "CMakeFiles/hepvine_util.dir/units.cpp.o.d"
+  "libhepvine_util.a"
+  "libhepvine_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_vine.dir/replica_table.cpp.o"
+  "CMakeFiles/hepvine_vine.dir/replica_table.cpp.o.d"
+  "CMakeFiles/hepvine_vine.dir/vine_run.cpp.o"
+  "CMakeFiles/hepvine_vine.dir/vine_run.cpp.o.d"
+  "libhepvine_vine.a"
+  "libhepvine_vine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_vine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

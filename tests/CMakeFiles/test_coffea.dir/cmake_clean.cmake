@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coffea.dir/test_coffea.cpp.o"
+  "CMakeFiles/test_coffea.dir/test_coffea.cpp.o.d"
+  "test_coffea"
+  "test_coffea.pdb"
+  "test_coffea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coffea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

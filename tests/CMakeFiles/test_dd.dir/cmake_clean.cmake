@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dd.dir/test_dd.cpp.o"
+  "CMakeFiles/test_dd.dir/test_dd.cpp.o.d"
+  "test_dd"
+  "test_dd.pdb"
+  "test_dd[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

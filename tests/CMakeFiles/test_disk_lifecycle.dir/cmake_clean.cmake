@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_disk_lifecycle.dir/test_disk_lifecycle.cpp.o"
+  "CMakeFiles/test_disk_lifecycle.dir/test_disk_lifecycle.cpp.o.d"
+  "test_disk_lifecycle"
+  "test_disk_lifecycle.pdb"
+  "test_disk_lifecycle[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_disk_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

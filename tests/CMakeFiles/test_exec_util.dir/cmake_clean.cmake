@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exec_util.dir/test_exec_util.cpp.o"
+  "CMakeFiles/test_exec_util.dir/test_exec_util.cpp.o.d"
+  "test_exec_util"
+  "test_exec_util.pdb"
+  "test_exec_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exec_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

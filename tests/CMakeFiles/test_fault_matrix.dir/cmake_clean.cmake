@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_matrix.dir/test_fault_matrix.cpp.o"
+  "CMakeFiles/test_fault_matrix.dir/test_fault_matrix.cpp.o.d"
+  "test_fault_matrix"
+  "test_fault_matrix.pdb"
+  "test_fault_matrix[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

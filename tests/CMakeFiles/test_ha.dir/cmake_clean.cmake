@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ha.dir/test_ha.cpp.o"
+  "CMakeFiles/test_ha.dir/test_ha.cpp.o.d"
+  "test_ha"
+  "test_ha.pdb"
+  "test_ha[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ha.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

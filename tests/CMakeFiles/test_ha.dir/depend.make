@@ -1,0 +1,2 @@
+# Empty dependencies file for test_ha.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/test_metrics.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/test_metrics.dir/test_metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/src/apps/CMakeFiles/hepvine_apps.dir/DependInfo.cmake"
+  "/root/repo/src/coffea/CMakeFiles/hepvine_coffea.dir/DependInfo.cmake"
+  "/root/repo/src/vine/CMakeFiles/hepvine_vine.dir/DependInfo.cmake"
+  "/root/repo/src/dd/CMakeFiles/hepvine_dd.dir/DependInfo.cmake"
+  "/root/repo/src/ha/CMakeFiles/hepvine_ha.dir/DependInfo.cmake"
+  "/root/repo/src/hep/CMakeFiles/hepvine_hep.dir/DependInfo.cmake"
+  "/root/repo/src/exec/CMakeFiles/hepvine_exec.dir/DependInfo.cmake"
+  "/root/repo/src/fault/CMakeFiles/hepvine_fault.dir/DependInfo.cmake"
+  "/root/repo/src/dag/CMakeFiles/hepvine_dag.dir/DependInfo.cmake"
+  "/root/repo/src/cluster/CMakeFiles/hepvine_cluster.dir/DependInfo.cmake"
+  "/root/repo/src/batch/CMakeFiles/hepvine_batch.dir/DependInfo.cmake"
+  "/root/repo/src/pyrt/CMakeFiles/hepvine_pyrt.dir/DependInfo.cmake"
+  "/root/repo/src/data/CMakeFiles/hepvine_data.dir/DependInfo.cmake"
+  "/root/repo/src/storage/CMakeFiles/hepvine_storage.dir/DependInfo.cmake"
+  "/root/repo/src/net/CMakeFiles/hepvine_net.dir/DependInfo.cmake"
+  "/root/repo/src/metrics/CMakeFiles/hepvine_metrics.dir/DependInfo.cmake"
+  "/root/repo/src/sim/CMakeFiles/hepvine_sim.dir/DependInfo.cmake"
+  "/root/repo/src/util/CMakeFiles/hepvine_util.dir/DependInfo.cmake"
+  "/root/repo/src/obs/CMakeFiles/hepvine_obs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

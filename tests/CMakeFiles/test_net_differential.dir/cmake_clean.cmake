@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_differential.dir/test_net_differential.cpp.o"
+  "CMakeFiles/test_net_differential.dir/test_net_differential.cpp.o.d"
+  "test_net_differential"
+  "test_net_differential.pdb"
+  "test_net_differential[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_network_invariants.dir/test_network_invariants.cpp.o"
+  "CMakeFiles/test_network_invariants.dir/test_network_invariants.cpp.o.d"
+  "test_network_invariants"
+  "test_network_invariants.pdb"
+  "test_network_invariants[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_network_invariants.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_processors.dir/test_processors.cpp.o"
+  "CMakeFiles/test_processors.dir/test_processors.cpp.o.d"
+  "test_processors"
+  "test_processors.pdb"
+  "test_processors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_processors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile.dir/test_profile.cpp.o"
+  "CMakeFiles/test_profile.dir/test_profile.cpp.o.d"
+  "test_profile"
+  "test_profile.pdb"
+  "test_profile[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pyrt.dir/test_pyrt.cpp.o"
+  "CMakeFiles/test_pyrt.dir/test_pyrt.cpp.o.d"
+  "test_pyrt"
+  "test_pyrt.pdb"
+  "test_pyrt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pyrt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

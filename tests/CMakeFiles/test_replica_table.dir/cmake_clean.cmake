@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replica_table.dir/test_replica_table.cpp.o"
+  "CMakeFiles/test_replica_table.dir/test_replica_table.cpp.o.d"
+  "test_replica_table"
+  "test_replica_table.pdb"
+  "test_replica_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replica_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

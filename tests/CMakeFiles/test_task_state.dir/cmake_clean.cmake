@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_task_state.dir/test_task_state.cpp.o"
+  "CMakeFiles/test_task_state.dir/test_task_state.cpp.o.d"
+  "test_task_state"
+  "test_task_state.pdb"
+  "test_task_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_task_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

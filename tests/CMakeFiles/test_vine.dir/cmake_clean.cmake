@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vine.dir/test_vine.cpp.o"
+  "CMakeFiles/test_vine.dir/test_vine.cpp.o.d"
+  "test_vine"
+  "test_vine.pdb"
+  "test_vine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vine_features.dir/test_vine_features.cpp.o"
+  "CMakeFiles/test_vine_features.dir/test_vine_features.cpp.o.d"
+  "test_vine_features"
+  "test_vine_features.pdb"
+  "test_vine_features[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vine_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vine_lint.dir/test_vine_lint.cpp.o"
+  "CMakeFiles/test_vine_lint.dir/test_vine_lint.cpp.o.d"
+  "test_vine_lint"
+  "test_vine_lint.pdb"
+  "test_vine_lint[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vine_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

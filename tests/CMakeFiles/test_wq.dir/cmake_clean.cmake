@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_wq.dir/test_wq.cpp.o"
+  "CMakeFiles/test_wq.dir/test_wq.cpp.o.d"
+  "test_wq"
+  "test_wq.pdb"
+  "test_wq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_wq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

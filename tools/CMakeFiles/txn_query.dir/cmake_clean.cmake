@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/txn_query.dir/txn_query.cpp.o"
+  "CMakeFiles/txn_query.dir/txn_query.cpp.o.d"
+  "txn_query"
+  "txn_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/txn_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vine_profile.dir/vine_profile.cpp.o"
+  "CMakeFiles/vine_profile.dir/vine_profile.cpp.o.d"
+  "vine_profile"
+  "vine_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vine_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hepvine_lint.dir/lint.cpp.o"
+  "CMakeFiles/hepvine_lint.dir/lint.cpp.o.d"
+  "libhepvine_lint.a"
+  "libhepvine_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hepvine_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

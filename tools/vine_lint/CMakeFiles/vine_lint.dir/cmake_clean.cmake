@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vine_lint.dir/main.cpp.o"
+  "CMakeFiles/vine_lint.dir/main.cpp.o.d"
+  "vine_lint"
+  "vine_lint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vine_lint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
