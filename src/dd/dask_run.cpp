@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -160,7 +159,7 @@ class DaskRun {
         return static_cast<double>(table_.ready_count());
       });
       stats.gauge("tasks.inflight", [this] {
-        return static_cast<double>(attempts_.size());
+        return static_cast<double>(attempts_live_);
       });
       stats.gauge("procs.alive", [this] {
         std::size_t n = 0;
@@ -248,6 +247,11 @@ class DaskRun {
     procs_.resize(static_cast<std::size_t>(cluster_.worker_count()) *
                   cores_per_node_);
     is_sink_.assign(graph_.size(), false);
+    attempts_.clear();
+    attempts_.resize(graph_.size());
+    attempts_live_ = 0;
+    running_on_.assign(procs_.size(), dag::kInvalidTask);
+    sink_gathered_.assign(graph_.size(), 0);
     reset_counts_.assign(graph_.size(), 0);
     pending_crash_.assign(cluster_.worker_count(), false);
     pending_release_.assign(cluster_.worker_count(), false);
@@ -257,6 +261,9 @@ class DaskRun {
   [[nodiscard]] WorkerId node_of(std::int32_t proc) const {
     return static_cast<WorkerId>(proc / static_cast<std::int32_t>(
                                             cores_per_node_));
+  }
+  [[nodiscard]] TaskId& running_on(std::int32_t pid) {
+    return running_on_[static_cast<std::size_t>(pid)];
   }
   [[nodiscard]] Proc& proc(std::int32_t p) {
     return procs_[static_cast<std::size_t>(p)];
@@ -293,7 +300,26 @@ class DaskRun {
     Tick span_compute = -1;
     Tick span_exec_end = -1;
   };
-  std::map<TaskId, Attempt> attempts_;
+  /// Live attempts, dense by TaskId (presence = non-null slot). The
+  /// unique_ptr indirection keeps Attempt addresses stable while other
+  /// slots churn, so references held across staging callbacks stay valid;
+  /// attempts_live_ tracks the population for gauges and the factory
+  /// queue-depth hook.
+  std::vector<std::unique_ptr<Attempt>> attempts_;
+  std::size_t attempts_live_ = 0;
+
+  [[nodiscard]] Attempt& attempt_at(TaskId t) {
+    auto& slot = attempts_[static_cast<std::size_t>(t)];
+    assert(slot);
+    return *slot;
+  }
+  [[nodiscard]] Attempt* attempt_find(TaskId t) {
+    return attempts_[static_cast<std::size_t>(t)].get();
+  }
+  void attempt_erase(TaskId t) {
+    attempts_[static_cast<std::size_t>(t)].reset();
+    --attempts_live_;
+  }
 
   /// Capture one finished attempt into the profiler span log (and the
   /// transaction log as a SPAN line), before the Attempt is erased.
@@ -425,9 +451,9 @@ class DaskRun {
     p.imports_loaded = false;
 
     // Fail a running task, if any.
-    if (auto it = running_on_.find(pid); it != running_on_.end()) {
-      const TaskId t = it->second;
-      running_on_.erase(it);
+    if (running_on(pid) != dag::kInvalidTask) {
+      const TaskId t = running_on(pid);
+      running_on(pid) = dag::kInvalidTask;
       fail_attempt(t);
       if (finished_) return;
     }
@@ -665,14 +691,17 @@ class DaskRun {
     ++total_attempts_;
     Proc& p = proc(pid);
     p.busy = true;
-    running_on_[pid] = t;
+    running_on(pid) = t;
 
     Attempt attempt;
     attempt.proc = pid;
     attempt.inputs = table_.gather_inputs(t);
     attempt.span_ready = table_.at(t).ready_at;
     attempt.span_dispatched = engine_.now();
-    attempts_[t] = std::move(attempt);
+    auto& slot = attempts_[static_cast<std::size_t>(t)];
+    assert(!slot);
+    slot = std::make_unique<Attempt>(std::move(attempt));
+    ++attempts_live_;
     const Token token{t, table_.at(t).attempts};
 
     scheduler_.acquire_then(tun_.dispatch_cost, [this, token, pid] {
@@ -689,7 +718,7 @@ class DaskRun {
   void begin_staging(const Token& token, std::int32_t pid) {
     if (!token_valid(token)) return;
     const auto& task = graph_.task(token.task);
-    auto& attempt = attempts_[token.task];
+    auto& attempt = attempt_at(token.task);
     attempt.span_staged = engine_.now();
 
     std::vector<std::pair<FileId, bool>> needed;  // (file, is_dataset)
@@ -730,7 +759,7 @@ class DaskRun {
         pump();
         return;
       }
-      auto& att = attempts_[token.task];
+      auto& att = attempt_at(token.task);
       if (--att.staging_outstanding == 0) start_exec(token, pid);
     };
 
@@ -877,7 +906,7 @@ class DaskRun {
     if (txn_on()) {
       obs_->txn().task_running(engine_.now(), token.task, node_of(pid));
     }
-    attempts_.at(token.task).span_exec = engine_.now();
+    attempt_at(token.task).span_exec = engine_.now();
     const auto& task = graph_.task(token.task);
     const auto& node = cluster_.worker(node_of(pid));
     Proc& p = proc(pid);
@@ -922,7 +951,7 @@ class DaskRun {
                                           code);
                           const Tick cpu =
                               options_.imports.total_cpu_cost();
-                          attempts_.at(token.task).span_compute =
+                          attempt_at(token.task).span_compute =
                               engine_.now() + cpu;
                           engine_.schedule_after(
                               cpu + compute,
@@ -936,7 +965,7 @@ class DaskRun {
       return;
     }
 
-    attempts_.at(token.task).span_compute = engine_.now() + pre;
+    attempt_at(token.task).span_compute = engine_.now() + pre;
     engine_.schedule_after(pre + compute, [this, token, pid] {
       complete_exec(token, pid);
     });
@@ -959,13 +988,13 @@ class DaskRun {
     p.holding.push_back(task.output_file);
     file(task.output_file).holders.push_back(pid);
 
-    auto& attempt = attempts_.at(t);
+    auto& attempt = attempt_at(t);
     attempt.span_exec_end = engine_.now();
     dag::ValuePtr value =
         task.spec.fn ? task.spec.fn(attempt.inputs) : nullptr;
 
     p.busy = false;
-    running_on_.erase(pid);
+    running_on(pid) = dag::kInvalidTask;
 
     scheduler_.acquire_then(
         tun_.result_cost + cluster_.control_rtt() / 2,
@@ -999,10 +1028,10 @@ class DaskRun {
               std::to_string(pid) + "}");
     }
     report_.trace.add(std::move(rec));
-    record_attempt_span(t, pid, attempts_.at(t), /*failed=*/false);
+    record_attempt_span(t, pid, attempt_at(t), /*failed=*/false);
 
     table_.mark_done(t, std::move(value), engine_.now());
-    attempts_.erase(t);
+    attempt_erase(t);
     if (txn_on()) obs_->txn().task_done(engine_.now(), t, "SUCCESS");
 
     // Release dependency keys whose consumers are all finished.
@@ -1057,8 +1086,8 @@ class DaskRun {
                   file(graph_.task(t).output_file).size);
             }
             file(graph_.task(t).output_file).at_client = true;
-            if (!sink_gathered_[t]) {
-              sink_gathered_[t] = true;
+            if (!sink_gathered_[static_cast<std::size_t>(t)]) {
+              sink_gathered_[static_cast<std::size_t>(t)] = 1;
               sink_backoff_.reset(t);  // gather episode over
               --sinks_outstanding_;
             }
@@ -1084,7 +1113,9 @@ class DaskRun {
       const Tick delay =
           injector_->backoff_delay(sink_backoff_.next_attempt(t));
       engine_.schedule_after(delay, [this, t, node] {
-        if (!finished_ && !sink_gathered_[t]) gather_sink(t, node);
+        if (!finished_ && !sink_gathered_[static_cast<std::size_t>(t)]) {
+          gather_sink(t, node);
+        }
       });
     });
   }
@@ -1213,7 +1244,7 @@ class DaskRun {
     if (!options_.ha.factory.enabled()) return;
     ha::Factory::Hooks hooks;
     hooks.queue_depth = [this]() -> std::size_t {
-      return table_.ready_count() + attempts_.size();
+      return table_.ready_count() + attempts_live_;
     };
     hooks.connected_workers = [this] { return cluster_.alive_workers(); };
     hooks.grow = [this](std::uint32_t n) {
@@ -1275,14 +1306,14 @@ class DaskRun {
     if (txn_on()) obs_->txn().task_retrieved(engine_.now(), t, "FAILURE");
     report_.trace.add(std::move(rec));
 
-    if (auto it = attempts_.find(t); it != attempts_.end()) {
-      const std::int32_t pid = it->second.proc;
+    if (Attempt* a = attempt_find(t)) {
+      const std::int32_t pid = a->proc;
       if (pid != kNoProc) {
-        running_on_.erase(pid);
+        running_on(pid) = dag::kInvalidTask;
         if (proc(pid).alive) proc(pid).busy = false;
       }
-      record_attempt_span(t, pid, it->second, /*failed=*/true);
-      attempts_.erase(it);
+      record_attempt_span(t, pid, *a, /*failed=*/true);
+      attempt_erase(t);
     }
     if (table_.at(t).attempts >= options_.max_task_retries) {
       fail_run("task " + std::to_string(t) + " exceeded retry limit");
@@ -1319,8 +1350,11 @@ class DaskRun {
   net::FlowGate fs_gate_{256};
   std::vector<Proc> procs_;
   std::vector<FileInfo> files_;
-  std::map<std::int32_t, TaskId> running_on_;
-  std::map<TaskId, bool> sink_gathered_;
+  /// Task running on each process slot, dense by pid; kInvalidTask when
+  /// the slot is idle.
+  std::vector<TaskId> running_on_;
+  /// Sink gather completion, dense by TaskId (only sink ids are ever set).
+  std::vector<char> sink_gathered_;
   std::vector<bool> is_sink_;
 
   std::shared_ptr<obs::RunObservation> obs_;

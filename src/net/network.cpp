@@ -415,44 +415,54 @@ void Network::recompute_now() {
       settle_flow(flow);
       flow.rate = new_rate;
       const FlowId fid = flow.id;
+      // Completion/failure moves use Engine::reschedule_after — the
+      // callbacks are per-flow constants, so a pending event's slot (and
+      // its stored std::function) is reused rather than reconstructed for
+      // every rate change. The fired-event order matches cancel+schedule
+      // exactly (one seq either way).
       if (flow.remaining <= 0.5) {
         // Fractional residue from settling. An armed failure inside the
         // residual bytes still wins — the flow was injected to die in its
         // last bytes, so it must not slip through as a completion.
-        flow.completion.cancel();
-        flow.failure.cancel();
         if (flow.fail_at > 0) {
-          flow.failure =
-              engine_.schedule_after(0, [this, fid] { fail_flow(fid); });
+          flow.completion.cancel();
+          flow.failure = engine_.reschedule_after(
+              flow.failure, 0, [this, fid] { fail_flow(fid); });
         } else {
-          flow.completion =
-              engine_.schedule_after(0, [this, fid] { finish_flow(fid); });
+          flow.failure.cancel();
+          flow.completion = engine_.reschedule_after(
+              flow.completion, 0, [this, fid] { finish_flow(fid); });
         }
         continue;
       }
-      flow.completion.cancel();
-      flow.failure.cancel();
-      if (flow.rate <= 0.0) continue;  // stalled (outage) or rescue pending
+      if (flow.rate <= 0.0) {  // stalled (outage) or rescue pending
+        flow.completion.cancel();
+        flow.failure.cancel();
+        continue;
+      }
       if (flow.fail_at > 0) {
         const double carried =
             static_cast<double>(flow.total_bytes) - flow.remaining;
         const double left = static_cast<double>(flow.fail_at) - carried;
         if (left <= 0.5) {
           // The armed byte already crossed; fail now.
-          flow.failure =
-              engine_.schedule_after(0, [this, fid] { fail_flow(fid); });
+          flow.completion.cancel();
+          flow.failure = engine_.reschedule_after(
+              flow.failure, 0, [this, fid] { fail_flow(fid); });
           continue;  // no completion: the failure removes the flow first
         }
         const Tick fail_eta = util::transfer_time(
             static_cast<std::uint64_t>(std::ceil(left)), flow.rate);
-        flow.failure = engine_.schedule_after(
-            fail_eta, [this, fid] { fail_flow(fid); });
+        flow.failure = engine_.reschedule_after(
+            flow.failure, fail_eta, [this, fid] { fail_flow(fid); });
         // Scheduled before completion: on an exact tie the failure wins.
+      } else {
+        flow.failure.cancel();
       }
       const Tick eta = util::transfer_time(
           static_cast<std::uint64_t>(std::ceil(flow.remaining)), flow.rate);
-      flow.completion =
-          engine_.schedule_after(eta, [this, fid] { finish_flow(fid); });
+      flow.completion = engine_.reschedule_after(
+          flow.completion, eta, [this, fid] { finish_flow(fid); });
     }
   }
 

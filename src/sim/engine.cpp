@@ -1,47 +1,117 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace hepvine::sim {
 
+void Engine::enqueue(Tick at, std::uint64_t seq, std::uint32_t slot) {
+  arena_->slot(slot).live_seq = seq;
+  if (at == now_) {
+    bucket_.push_back(QueueEntry{at, seq, slot});
+    return;
+  }
+  heap_.push_back(QueueEntry{at, seq, slot});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
 Engine::EventHandle Engine::schedule_at(Tick at, Callback fn) {
   if (at < now_) at = now_;
   maybe_purge_cancelled();
-  auto rec = std::make_shared<EventHandle::Record>();
-  rec->fn = std::move(fn);
-  rec->cancel_counter = &cancelled_pending_;
-  queue_.push(QueueEntry{at, next_seq_++, rec});
-  return EventHandle(std::move(rec));
+  const std::uint32_t slot = arena_->allocate(std::move(fn));
+  const std::uint32_t gen = arena_->slot(slot).gen;
+  enqueue(at, next_seq_++, slot);
+  return EventHandle(arena_, slot, gen);
 }
 
-void Engine::maybe_purge_cancelled() {
-  if (cancelled_pending_ < 4096 || cancelled_pending_ * 2 < queue_.size()) {
-    return;
+std::vector<Engine::EventHandle> Engine::schedule_many(
+    Tick at, std::vector<Callback> fns) {
+  if (at < now_) at = now_;
+  maybe_purge_cancelled();
+  std::vector<EventHandle> handles;
+  handles.reserve(fns.size());
+  // Large future-tick batches: append then one O(n) re-heapify instead of
+  // per-event sifts. Heap layout never affects pop order — every entry has
+  // a distinct (at, seq), so the pop sequence is the unique sorted order.
+  const bool bulk_heap = at != now_ && fns.size() >= 64;
+  for (auto& fn : fns) {
+    const std::uint32_t slot = arena_->allocate(std::move(fn));
+    const std::uint32_t gen = arena_->slot(slot).gen;
+    const std::uint64_t seq = next_seq_++;
+    if (bulk_heap) {
+      arena_->slot(slot).live_seq = seq;
+      heap_.push_back(QueueEntry{at, seq, slot});
+    } else {
+      enqueue(at, seq, slot);
+    }
+    handles.emplace_back(EventHandle(arena_, slot, gen));
   }
-  std::vector<QueueEntry> live;
-  live.reserve(queue_.size() - cancelled_pending_);
-  while (!queue_.empty()) {
-    if (!queue_.top().rec->cancelled) live.push_back(queue_.top());
-    queue_.pop();
+  if (bulk_heap) std::make_heap(heap_.begin(), heap_.end(), Later{});
+  return handles;
+}
+
+void Engine::purge_cancelled_now() {
+  auto dead = [this](const QueueEntry& entry) {
+    const auto& s = arena_->slot(entry.slot);
+    if (entry.seq != s.live_seq) return true;  // superseded; slot lives on
+    if (!s.cancelled) return false;
+    arena_->release(entry.slot);
+    return true;
+  };
+  heap_.erase(std::remove_if(heap_.begin(), heap_.end(), dead), heap_.end());
+  std::make_heap(heap_.begin(), heap_.end(), Later{});
+  bucket_.erase(bucket_.begin(),
+                bucket_.begin() + static_cast<std::ptrdiff_t>(bucket_head_));
+  bucket_head_ = 0;
+  // remove_if is stable, so surviving bucket entries keep FIFO order.
+  bucket_.erase(std::remove_if(bucket_.begin(), bucket_.end(), dead),
+                bucket_.end());
+  arena_->cancelled_pending = 0;
+}
+
+Engine::QueueEntry Engine::pop_next() {
+  // Heap entries at the current tick always precede bucket entries (their
+  // seqs are smaller; see enqueue()), so the bucket drains only when the
+  // heap has nothing due at now().
+  const bool bucket_live = bucket_head_ < bucket_.size();
+  if (bucket_live && (heap_.empty() || heap_.front().at > now_)) {
+    QueueEntry entry = bucket_[bucket_head_++];
+    if (bucket_head_ == bucket_.size()) {
+      bucket_.clear();
+      bucket_head_ = 0;
+    }
+    return entry;
   }
-  for (auto& entry : live) queue_.push(std::move(entry));
-  cancelled_pending_ = 0;
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  QueueEntry entry = heap_.back();
+  heap_.pop_back();
+  return entry;
 }
 
 bool Engine::step() {
-  while (!queue_.empty()) {
-    QueueEntry entry = queue_.top();
-    queue_.pop();
-    if (entry.rec->cancelled) {
-      if (cancelled_pending_ > 0) --cancelled_pending_;
+  while (pending() > 0) {
+    const QueueEntry entry = pop_next();
+    auto& slot = arena_->slot(entry.slot);
+    // Superseded by a reschedule: a newer entry owns this slot. Discard
+    // without firing and without releasing.
+    if (entry.seq != slot.live_seq) {
+      if (arena_->cancelled_pending > 0) --arena_->cancelled_pending;
+      continue;
+    }
+    if (slot.cancelled) {
+      if (arena_->cancelled_pending > 0) --arena_->cancelled_pending;
+      arena_->release(entry.slot);
       continue;
     }
     now_ = entry.at;
-    entry.rec->fired = true;
     ++executed_;
-    // Move the callback out so captured state is released promptly even if
-    // the handle outlives the event.
-    Callback fn = std::move(entry.rec->fn);
+    // Move the callback out and recycle the slot before running, so
+    // captured state is released promptly even if the handle outlives the
+    // event and the slot is immediately reusable by callbacks it runs.
+    Callback fn = std::move(slot.fn);
+    arena_->release(entry.slot);
     fn();
     return true;
   }
@@ -55,14 +125,33 @@ void Engine::run() {
 
 std::size_t Engine::run_until(Tick deadline) {
   std::size_t fired = 0;
-  while (!queue_.empty()) {
-    // Skip cancelled entries without advancing time.
-    if (queue_.top().rec->cancelled) {
-      queue_.pop();
-      if (cancelled_pending_ > 0) --cancelled_pending_;
+  while (pending() > 0) {
+    const bool bucket_live = bucket_head_ < bucket_.size();
+    if (bucket_live && (heap_.empty() || heap_.front().at > now_)) {
+      // Bucket entries are due at now(); fire them only inside the window.
+      if (now_ > deadline) break;
+      if (step()) ++fired;
       continue;
     }
-    if (queue_.top().at > deadline) break;
+    // Skip cancelled and superseded heap entries without advancing time.
+    {
+      const QueueEntry& front = heap_.front();
+      const auto& s = arena_->slot(front.slot);
+      if (front.seq != s.live_seq) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        heap_.pop_back();  // stale reschedule leftover; slot lives on
+        if (arena_->cancelled_pending > 0) --arena_->cancelled_pending;
+        continue;
+      }
+      if (s.cancelled) {
+        std::pop_heap(heap_.begin(), heap_.end(), Later{});
+        arena_->release(heap_.back().slot);
+        heap_.pop_back();
+        if (arena_->cancelled_pending > 0) --arena_->cancelled_pending;
+        continue;
+      }
+    }
+    if (heap_.front().at > deadline) break;
     if (step()) ++fired;
   }
   if (now_ < deadline) now_ = deadline;

@@ -4,13 +4,23 @@
 // with identical inputs replay identically. Events are cancellable, which
 // the flow-level network model relies on: a transfer's completion event is
 // rescheduled whenever bandwidth shares change.
+//
+// Hot-path layout: event records live in a slab/free-list arena instead of
+// one heap allocation per event. Handles address events by (slot index,
+// generation); the generation is bumped every time a slot is recycled, so
+// a stale handle to a fired or purged event can never touch its slot's new
+// occupant. Pending events sit either in a hand-rolled binary heap (future
+// ticks) or in a FIFO "now bucket" (events scheduled for the current tick)
+// that is drained before time advances — same-tick completion bursts cost
+// O(1) per event instead of a heap round-trip. Both containers pop in
+// strict (at, seq) order, so the firing sequence is bit-identical to the
+// single priority-queue implementation this replaces.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "util/units.h"
@@ -20,6 +30,71 @@ namespace hepvine::sim {
 using util::Tick;
 
 class Engine {
+ private:
+  /// Slab-allocated event records. Slots are recycled through a free list;
+  /// each recycle bumps the slot's generation so outstanding handles go
+  /// inert instead of aliasing the new occupant. A 32-bit generation would
+  /// need four billion reuses of one slot while a stale handle to it
+  /// survives before a false match — not a realistic hazard here.
+  struct EventArena {
+    using Callback = std::function<void()>;
+    static constexpr std::uint32_t kChunkShift = 12;  // 4096 slots per slab
+    static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+    struct Slot {
+      Callback fn;
+      /// Seq of the queue entry that currently owns this slot. A
+      /// reschedule enqueues a fresh entry for the same slot; older
+      /// entries see a seq mismatch at pop time and are discarded without
+      /// firing or releasing (the slot still belongs to the new entry).
+      std::uint64_t live_seq = 0;
+      std::uint32_t gen = 0;
+      bool cancelled = false;
+    };
+
+    std::vector<std::unique_ptr<Slot[]>> chunks;
+    std::vector<std::uint32_t> free_slots;
+    /// Cancelled events still sitting in a queue (tombstones).
+    std::size_t cancelled_pending = 0;
+
+    [[nodiscard]] Slot& slot(std::uint32_t idx) noexcept {
+      return chunks[idx >> kChunkShift][idx & (kChunkSize - 1)];
+    }
+    [[nodiscard]] const Slot& slot(std::uint32_t idx) const noexcept {
+      return chunks[idx >> kChunkShift][idx & (kChunkSize - 1)];
+    }
+
+    [[nodiscard]] std::uint32_t allocate(Callback fn) {
+      if (free_slots.empty()) grow();
+      const std::uint32_t idx = free_slots.back();
+      free_slots.pop_back();
+      slot(idx).fn = std::move(fn);
+      return idx;
+    }
+
+    /// Return a slot to the free list (after firing or tombstone pop).
+    /// Bumping the generation here is what invalidates stale handles.
+    void release(std::uint32_t idx) {
+      Slot& s = slot(idx);
+      s.fn = nullptr;
+      s.cancelled = false;
+      ++s.gen;
+      free_slots.push_back(idx);
+    }
+
+    void grow() {
+      const auto base =
+          static_cast<std::uint32_t>(chunks.size()) << kChunkShift;
+      chunks.push_back(std::make_unique<Slot[]>(kChunkSize));
+      free_slots.reserve(free_slots.size() + kChunkSize);
+      // Reverse order so the lowest index pops first (cosmetic only:
+      // allocation order never affects event firing order).
+      for (std::uint32_t i = kChunkSize; i-- > 0;) {
+        free_slots.push_back(base + i);
+      }
+    }
+  };
+
  public:
   using Callback = std::function<void()>;
 
@@ -28,37 +103,38 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Handle to a scheduled event; allows cancellation. Copyable; all copies
-  /// refer to the same underlying event.
+  /// refer to the same underlying event. Safe to hold across engine
+  /// destruction (goes inert) and across slot reuse (generation mismatch).
   class EventHandle {
    public:
     EventHandle() = default;
 
     /// Cancel the event if it has not yet fired. Safe to call repeatedly.
     void cancel() const {
-      if (auto rec = rec_.lock()) {
-        if (!rec->cancelled && !rec->fired) {
-          rec->cancelled = true;
-          if (rec->cancel_counter != nullptr) ++*rec->cancel_counter;
-        }
-      }
+      auto arena = arena_.lock();
+      if (!arena) return;
+      auto& s = arena->slot(slot_);
+      if (s.gen != gen_ || s.cancelled) return;
+      s.cancelled = true;
+      ++arena->cancelled_pending;
     }
 
     /// True if the event is still pending (not fired, not cancelled).
     [[nodiscard]] bool pending() const {
-      auto rec = rec_.lock();
-      return rec && !rec->cancelled && !rec->fired;
+      auto arena = arena_.lock();
+      if (!arena) return false;
+      const auto& s = arena->slot(slot_);
+      return s.gen == gen_ && !s.cancelled;
     }
 
    private:
     friend class Engine;
-    struct Record {
-      Callback fn;
-      bool cancelled = false;
-      bool fired = false;
-      std::size_t* cancel_counter = nullptr;  // owned by the Engine
-    };
-    explicit EventHandle(std::shared_ptr<Record> rec) : rec_(std::move(rec)) {}
-    std::weak_ptr<Record> rec_;
+    EventHandle(std::weak_ptr<EventArena> arena, std::uint32_t slot,
+                std::uint32_t gen)
+        : arena_(std::move(arena)), slot_(slot), gen_(gen) {}
+    std::weak_ptr<EventArena> arena_;
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;
   };
 
   /// Current simulated time.
@@ -70,6 +146,56 @@ class Engine {
   /// Schedule `fn` to run `delay` ticks from now (delay < 0 clamps to 0).
   EventHandle schedule_after(Tick delay, Callback fn) {
     return schedule_at(now_ + (delay > 0 ? delay : 0), std::move(fn));
+  }
+
+  /// Batched schedule: every callback fires at `at` (clamped to now()), in
+  /// argument order. Same-tick batches land in the FIFO now-bucket with no
+  /// heap traffic; future-tick batches of any size pay one heap rebuild
+  /// instead of per-event sifts once the batch is large enough.
+  std::vector<EventHandle> schedule_many(Tick at, std::vector<Callback> fns);
+
+  /// Move a still-pending event to a new time, reusing its slot and its
+  /// stored callback — `fn` is only consumed when the handle is no longer
+  /// live (fired, cancelled, or from another engine), so callers must pass
+  /// a callback behaviorally identical to the original. Consumes exactly
+  /// one seq like cancel()+schedule_at, so the fired-event order is
+  /// bit-identical to that pattern; what it saves is the per-reschedule
+  /// std::function construction, move, and destruction — the dominant cost
+  /// when the flow network re-rates hundreds of transfers per recompute.
+  /// Templated on the callable for exactly that reason: the lambda is only
+  /// wrapped into a std::function on the cold not-live path, so the hot
+  /// path passes two words in registers. All copies of the handle refer to
+  /// the moved event afterwards.
+  template <typename F>
+  EventHandle reschedule_at(const EventHandle& handle, Tick at, F&& fn) {
+    if (at < now_) at = now_;
+    maybe_purge_cancelled();
+    // Arena identity via control-block comparison: no refcount traffic,
+    // unlike weak_ptr::lock(). A handle from a destroyed engine keeps its
+    // (expired) control block, so it can never alias a live arena's.
+    if (!handle.arena_.owner_before(arena_) &&
+        !arena_.owner_before(handle.arena_)) {
+      const auto& s = arena_->slot(handle.slot_);
+      if (s.gen == handle.gen_ && !s.cancelled) {
+        // Live: hand the slot to a fresh queue entry. The superseded entry
+        // goes stale (seq mismatch) and is discarded at pop or purge time —
+        // it is a tombstone exactly like a cancelled entry, and must count
+        // toward the purge trigger or the heap bloats with dead entries.
+        ++arena_->cancelled_pending;
+        enqueue(at, next_seq_++, handle.slot_);
+        return handle;
+      }
+    }
+    const std::uint32_t slot = arena_->allocate(Callback(std::forward<F>(fn)));
+    const std::uint32_t gen = arena_->slot(slot).gen;
+    enqueue(at, next_seq_++, slot);
+    return EventHandle(arena_, slot, gen);
+  }
+  template <typename F>
+  EventHandle reschedule_after(const EventHandle& handle, Tick delay,
+                               F&& fn) {
+    return reschedule_at(handle, now_ + (delay > 0 ? delay : 0),
+                         std::forward<F>(fn));
   }
 
   /// Execute the next pending event. Returns false if the queue is empty.
@@ -86,13 +212,20 @@ class Engine {
   [[nodiscard]] std::size_t executed() const noexcept { return executed_; }
 
   /// Events currently pending (including cancelled-but-not-popped ones).
-  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() + (bucket_.size() - bucket_head_);
+  }
+
+  /// Free-list depth + live slots currently allocated (test introspection).
+  [[nodiscard]] std::size_t arena_capacity() const noexcept {
+    return arena_->chunks.size() * EventArena::kChunkSize;
+  }
 
  private:
   struct QueueEntry {
     Tick at = 0;
     std::uint64_t seq = 0;
-    std::shared_ptr<EventHandle::Record> rec;
+    std::uint32_t slot = 0;
   };
   struct Later {
     bool operator()(const QueueEntry& a, const QueueEntry& b) const noexcept {
@@ -104,13 +237,33 @@ class Engine {
   /// Drop cancelled-but-unpopped entries when they dominate the queue.
   /// Heavy users (the flow network) cancel and reschedule completion
   /// events constantly; without compaction those tombstones accumulate.
-  void maybe_purge_cancelled();
+  /// The guard is inline — it runs on every schedule — while the purge
+  /// itself (in-place remove + re-heapify, O(n) against the old pop/push
+  /// rebuild's O(n log n)) stays out of line.
+  void maybe_purge_cancelled() {
+    const std::size_t cp = arena_->cancelled_pending;
+    if (cp < 4096 || cp * 2 < pending()) return;
+    purge_cancelled_now();
+  }
+  void purge_cancelled_now();
+
+  /// Insert one allocated slot into the right container. Same-tick events
+  /// are FIFO in the bucket; their seqs are necessarily larger than any
+  /// heap entry at the same tick (heap entries at tick T were scheduled
+  /// while now() < T), so "bucket only when the heap has nothing at now()"
+  /// preserves the global (at, seq) pop order.
+  void enqueue(Tick at, std::uint64_t seq, std::uint32_t slot);
+
+  /// Pop the next entry in (at, seq) order. Pre: pending() > 0.
+  QueueEntry pop_next();
 
   Tick now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::size_t cancelled_pending_ = 0;
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, Later> queue_;
+  std::shared_ptr<EventArena> arena_ = std::make_shared<EventArena>();
+  std::vector<QueueEntry> heap_;    // binary min-heap on (at, seq)
+  std::vector<QueueEntry> bucket_;  // FIFO of events with at == now()
+  std::size_t bucket_head_ = 0;
 };
 
 }  // namespace hepvine::sim

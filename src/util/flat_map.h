@@ -1,0 +1,141 @@
+// Sorted-vector associative containers for manager hot paths.
+//
+// The determinism contract (DESIGN.md §5) requires every container the
+// schedulers iterate to have a deterministic, platform-independent order.
+// std::map satisfies that but pays a node allocation plus pointer-chasing
+// per operation, which dominates the dispatch hot path at 10k workers.
+// FlatMap keeps entries in one contiguous vector sorted by key: lookups
+// are branch-predictable binary searches, iteration is a linear scan in
+// ascending key order (vine_lint VL001-clean by construction), and the
+// common hot-path mix here — lookup-heavy with clustered inserts/erases —
+// never touches the allocator once capacity is warm.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace hepvine::util {
+
+/// Map from Key to Value backed by a key-sorted vector of pairs.
+/// Iteration order is ascending by key — stable across runs, so txn lines
+/// emitted while walking a FlatMap replay bit-identically.
+///
+/// Complexity: find O(log n); insert/erase O(n) worst case but O(1)
+/// amortized when keys arrive clustered near the tail (task/file ids are
+/// assigned monotonically, so in practice they do). References and
+/// iterators invalidate on insert/erase, like vector.
+template <typename Key, typename Value>
+class FlatMap {
+ public:
+  using value_type = std::pair<Key, Value>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  void clear() noexcept { entries_.clear(); }
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  [[nodiscard]] iterator begin() noexcept { return entries_.begin(); }
+  [[nodiscard]] iterator end() noexcept { return entries_.end(); }
+  [[nodiscard]] const_iterator begin() const noexcept {
+    return entries_.begin();
+  }
+  [[nodiscard]] const_iterator end() const noexcept { return entries_.end(); }
+
+  [[nodiscard]] iterator find(const Key& key) {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  [[nodiscard]] const_iterator find(const Key& key) const {
+    auto it = lower_bound(key);
+    return (it != entries_.end() && it->first == key) ? it : entries_.end();
+  }
+  [[nodiscard]] bool contains(const Key& key) const {
+    return find(key) != entries_.end();
+  }
+  [[nodiscard]] std::size_t count(const Key& key) const {
+    return contains(key) ? 1 : 0;
+  }
+
+  /// operator[]: insert a default Value if absent (std::map semantics).
+  Value& operator[](const Key& key) {
+    auto it = lower_bound(key);
+    if (it == entries_.end() || it->first != key) {
+      it = entries_.insert(it, value_type(key, Value{}));
+    }
+    return it->second;
+  }
+
+  template <typename V>
+  std::pair<iterator, bool> emplace(const Key& key, V&& value) {
+    auto it = lower_bound(key);
+    if (it != entries_.end() && it->first == key) return {it, false};
+    it = entries_.insert(it, value_type(key, std::forward<V>(value)));
+    return {it, true};
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = find(key);
+    if (it == entries_.end()) return 0;
+    entries_.erase(it);
+    return 1;
+  }
+  iterator erase(iterator pos) { return entries_.erase(pos); }
+
+ private:
+  [[nodiscard]] iterator lower_bound(const Key& key) {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+  [[nodiscard]] const_iterator lower_bound(const Key& key) const {
+    return std::lower_bound(
+        entries_.begin(), entries_.end(), key,
+        [](const value_type& e, const Key& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> entries_;
+};
+
+/// Set of keys backed by a sorted vector; same contract as FlatMap.
+template <typename Key>
+class FlatSet {
+ public:
+  using const_iterator = typename std::vector<Key>::const_iterator;
+
+  [[nodiscard]] bool empty() const noexcept { return keys_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return keys_.size(); }
+  void clear() noexcept { keys_.clear(); }
+  void reserve(std::size_t n) { keys_.reserve(n); }
+
+  [[nodiscard]] const_iterator begin() const noexcept { return keys_.begin(); }
+  [[nodiscard]] const_iterator end() const noexcept { return keys_.end(); }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    return it != keys_.end() && *it == key;
+  }
+
+  /// Returns true if the key was inserted (absent before).
+  bool insert(const Key& key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it != keys_.end() && *it == key) return false;
+    keys_.insert(it, key);
+    return true;
+  }
+
+  std::size_t erase(const Key& key) {
+    auto it = std::lower_bound(keys_.begin(), keys_.end(), key);
+    if (it == keys_.end() || *it != key) return 0;
+    keys_.erase(it);
+    return 1;
+  }
+
+ private:
+  std::vector<Key> keys_;
+};
+
+}  // namespace hepvine::util

@@ -33,6 +33,7 @@
 #include "obs/observer.h"
 #include "obs/span.h"
 #include "sim/rng.h"
+#include "util/flat_map.h"
 #include "vine/replica_table.h"
 #include "vine/vine_scheduler.h"
 
@@ -189,6 +190,16 @@ class VineRun {
     }
     is_sink_.assign(graph_.size(), false);
     reset_counts_.assign(graph_.size(), 0);
+    attempts_.resize(graph_.size());
+    sink_fetched_.assign(graph_.size(), 0);
+
+    const std::size_t workers = cluster_.worker_count();
+    eligible_bits_.assign((workers + 63) / 64, 0);
+    dispatch_index_.reset(workers);
+    loc_score_.assign(workers, 0);
+    loc_epoch_.assign(workers, 0);
+    index_dirty_flag_.assign(workers, 0);
+    worker_fetches_.resize(workers);
 
     // Consumer reference counts, derived from the task graph: one count
     // per (task, file-it-reads) edge, covering both dependency outputs and
@@ -272,6 +283,22 @@ class VineRun {
     std::uint32_t pin_incarnation = 0;
   };
 
+  /// Live attempt for `t`; the caller has already established one exists
+  /// (token_valid or the task's state machine).
+  [[nodiscard]] Attempt& attempt_at(TaskId t) {
+    assert(attempts_[static_cast<std::size_t>(t)] && "no live attempt");
+    return *attempts_[static_cast<std::size_t>(t)];
+  }
+  [[nodiscard]] Attempt* attempt_find(TaskId t) {
+    return attempts_[static_cast<std::size_t>(t)].get();
+  }
+  void attempt_erase(TaskId t) {
+    auto& slot = attempts_[static_cast<std::size_t>(t)];
+    if (!slot) return;
+    slot.reset();
+    --attempts_live_;
+  }
+
   // ---------------------------------------------------------------------
   // Per-worker runtime state (cache membership, library, transfer slots).
   // ---------------------------------------------------------------------
@@ -286,12 +313,13 @@ class VineRun {
     std::vector<TaskId> here;      // tasks dispatched/running/returning
     std::vector<Token> waiting_for_lib;
     /// Pin counts per file: attempt inputs/outputs and transfer sources.
-    /// A pinned file is unevictable and survives GC (ordered map: the pin
-    /// set is iterated nowhere hot, and determinism is free).
-    std::map<FileId, std::uint32_t> pins;
+    /// A pinned file is unevictable and survives GC. Sorted-vector map:
+    /// pin/unpin run on every dispatch, and snapshot serialization walks
+    /// this in ascending file order either way.
+    util::FlatMap<FileId, std::uint32_t> pins;
     /// Last-use tick per cached file — the LRU clock for pressure
     /// eviction. Insertion and pinning both count as uses.
-    std::map<FileId, Tick> last_use;
+    util::FlatMap<FileId, Tick> last_use;
     /// Bytes of unpinned cached dataset inputs: space eviction could mint
     /// without ever forcing a recompute (inputs re-fetch from the shared
     /// FS). Placement's disk-tight fallback counts this as headroom.
@@ -310,7 +338,7 @@ class VineRun {
     const bool was_cached = rt.in_cache[static_cast<std::size_t>(f)];
     rt.in_cache[static_cast<std::size_t>(f)] = true;
     rt.last_use[f] = engine_.now();
-    if (!was_cached && pin_count(w, f) == 0) reclaim_add(rt, f);
+    if (!was_cached && pin_count(w, f) == 0) reclaim_add(w, f);
     replicas_->add(f, w);
     if (txn_on()) {
       obs_->txn().cache_insert(engine_.now(), w, f, file(f).size);
@@ -326,15 +354,19 @@ class VineRun {
     return it == pins.end() ? 0 : it->second;
   }
 
-  void reclaim_add(WorkerRt& rt, FileId f) const {
+  void reclaim_add(WorkerId w, FileId f) {
     if (file(f).kind != data::FileKind::kDatasetInput) return;
-    rt.reclaimable_input_bytes += file(f).size;
+    workers_rt_[static_cast<std::size_t>(w)].reclaimable_input_bytes +=
+        file(f).size;
+    index_touch(w);
   }
-  void reclaim_sub(WorkerRt& rt, FileId f) const {
+  void reclaim_sub(WorkerId w, FileId f) {
     if (file(f).kind != data::FileKind::kDatasetInput) return;
+    auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     const std::uint64_t sz = file(f).size;
     rt.reclaimable_input_bytes =
         sz > rt.reclaimable_input_bytes ? 0 : rt.reclaimable_input_bytes - sz;
+    index_touch(w);
   }
 
   /// Pin `f` on `w`: attempt inputs/outputs and transfer sources must not
@@ -342,7 +374,7 @@ class VineRun {
   /// the LRU clock.
   void pin_file(WorkerId w, FileId f) {
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
-    if (rt.pins[f]++ == 0 && in_cache(w, f)) reclaim_sub(rt, f);
+    if (rt.pins[f]++ == 0 && in_cache(w, f)) reclaim_sub(w, f);
     rt.last_use[f] = engine_.now();
   }
 
@@ -354,7 +386,7 @@ class VineRun {
     if (it == rt.pins.end()) return;
     if (--it->second == 0) {
       rt.pins.erase(it);
-      if (in_cache(w, f)) reclaim_add(rt, f);
+      if (in_cache(w, f)) reclaim_add(w, f);
     }
   }
 
@@ -401,6 +433,7 @@ class VineRun {
       crash_worker(w, why);
       return false;
     }
+    index_touch(w);
     return true;
   }
 
@@ -454,6 +487,188 @@ class VineRun {
   }
 
   // ---------------------------------------------------------------------
+  // Dispatch index: eligibility bitmap + incrementally maintained argmax
+  // over disk headroom and capacity.
+  //
+  // `eligible_bits_` is the set of workers that are alive with a free
+  // core (insert/erase O(1); the round-robin walk scans words in id order
+  // from the cursor, visiting exactly what the old std::set walk did).
+  // `dispatch_index_` is a segment tree over worker ids whose leaves hold
+  // two keys — disk-tight fallback headroom (avail - committed, plus the
+  // reclaimable-input credit when eviction is on) and raw disk capacity —
+  // maximized up the tree with larger-key-then-smaller-id order, so
+  // choose_worker reads the fallback ranking and the could-ever-fit bound
+  // in O(1) instead of rescanning every worker. Leaves are re-derived by
+  // index_touch(w) at every mutation of eligibility, disk reservations,
+  // committed bytes, or reclaimable bytes; a key of 0 marks ineligible
+  // (live zero headroom is stored as key 1). The differential suite pits
+  // this path against the reference O(workers) scans byte-for-byte.
+  // ---------------------------------------------------------------------
+  class DispatchIndex {
+   public:
+    void reset(std::size_t workers) {
+      leaves_ = 1;
+      while (leaves_ < workers) leaves_ <<= 1;
+      nodes_.assign(2 * leaves_, Node{});
+    }
+
+    /// Re-derive worker `w`'s leaf (keys of 0 mark ineligible) and fix up
+    /// its root path. O(log workers).
+    void update(WorkerId w, std::uint64_t free_key, std::uint64_t cap_key) {
+      std::size_t i = leaves_ + static_cast<std::size_t>(w);
+      // Most touches re-derive an unchanged leaf (pins and reservations
+      // that cancel out, non-reclaimable files): skip the root fix-up.
+      if (nodes_[i].free_key == free_key && nodes_[i].cap_key == cap_key) {
+        return;
+      }
+      nodes_[i] = Node{free_key, cap_key, w, w};
+      for (i >>= 1; i >= 1; i >>= 1) {
+        nodes_[i] = merge(nodes_[2 * i], nodes_[2 * i + 1]);
+      }
+    }
+
+    /// Eligible worker with the most fallback headroom (kNoWorker if none).
+    [[nodiscard]] WorkerId top_free_worker() const {
+      return nodes_[1].free_key == 0 ? cluster::kNoWorker : nodes_[1].free_w;
+    }
+    [[nodiscard]] std::uint64_t top_free_key() const {
+      return nodes_[1].free_key;
+    }
+    /// Largest disk capacity over eligible workers (key+1 encoding).
+    [[nodiscard]] std::uint64_t top_cap_key() const {
+      return nodes_[1].cap_key;
+    }
+
+   private:
+    struct Node {
+      std::uint64_t free_key = 0;  // headroom + 1; 0 = ineligible
+      std::uint64_t cap_key = 0;   // capacity + 1; 0 = ineligible
+      WorkerId free_w = cluster::kNoWorker;
+      WorkerId cap_w = cluster::kNoWorker;
+    };
+    [[nodiscard]] static Node merge(const Node& a, const Node& b) {
+      Node out;
+      // Larger key wins; ties go to the smaller worker id (a is the lower
+      // id subtree), keeping the ranking deterministic.
+      const bool free_b = b.free_key > a.free_key;
+      out.free_key = free_b ? b.free_key : a.free_key;
+      out.free_w = free_b ? b.free_w : a.free_w;
+      const bool cap_b = b.cap_key > a.cap_key;
+      out.cap_key = cap_b ? b.cap_key : a.cap_key;
+      out.cap_w = cap_b ? b.cap_w : a.cap_w;
+      return out;
+    }
+    std::size_t leaves_ = 1;
+    std::vector<Node> nodes_{Node{}, Node{}};
+  };
+
+  [[nodiscard]] bool is_eligible(WorkerId w) const {
+    return (eligible_bits_[static_cast<std::size_t>(w) >> 6] >>
+            (static_cast<std::uint32_t>(w) & 63)) &
+           1u;
+  }
+
+  void eligible_insert(WorkerId w) {
+    auto& word = eligible_bits_[static_cast<std::size_t>(w) >> 6];
+    const std::uint64_t bit = 1ull << (static_cast<std::uint32_t>(w) & 63);
+    if ((word & bit) != 0) return;
+    word |= bit;
+    ++eligible_count_;
+    index_touch(w);
+  }
+
+  void eligible_erase(WorkerId w) {
+    auto& word = eligible_bits_[static_cast<std::size_t>(w) >> 6];
+    const std::uint64_t bit = 1ull << (static_cast<std::uint32_t>(w) & 63);
+    if ((word & bit) == 0) return;
+    word &= ~bit;
+    --eligible_count_;
+    index_touch(w);
+  }
+
+  /// Fallback headroom for `w`: available scratch minus bytes promised to
+  /// in-flight attempts, plus space held by unpinned cached dataset inputs
+  /// when eviction can mint it back. Matches what disk_fits charges, so
+  /// the ranking never crowns a worker whose free space is already spoken
+  /// for.
+  [[nodiscard]] std::uint64_t fallback_headroom(WorkerId w) const {
+    const auto& node = cluster_.worker(w);
+    const auto& rt = workers_rt_[static_cast<std::size_t>(w)];
+    const std::uint64_t avail = node.disk.available();
+    const std::uint64_t committed = rt.disk_committed;
+    std::uint64_t free = avail > committed ? avail - committed : 0;
+    if (policy_.evict_on_pressure) free += rt.reclaimable_input_bytes;
+    return free;
+  }
+
+  /// Mark `w`'s dispatch-index leaf stale. Called from every place
+  /// eligibility, disk reservations, committed bytes, or reclaimable
+  /// bytes change; the leaf is re-derived lazily by index_flush at the
+  /// next indexed query, so bursts of touches between dispatches (pins,
+  /// reservations, releases) cost one bit each, not a tree walk each.
+  /// The reference path recomputes by scan and never reads the tree, so
+  /// maintenance is skipped entirely there.
+  void index_touch(WorkerId w) {
+    if (!tun_.indexed_dispatch) return;
+    auto& dirty = index_dirty_flag_[static_cast<std::size_t>(w)];
+    if (dirty == 0) {
+      dirty = 1;
+      index_dirty_.push_back(w);
+    }
+  }
+
+  /// Re-derive every stale leaf; the tree is current on return.
+  void index_flush() {
+    for (WorkerId w : index_dirty_) {
+      index_dirty_flag_[static_cast<std::size_t>(w)] = 0;
+      if (!is_eligible(w)) {
+        dispatch_index_.update(w, 0, 0);
+        continue;
+      }
+      dispatch_index_.update(w, fallback_headroom(w) + 1,
+                             cluster_.worker(w).disk.capacity() + 1);
+    }
+    index_dirty_.clear();
+  }
+
+  /// Visit eligible workers in the circular id order the round-robin scan
+  /// uses — ids >= start ascending, then wraparound — until `fn` returns
+  /// true. Returns the worker it stopped on, or kNoWorker.
+  template <typename Fn>
+  [[nodiscard]] WorkerId walk_eligible(WorkerId start, Fn&& fn) const {
+    const auto n = cluster_.worker_count();
+    if (static_cast<std::size_t>(start) >= n) start = 0;
+    const std::size_t words = eligible_bits_.size();
+    // Segment [start, n).
+    std::size_t wi = static_cast<std::size_t>(start) >> 6;
+    std::uint64_t word =
+        wi < words ? eligible_bits_[wi] &
+                         (~0ull << (static_cast<std::uint32_t>(start) & 63))
+                   : 0;
+    for (; wi < words; word = (++wi < words) ? eligible_bits_[wi] : 0) {
+      while (word != 0) {
+        const auto w = static_cast<WorkerId>(
+            (wi << 6) + static_cast<std::size_t>(__builtin_ctzll(word)));
+        if (fn(w)) return w;
+        word &= word - 1;
+      }
+    }
+    // Wraparound segment [0, start).
+    for (wi = 0; wi <= (static_cast<std::size_t>(start) >> 6) && wi < words;
+         ++wi) {
+      std::uint64_t ww = eligible_bits_[wi];
+      while (ww != 0) {
+        const auto w = static_cast<WorkerId>(
+            (wi << 6) + static_cast<std::size_t>(__builtin_ctzll(ww)));
+        if (w >= start) break;
+        if (fn(w)) return w;
+        ww &= ww - 1;
+      }
+    }
+    return cluster::kNoWorker;
+  }
+
+  // ---------------------------------------------------------------------
   // Fetches: one active fetch per (file, destination worker).
   // ---------------------------------------------------------------------
   using FetchKey = std::pair<FileId, WorkerId>;
@@ -472,7 +687,32 @@ class VineRun {
     std::vector<std::function<void(bool)>> waiters;  // bool: file arrived
   };
 
-  std::map<FetchKey, Fetch> fetches_;
+  /// Active fetches, sharded by destination worker and keyed by file.
+  /// Every lookup carries the full (file, dst) key, so the shard is O(1)
+  /// to pick and each per-worker sorted vector stays a handful of entries
+  /// (the files currently staging to that worker) — a Fetch is heavy
+  /// (waiter callbacks), and a single flat global map paid an O(active
+  /// fetches) move-and-destroy per insert/erase at 10k workers. Global
+  /// iteration (worker teardown's peer-source scan, snapshots) walks
+  /// shards in worker order, files ascending within, which is
+  /// deterministic either way.
+  std::vector<util::FlatMap<FileId, Fetch>> worker_fetches_;
+
+  [[nodiscard]] Fetch* fetch_find(const FetchKey& key) {
+    auto& shard = worker_fetches_[static_cast<std::size_t>(key.second)];
+    auto it = shard.find(key.first);
+    return it == shard.end() ? nullptr : &it->second;
+  }
+  /// Insert a fetch for `key`; returns null if one already exists.
+  Fetch* fetch_emplace(const FetchKey& key, Fetch&& fetch) {
+    auto& shard = worker_fetches_[static_cast<std::size_t>(key.second)];
+    auto [it, inserted] = shard.emplace(key.first, std::move(fetch));
+    return inserted ? &it->second : nullptr;
+  }
+  void fetch_erase(const FetchKey& key) {
+    worker_fetches_[static_cast<std::size_t>(key.second)].erase(key.first);
+  }
+
   std::deque<FetchKey> throttle_queue_;
 
   // ---------------------------------------------------------------------
@@ -482,10 +722,12 @@ class VineRun {
     if (finished_) return;
     if (txn_on()) obs_->txn().worker_connection(engine_.now(), w);
     report_.profile.worker_up(engine_.now(), w);
-    eligible_.insert(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt = WorkerRt{};
     rt.in_cache.assign(files_.size(), false);
+    // After the runtime reset: eligible_insert re-derives the worker's
+    // dispatch-index leaf from the state it reads.
+    eligible_insert(w);
     if (options_.mode == exec::ExecMode::kFunctionCalls) {
       install_library(w);
     }
@@ -504,7 +746,7 @@ class VineRun {
     pending_crash_[static_cast<std::size_t>(w)] = false;
     pending_release_[static_cast<std::size_t>(w)] = false;
     report_.profile.worker_down(engine_.now(), w);
-    eligible_.erase(w);
+    eligible_erase(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
 
     // Fail every task attempt on this worker.
@@ -521,47 +763,52 @@ class VineRun {
     rt = WorkerRt{};
     report_.cache.mark_failure(static_cast<std::size_t>(w), engine_.now());
 
-    // Cancel fetches touching this worker.
+    // Cancel fetches touching this worker: everything staging to it (its
+    // own shard) and, across the other shards, anything peer-sourced from
+    // it. The cross-shard scan runs only on worker death.
     std::vector<FetchKey> to_dst;
     std::vector<FetchKey> from_src;
-    for (auto& [key, fetch] : fetches_) {
-      if (fetch.dst == w) {
-        to_dst.push_back(key);
-      } else if (fetch.peer_src == w) {
-        from_src.push_back(key);
+    for (const auto& [f, fetch] : worker_fetches_[static_cast<std::size_t>(w)]) {
+      to_dst.push_back(FetchKey{f, w});
+    }
+    for (std::size_t dst = 0; dst < worker_fetches_.size(); ++dst) {
+      if (dst == static_cast<std::size_t>(w)) continue;
+      for (const auto& [f, fetch] : worker_fetches_[dst]) {
+        if (fetch.peer_src == w) {
+          from_src.push_back(FetchKey{f, static_cast<WorkerId>(dst)});
+        }
       }
     }
     for (const FetchKey& key : to_dst) {
-      auto it = fetches_.find(key);
-      if (it == fetches_.end()) continue;  // cascaded away already
-      Fetch& fetch = it->second;
-      if (fetch.flow != net::kInvalidFlow) {
-        forget_flow(fetch.flow);
-        cluster_.network().cancel_flow(fetch.flow);
-        if (fetch.src_ep != static_cast<std::size_t>(-1)) {
-          txn_xfer_failed(fetch.src_ep, cluster_.worker_endpoint(w),
-                          fetch.file, file(fetch.file).size);
+      Fetch* fetch = fetch_find(key);
+      if (fetch == nullptr) continue;  // cascaded away already
+      if (fetch->flow != net::kInvalidFlow) {
+        forget_flow(fetch->flow);
+        cluster_.network().cancel_flow(fetch->flow);
+        if (fetch->src_ep != static_cast<std::size_t>(-1)) {
+          txn_xfer_failed(fetch->src_ep, cluster_.worker_endpoint(w),
+                          fetch->file, file(fetch->file).size);
         }
-        if (fetch.peer_src != cluster::kNoWorker) {
-          release_peer_slot(fetch.peer_src, fetch.peer_src_inc, fetch.file);
+        if (fetch->peer_src != cluster::kNoWorker) {
+          release_peer_slot(fetch->peer_src, fetch->peer_src_inc,
+                            fetch->file);
         }
       }
       // If a peer broker request is still queued (flow not yet started),
       // the broker callback releases the slot when it finds the fetch gone.
-      fetches_.erase(key);  // waiters' tokens are already invalid
+      fetch_erase(key);  // waiters' tokens are already invalid
     }
     for (const FetchKey& key : from_src) {
-      auto it = fetches_.find(key);
-      if (it == fetches_.end()) continue;
-      Fetch& fetch = it->second;
-      forget_flow(fetch.flow);
-      cluster_.network().cancel_flow(fetch.flow);
+      Fetch* fetch = fetch_find(key);
+      if (fetch == nullptr) continue;
+      forget_flow(fetch->flow);
+      cluster_.network().cancel_flow(fetch->flow);
       txn_xfer_failed(cluster_.worker_endpoint(w),
-                      cluster_.worker_endpoint(fetch.dst), fetch.file,
-                      file(fetch.file).size);
-      fetch.flow = net::kInvalidFlow;
-      fetch.peer_src = cluster::kNoWorker;
-      fetch.src_ep = static_cast<std::size_t>(-1);
+                      cluster_.worker_endpoint(fetch->dst), fetch->file,
+                      file(fetch->file).size);
+      fetch->flow = net::kInvalidFlow;
+      fetch->peer_src = cluster::kNoWorker;
+      fetch->src_ep = static_cast<std::size_t>(-1);
       start_fetch_transfer(key);  // re-source from another replica
     }
 
@@ -663,9 +910,9 @@ class VineRun {
   /// Register a fetch's live flow as a kill target.
   void offer_fetch(const FetchKey& key) {
     if (!injector_) return;
-    auto it = fetches_.find(key);
-    if (it == fetches_.end() || it->second.flow == net::kInvalidFlow) return;
-    injector_->offer_transfer(it->second.flow, file(key.first).size,
+    Fetch* fetch = fetch_find(key);
+    if (fetch == nullptr || fetch->flow == net::kInvalidFlow) return;
+    injector_->offer_transfer(fetch->flow, file(key.first).size,
                               [this, key] { on_fetch_killed(key); });
   }
 
@@ -673,9 +920,9 @@ class VineRun {
   /// after capped exponential backoff (any surviving source is fine), or
   /// give up after the retry budget and let the lost-input path take over.
   void on_fetch_killed(const FetchKey& key) {
-    auto it = fetches_.find(key);
-    if (it == fetches_.end()) return;
-    Fetch& fetch = it->second;
+    Fetch* fp = fetch_find(key);
+    if (fp == nullptr) return;
+    Fetch& fetch = *fp;
     if (fetch.src_ep != static_cast<std::size_t>(-1)) {
       txn_xfer_failed(fetch.src_ep, cluster_.worker_endpoint(fetch.dst),
                       fetch.file, file(fetch.file).size);
@@ -795,96 +1042,194 @@ class VineRun {
     return bytes;
   }
 
+  void advance_cursor(WorkerId w) {
+    const auto n = static_cast<WorkerId>(cluster_.worker_count());
+    rr_cursor_ = static_cast<WorkerId>((w + 1) % n);
+  }
+
   WorkerId choose_worker(TaskId t) {
     const auto& task = graph_.task(t);
     needed_files(t, scratch_files_);
 
-    // Locality: score candidate workers by resident input bytes. Replica
-    // lists are tiny, so this is O(inputs x replicas) per dispatch.
     if (policy_.locality_placement) {
-      WorkerId best = cluster::kNoWorker;
-      std::uint64_t best_bytes = 0;
-      scratch_scores_.clear();
-      for (FileId f : scratch_files_) {
-        if (file(f).kind == data::FileKind::kEnvironment) continue;
-        for (WorkerId holder : replicas_->holders(f)) {
-          if (!worker_eligible(holder, task)) continue;
-          const std::uint64_t score =
-              (scratch_scores_[holder] += file(f).size);
-          if (score > best_bytes ||
-              (score == best_bytes && holder < best)) {
-            best_bytes = score;
-            best = holder;
-          }
-        }
-      }
-      if (best != cluster::kNoWorker &&
-          disk_fits(best, task, scratch_files_)) {
-        return best;
+      const WorkerId w = locality_choice(task);
+      if (w != cluster::kNoWorker) {
+        // A locality win consumes this worker's turn too: without the
+        // cursor advance, the round-robin path restarted at the same
+        // worker on the next non-local dispatch and starved the tail of
+        // the id space under mixed workloads.
+        advance_cursor(w);
+        return w;
       }
     }
+    return tun_.indexed_dispatch ? rr_indexed(task) : rr_reference(task);
+  }
 
-    // Round-robin among eligible workers, preferring ones whose disk fits.
-    // `eligible_` indexes workers that are alive with a free core, kept
-    // current at connect/crash/dispatch/retire, so a dispatch scans only
-    // plausible candidates instead of every configured worker; the circular
-    // walk from rr_cursor_ visits them in the same order the full scan did.
-    // Per-task memory fit still goes through worker_eligible below.
-    const auto n = static_cast<WorkerId>(cluster_.worker_count());
-    WorkerId fallback = cluster::kNoWorker;  // eligible but disk-tight
-    std::uint64_t fallback_free = 0;
+  /// Locality placement: score eligible workers by resident input bytes
+  /// and take the best-scored one whose disk fits — trying the remaining
+  /// holders in descending (score, id-ascending) order rather than giving
+  /// up when only the top holder is disk-tight. Replica lists are tiny, so
+  /// this is O(inputs x replicas) per dispatch in both dispatch modes.
+  WorkerId locality_choice(const dag::Task& task) {
+    if (++loc_epoch_cur_ == 0) {  // epoch wrapped: invalidate all stamps
+      std::fill(loc_epoch_.begin(), loc_epoch_.end(), 0);
+      loc_epoch_cur_ = 1;
+    }
+    scratch_holders_.clear();
+    for (FileId f : scratch_files_) {
+      if (file(f).kind == data::FileKind::kEnvironment) continue;
+      for (WorkerId holder : replicas_->holders(f)) {
+        const auto hi = static_cast<std::size_t>(holder);
+        if (loc_epoch_[hi] != loc_epoch_cur_) {
+          if (!worker_eligible(holder, task)) continue;
+          loc_epoch_[hi] = loc_epoch_cur_;
+          loc_score_[hi] = 0;
+          scratch_holders_.push_back(holder);
+        }
+        loc_score_[hi] += file(f).size;
+      }
+    }
+    std::sort(scratch_holders_.begin(), scratch_holders_.end(),
+              [this](WorkerId a, WorkerId b) {
+                const std::uint64_t sa = loc_score_[static_cast<std::size_t>(a)];
+                const std::uint64_t sb = loc_score_[static_cast<std::size_t>(b)];
+                if (sa != sb) return sa > sb;
+                return a < b;
+              });
+    for (WorkerId w : scratch_holders_) {
+      if (disk_fits(w, task, scratch_files_)) return w;
+    }
+    return cluster::kNoWorker;
+  }
+
+  /// Reference round-robin: circular walk over eligible workers from the
+  /// cursor, first disk-fitting worker wins; disk-tight fallback re-derived
+  /// by full scan. Kept as the differential oracle for rr_indexed.
+  WorkerId rr_reference(const dag::Task& task) {
     std::uint64_t best_capacity = 0;
-    WorkerId chosen = cluster::kNoWorker;
-    const auto consider = [&](WorkerId w) {
-      if (!worker_eligible(w, task)) return false;
-      if (disk_fits(w, task, scratch_files_)) {
-        rr_cursor_ = static_cast<WorkerId>((w + 1) % n);
-        chosen = w;
+    const WorkerId hit = walk_eligible(rr_cursor_, [&](WorkerId w) {
+      best_capacity = std::max(best_capacity, cluster_.worker(w).disk.capacity());
+      return worker_eligible(w, task) && disk_fits(w, task, scratch_files_);
+    });
+    if (hit != cluster::kNoWorker) {
+      advance_cursor(hit);
+      return hit;
+    }
+    return resolve_fallback(task, best_capacity,
+                            [&] { return scan_fallback_worker(task); });
+  }
+
+  /// Indexed round-robin: identical outcomes to rr_reference, with the
+  /// O(workers) scans replaced by dispatch-index reads. The walk for a
+  /// disk-fitting worker is skipped outright when even the cluster-wide
+  /// max headroom cannot cover the task's output (disk_fits needs
+  /// avail - committed >= missing + output, and headroom bounds
+  /// avail - committed from above), and the disk-tight fallback comes from
+  /// the index argmax instead of a rescan.
+  WorkerId rr_indexed(const dag::Task& task) {
+    // Probe a bounded prefix of the round-robin walk before touching the
+    // index at all: when disks have room the first eligible worker wins
+    // and the tree (and its deferred leaf fix-ups) stays cold. Only a
+    // failed probe — the disk-tight regime — pays the flush, and the tree
+    // then prunes the rest of the scan or answers the fallback outright.
+    constexpr std::size_t kProbe = 64;
+    std::size_t visited = 0;
+    WorkerId bound_stop = cluster::kNoWorker;
+    WorkerId hit = walk_eligible(rr_cursor_, [&](WorkerId w) {
+      if (worker_eligible(w, task) && disk_fits(w, task, scratch_files_)) {
         return true;
       }
-      // Rank disk-tight candidates by the space actually left once bytes
-      // promised to in-flight attempts are counted, matching disk_fits —
-      // raw disk.available() can crown a "roomiest" worker whose free
-      // space is already committed. When eviction is on, space held by
-      // unpinned dataset inputs counts too: a forced dispatch landing
-      // there reclaims it instead of overflowing.
-      const auto& node = cluster_.worker(w);
-      const auto& wrt = workers_rt_[static_cast<std::size_t>(w)];
-      const std::uint64_t committed = wrt.disk_committed;
-      const std::uint64_t avail = node.disk.available();
-      std::uint64_t free = avail > committed ? avail - committed : 0;
-      if (policy_.evict_on_pressure) free += wrt.reclaimable_input_bytes;
-      if (fallback == cluster::kNoWorker || free > fallback_free) {
-        fallback = w;
-        fallback_free = free;
+      if (++visited >= kProbe) {
+        bound_stop = w;
+        return true;  // stop the walk; not a hit
       }
-      best_capacity = std::max(best_capacity, node.disk.capacity());
       return false;
-    };
-    for (auto it = eligible_.lower_bound(rr_cursor_);
-         it != eligible_.end(); ++it) {
-      if (consider(*it)) return chosen;
+    });
+    if (hit != cluster::kNoWorker && hit != bound_stop) {
+      advance_cursor(hit);
+      return hit;
     }
-    for (auto it = eligible_.begin();
-         it != eligible_.end() && *it < rr_cursor_; ++it) {
-      if (consider(*it)) return chosen;
+    index_flush();
+    const std::uint64_t max_free = dispatch_index_.top_free_key();
+    if (max_free == 0) return cluster::kNoWorker;  // nothing eligible
+    const std::uint64_t best_capacity = dispatch_index_.top_cap_key() - 1;
+    if (bound_stop != cluster::kNoWorker &&
+        max_free - 1 >= task.spec.output_bytes) {
+      // Something may still fit; resume past the probe boundary. The
+      // continuation wraps through the already-probed prefix at its tail,
+      // which re-tests provably unfit workers — harmless, and only on
+      // this no-hit-in-prefix path.
+      const auto n = static_cast<WorkerId>(cluster_.worker_count());
+      hit = walk_eligible(static_cast<WorkerId>((bound_stop + 1) % n),
+                          [&](WorkerId w) {
+                            return worker_eligible(w, task) &&
+                                   disk_fits(w, task, scratch_files_);
+                          });
+      if (hit != cluster::kNoWorker) {
+        advance_cursor(hit);
+        return hit;
+      }
     }
-    if (fallback == cluster::kNoWorker) return cluster::kNoWorker;
+    return resolve_fallback(task, best_capacity, [&] {
+      // The index argmax ignores the per-task memory fit; when the top
+      // worker passes it, it is also the argmax over the memory-fitting
+      // subset (max over a superset attained inside the subset, same
+      // smaller-id tiebreak). Otherwise re-derive by scan.
+      const WorkerId fb = dispatch_index_.top_free_worker();
+      if (fb != cluster::kNoWorker && !worker_eligible(fb, task)) {
+        return scan_fallback_worker(task);
+      }
+      return fb;
+    });
+  }
 
-    // Workers are eligible but their disks are currently tight. If the
-    // task would fit an *empty* scratch disk, wait: running tasks will
-    // finish and pruning will reclaim space. If it cannot fit any disk at
-    // all — the paper's single-node reduction — dispatch to the roomiest
-    // worker anyway and let the overflow surface as the worker failure it
-    // would be in production. Also force progress if nothing is running
-    // (waiting would deadlock).
+  /// Disk-tight fallback by scan: the eligible, memory-fitting worker with
+  /// the most fallback headroom (ties to the smaller id — the walk is in
+  /// ascending id order and replacement is strict). Ranking by headroom
+  /// rather than raw disk.available() matters: raw availability can crown
+  /// a "roomiest" worker whose free space is already promised to in-flight
+  /// attempts, and when eviction is on, space held by unpinned dataset
+  /// inputs counts — a forced dispatch landing there reclaims it instead
+  /// of overflowing.
+  [[nodiscard]] WorkerId scan_fallback_worker(const dag::Task& task) const {
+    WorkerId fb = cluster::kNoWorker;
+    std::uint64_t fb_free = 0;
+    (void)walk_eligible(0, [&](WorkerId w) {
+      if (!worker_eligible(w, task)) return false;
+      const std::uint64_t free = fallback_headroom(w);
+      if (fb == cluster::kNoWorker || free > fb_free) {
+        fb = w;
+        fb_free = free;
+      }
+      return false;
+    });
+    return fb;
+  }
+
+  /// Workers are eligible but their disks are currently tight. If the
+  /// task would fit an *empty* scratch disk, wait: running tasks will
+  /// finish and pruning will reclaim space. If it cannot fit any disk at
+  /// all — the paper's single-node reduction — dispatch to the roomiest
+  /// worker anyway and let the overflow surface as the worker failure it
+  /// would be in production. Also force progress if nothing is running
+  /// (waiting would deadlock). `best_capacity` spans every eligible
+  /// worker, memory fit aside — a task that only "could ever fit" on a
+  /// memory-busy worker should still wait for it rather than overflow a
+  /// smaller disk. `pick_fallback` is only invoked on the force-dispatch
+  /// path, so the common wait case never pays the ranking scan.
+  template <typename FallbackFn>
+  WorkerId resolve_fallback(const dag::Task& task,
+                            std::uint64_t best_capacity,
+                            FallbackFn&& pick_fallback) {
     std::uint64_t footprint = task.spec.output_bytes;
     for (FileId f : scratch_files_) footprint += file(f).size;
     const bool could_ever_fit = footprint <= best_capacity;
-    if (could_ever_fit && !attempts_.empty()) {
+    if (could_ever_fit && attempts_live_ != 0) {
       return cluster::kNoWorker;  // wait for space
     }
-    rr_cursor_ = static_cast<WorkerId>((fallback + 1) % n);
+    const WorkerId fallback = pick_fallback();
+    if (fallback == cluster::kNoWorker) return cluster::kNoWorker;
+    advance_cursor(fallback);
     return fallback;
   }
 
@@ -915,7 +1260,7 @@ class VineRun {
     ++total_attempts_;
     auto& node = cluster_.worker(w);
     node.cores_in_use += 1;
-    if (node.cores_free() == 0) eligible_.erase(w);
+    if (node.cores_free() == 0) eligible_erase(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     rt.mem_in_use += graph_.task(t).spec.memory_bytes;
     rt.here.push_back(t);
@@ -927,6 +1272,7 @@ class VineRun {
     attempt.disk_committed =
         missing_bytes(w, scratch_files_) + graph_.task(t).spec.output_bytes;
     rt.disk_committed += attempt.disk_committed;
+    index_touch(w);
     // Pin every needed file for the attempt's lifetime — resident copies
     // now, in-flight ones ahead of their arrival — so pressure eviction
     // and GC cannot pull an input from under a dispatched task.
@@ -936,7 +1282,10 @@ class VineRun {
     attempt.span_ready = table_.at(t).ready_at;
     attempt.span_dispatched = engine_.now();
     for (FileId f : scratch_files_) pin_file(w, f);
-    attempts_[t] = std::move(attempt);
+    auto& slot = attempts_[static_cast<std::size_t>(t)];
+    assert(!slot && "dispatching a task with a live attempt");
+    slot = std::make_unique<Attempt>(std::move(attempt));
+    ++attempts_live_;
     const Token token{t, table_.at(t).attempts};
 
     // Serialize + enqueue the dispatch on the manager thread. The argument
@@ -961,7 +1310,7 @@ class VineRun {
   void begin_staging(const Token& token, WorkerId w) {
     if (!token_valid(token)) return;
     needed_files(token.task, scratch_files_);
-    auto& attempt = attempts_[token.task];
+    auto& attempt = *attempts_[static_cast<std::size_t>(token.task)];
     attempt.span_staged = engine_.now();
     std::vector<FileId> missing;
     for (FileId f : scratch_files_) {
@@ -982,7 +1331,7 @@ class VineRun {
           abort_attempt_for_lost_input(token);
           return;
         }
-        auto& att = attempts_[token.task];
+        auto& att = *attempts_[static_cast<std::size_t>(token.task)];
         assert(att.staging_outstanding > 0);
         if (--att.staging_outstanding == 0) {
           maybe_start_exec(token, w);
@@ -1014,23 +1363,22 @@ class VineRun {
       return;
     }
     const FetchKey key{f, w};
-    auto it = fetches_.find(key);
-    if (it != fetches_.end()) {
-      it->second.waiters.push_back(std::move(done));
+    if (Fetch* existing = fetch_find(key)) {
+      existing->waiters.push_back(std::move(done));
       return;
     }
     Fetch fetch;
     fetch.file = f;
     fetch.dst = w;
     fetch.waiters.push_back(std::move(done));
-    fetches_.emplace(key, std::move(fetch));
+    fetch_emplace(key, std::move(fetch));
     start_fetch_transfer(key);
   }
 
   void start_fetch_transfer(const FetchKey& key) {
-    auto it = fetches_.find(key);
-    if (it == fetches_.end()) return;
-    Fetch& fetch = it->second;
+    Fetch* fp = fetch_find(key);
+    if (fp == nullptr) return;
+    Fetch& fetch = *fp;
     const FileId f = fetch.file;
     const WorkerId w = fetch.dst;
     const std::uint64_t bytes = file(f).size;
@@ -1048,9 +1396,9 @@ class VineRun {
         (void)w;
         (void)bytes;
         fs_gate_.submit([this, key](net::FlowGate::SlotToken slot) {
-          auto fit = fetches_.find(key);
-          if (fit == fetches_.end()) return;  // fetch vanished while queued
-          fit->second.src_ep = cluster_.fs_endpoint();
+          Fetch* fit = fetch_find(key);
+          if (fit == nullptr) return;  // fetch vanished while queued
+          fit->src_ep = cluster_.fs_endpoint();
           txn_xfer_start(cluster_.fs_endpoint(),
                          cluster_.worker_endpoint(key.second), key.first,
                          file(key.first).size);
@@ -1063,7 +1411,7 @@ class VineRun {
                           file(key.first).size);
             complete_fetch(key);
           };
-          fit->second.flow =
+          fit->flow =
               options_.inputs_from_wan
                   ? cluster_.read_wan_to_worker(
                         key.second, file(key.first).size, std::move(on_done))
@@ -1087,21 +1435,21 @@ class VineRun {
       // data flows directly between the workers.
       manager_.acquire_then(tun_.peer_instruction_cost,
                             [this, key, src, src_inc] {
-        auto fit = fetches_.find(key);
-        if (fit == fetches_.end() || fit->second.peer_src != src ||
-            fit->second.peer_src_inc != src_inc) {
+        Fetch* fit = fetch_find(key);
+        if (fit == nullptr || fit->peer_src != src ||
+            fit->peer_src_inc != src_inc) {
           // The fetch vanished (destination died) or was re-sourced while
           // the broker request was queued; the slot we reserved is ours to
           // give back (the flow-completion path never runs).
           release_peer_slot(src, src_inc, key.first);
           return;
         }
-        fit->second.src_ep = cluster_.worker_endpoint(src);
+        fit->src_ep = cluster_.worker_endpoint(src);
         txn_xfer_start(cluster_.worker_endpoint(src),
                        cluster_.worker_endpoint(key.second), key.first,
                        file(key.first).size);
         const Tick t0 = engine_.now();
-        fit->second.flow = cluster_.send_peer(
+        fit->flow = cluster_.send_peer(
             src, key.second, file(key.first).size, cluster_.control_rtt(),
             [this, key, src, src_inc, t0] {
               release_peer_slot(src, src_inc, key.first);
@@ -1118,9 +1466,9 @@ class VineRun {
                     "peer file " + std::to_string(key.first), t0,
                     engine_.now());
               }
-              auto it2 = fetches_.find(key);
-              if (it2 != fetches_.end()) it2->second.peer_src =
-                  cluster::kNoWorker;
+              if (Fetch* it2 = fetch_find(key)) {
+                it2->peer_src = cluster::kNoWorker;
+              }
               complete_fetch(key);
             });
         offer_fetch(key);
@@ -1211,25 +1559,25 @@ class VineRun {
     while (n-- > 0 && !throttle_queue_.empty()) {
       const FetchKey key = throttle_queue_.front();
       throttle_queue_.pop_front();
-      auto it = fetches_.find(key);
-      if (it == fetches_.end()) continue;
-      it->second.throttled = false;
+      Fetch* fetch = fetch_find(key);
+      if (fetch == nullptr) continue;
+      fetch->throttled = false;
       start_fetch_transfer(key);
       // start_fetch_transfer may have erased or re-throttled the fetch.
-      auto again = fetches_.find(key);
-      if (again != fetches_.end() && again->second.throttled) break;
+      Fetch* again = fetch_find(key);
+      if (again != nullptr && again->throttled) break;
     }
   }
 
   void transfer_from_manager(const FetchKey& key) {
     mgr_gate_.submit([this, key](net::FlowGate::SlotToken slot) {
-      auto it = fetches_.find(key);
-      if (it == fetches_.end()) return;  // fetch vanished while queued
+      Fetch* fetch = fetch_find(key);
+      if (fetch == nullptr) return;  // fetch vanished while queued
       const std::uint64_t bytes = file(key.first).size;
-      it->second.src_ep = cluster_.manager_endpoint();
+      fetch->src_ep = cluster_.manager_endpoint();
       txn_xfer_start(cluster_.manager_endpoint(),
                      cluster_.worker_endpoint(key.second), key.first, bytes);
-      it->second.flow = cluster_.send_manager_to_worker(
+      fetch->flow = cluster_.send_manager_to_worker(
           key.second, bytes, cluster_.control_rtt() / 2,
           [this, key, bytes, slot = std::move(slot)] {
             record_transfer(cluster_.manager_endpoint(),
@@ -1411,13 +1759,13 @@ class VineRun {
   }
 
   void complete_fetch(const FetchKey& key) {
-    auto it = fetches_.find(key);
-    if (it == fetches_.end()) return;
+    Fetch* fetch = fetch_find(key);
+    if (fetch == nullptr) return;
     const FileId f = key.first;
     const WorkerId w = key.second;
-    forget_flow(it->second.flow);
-    auto waiters = std::move(it->second.waiters);
-    fetches_.erase(it);
+    forget_flow(fetch->flow);
+    auto waiters = std::move(fetch->waiters);
+    fetch_erase(key);
 
     if (!cluster_.worker(w).alive) {
       // Destination died while the bytes were in flight. The waiters'
@@ -1440,11 +1788,11 @@ class VineRun {
   }
 
   void fail_fetch(const FetchKey& key) {
-    auto it = fetches_.find(key);
-    if (it == fetches_.end()) return;
-    forget_flow(it->second.flow);
-    auto waiters = std::move(it->second.waiters);
-    fetches_.erase(it);
+    Fetch* fetch = fetch_find(key);
+    if (fetch == nullptr) return;
+    forget_flow(fetch->flow);
+    auto waiters = std::move(fetch->waiters);
+    fetch_erase(key);
     for (auto& cb : waiters) cb(false);
   }
 
@@ -1468,7 +1816,7 @@ class VineRun {
     const TaskId t = token.task;
     table_.mark_running(t, engine_.now());
     if (txn_on()) obs_->txn().task_running(engine_.now(), t, w);
-    attempts_.at(t).span_exec = engine_.now();
+    attempt_at(t).span_exec = engine_.now();
     const auto& task = graph_.task(t);
     const auto& node = cluster_.worker(w);
 
@@ -1518,7 +1866,7 @@ class VineRun {
                       record_transfer(cluster_.fs_endpoint(),
                                       cluster_.worker_endpoint(w), code);
                       const Tick cpu = options_.imports.total_cpu_cost();
-                      attempts_.at(token.task).span_compute =
+                      attempt_at(token.task).span_compute =
                           engine_.now() + cpu;
                       engine_.schedule_after(
                           cpu + compute + write,
@@ -1528,7 +1876,7 @@ class VineRun {
             });
       });
     } else {
-      attempts_.at(t).span_compute = engine_.now() + pre;
+      attempt_at(t).span_compute = engine_.now() + pre;
       engine_.schedule_after(pre + compute + write, [this, token, w] {
         complete_exec(token, w);
       });
@@ -1547,7 +1895,7 @@ class VineRun {
     }
     cache_insert(w, task.output_file);
     // Run the real computation.
-    auto& attempt = attempts_.at(t);
+    auto& attempt = attempt_at(t);
     // The fresh output is pinned until the attempt finalizes: eviction
     // must not destroy a result the manager has not ingested yet.
     attempt.pinned.push_back(task.output_file);
@@ -1644,7 +1992,8 @@ class VineRun {
     replicas_->remove(f, w);
     node.disk.release(bytes);
     rt.last_use.erase(f);
-    if (pin_count(w, f) == 0) reclaim_sub(rt, f);
+    if (pin_count(w, f) == 0) reclaim_sub(w, f);
+    index_touch(w);  // disk.available() grew even when nothing reclaimable
     char span_verb = 'G';
     switch (why) {
       case DropReason::kGc:
@@ -1697,7 +2046,7 @@ class VineRun {
     // Execution time is worker-side (process exit), not when the manager
     // got around to ingesting the result — otherwise manager backlog
     // masquerades as task time in the Fig 8 distributions.
-    const Tick exec_end = attempts_.at(t).exec_finished_at;
+    const Tick exec_end = attempt_at(t).exec_finished_at;
     rec.finished_at = exec_end > 0 ? exec_end : engine_.now();
     rec.category = graph_.task(t).spec.category;
     if (txn_on()) {
@@ -1710,13 +2059,13 @@ class VineRun {
           "{\"task\":" + std::to_string(t) + "}");
     }
     report_.trace.add(std::move(rec));
-    record_attempt_span(t, w, attempts_.at(t),
+    record_attempt_span(t, w, attempt_at(t),
                         exec_end > 0 ? exec_end : engine_.now(),
                         /*failed=*/false);
 
     table_.mark_done(t, std::move(value), engine_.now());
-    unpin_attempt(attempts_.at(t));
-    attempts_.erase(t);
+    unpin_attempt(attempt_at(t));
+    attempt_erase(t);
     if (txn_on()) obs_->txn().task_done(engine_.now(), t, "SUCCESS");
 
     // This completion consumed its dependency outputs and dataset inputs
@@ -1790,13 +2139,12 @@ class VineRun {
     }
     const WorkerId src = holders.front();
     const std::uint64_t bytes = file(f).size;
-    mgr_gate_.submit([this, t, src, bytes](net::FlowGate::SlotToken slot) {
-      if (sink_fetched_[t]) return;
+    mgr_gate_.submit([this, t, f, src, bytes](net::FlowGate::SlotToken slot) {
+      if (sink_fetched_[static_cast<std::size_t>(t)] != 0) return;
       if (!cluster_.worker(src).alive) {
         fetch_sink_result(t);  // re-resolve a live holder
         return;
       }
-      const FileId f = graph_.task(t).output_file;
       const std::uint32_t src_inc = cluster_.worker(src).incarnation;
       // Pin the gather source: a sink result being shipped to the manager
       // must survive on the worker until it lands.
@@ -1845,14 +2193,16 @@ class VineRun {
       const Tick delay =
           injector_->backoff_delay(sink_backoff_.next_attempt(t));
       engine_.schedule_after(delay, [this, t] {
-        if (!finished_ && !sink_fetched_[t]) fetch_sink_result(t);
+        if (!finished_ && sink_fetched_[static_cast<std::size_t>(t)] == 0) {
+          fetch_sink_result(t);
+        }
       });
     });
   }
 
   void on_sink_fetched(TaskId t) {
-    if (sink_fetched_[t]) return;
-    sink_fetched_[t] = true;
+    if (sink_fetched_[static_cast<std::size_t>(t)] != 0) return;
+    sink_fetched_[static_cast<std::size_t>(t)] = 1;
     assert(sinks_outstanding_ > 0);
     --sinks_outstanding_;
     check_completion();
@@ -1958,18 +2308,21 @@ class VineRun {
   // Failure plumbing.
   // ---------------------------------------------------------------------
   void release_resources(TaskId t, WorkerId w) {
-    auto it = attempts_.find(t);
-    if (it == attempts_.end() || it->second.resources_released) return;
-    it->second.resources_released = true;
+    Attempt* attempt = attempt_find(t);
+    if (attempt == nullptr || attempt->resources_released) return;
+    attempt->resources_released = true;
     auto& node = cluster_.worker(w);
     if (node.cores_in_use > 0) node.cores_in_use -= 1;
-    if (node.alive && node.cores_free() > 0) eligible_.insert(w);
     auto& rt = workers_rt_[static_cast<std::size_t>(w)];
     const std::uint64_t mem = graph_.task(t).spec.memory_bytes;
     rt.mem_in_use = mem > rt.mem_in_use ? 0 : rt.mem_in_use - mem;
-    const std::uint64_t committed = it->second.disk_committed;
+    const std::uint64_t committed = attempt->disk_committed;
     rt.disk_committed =
         committed > rt.disk_committed ? 0 : rt.disk_committed - committed;
+    if (node.alive && node.cores_free() > 0) {
+      eligible_insert(w);  // touches the index with the released state
+    }
+    index_touch(w);  // committed bytes changed even if already eligible
     pump();
   }
 
@@ -2023,13 +2376,12 @@ class VineRun {
       release_resources(t, w);
       remove_from_here(w, t);
     }
-    if (auto ait = attempts_.find(t); ait != attempts_.end()) {
-      const Attempt& a = ait->second;
-      record_attempt_span(t, w, a,
-                          a.exec_finished_at > 0 ? a.exec_finished_at : -1,
+    if (Attempt* a = attempt_find(t)) {
+      record_attempt_span(t, w, *a,
+                          a->exec_finished_at > 0 ? a->exec_finished_at : -1,
                           /*failed=*/true);
-      unpin_attempt(ait->second);
-      attempts_.erase(ait);
+      unpin_attempt(*a);
+      attempt_erase(t);
     }
 
     if (table_.at(t).attempts >= options_.max_task_retries) {
@@ -2206,11 +2558,11 @@ class VineRun {
         return static_cast<double>(table_.ready_count());
       });
       stats.gauge("tasks.inflight", [this] {
-        return static_cast<double>(attempts_.size());
+        return static_cast<double>(attempts_live_);
       });
       stats.gauge("tasks.waiting", [this] {
         const std::size_t accounted =
-            table_.done_count() + table_.ready_count() + attempts_.size();
+            table_.done_count() + table_.ready_count() + attempts_live_;
         return accounted >= graph_.size()
                    ? 0.0
                    : static_cast<double>(graph_.size() - accounted);
@@ -2269,7 +2621,7 @@ class VineRun {
       if (trace_on()) {
         obs_->trace().add_counter(
             lane(cluster_.manager_endpoint()), "tasks inflight", now,
-            static_cast<double>(attempts_.size()));
+            static_cast<double>(attempts_live_));
         obs_->trace().add_counter(
             lane(cluster_.manager_endpoint()), "tasks done", now,
             static_cast<double>(table_.done_count()));
@@ -2282,11 +2634,19 @@ class VineRun {
     engine_.schedule_after(options_.cache_sample_interval, [this] {
       if (finished_) return;
       const Tick now = engine_.now();
+      if (cache_sample_last_.size() < cluster_.worker_count()) {
+        cache_sample_last_.assign(cluster_.worker_count(), kNoCacheSample);
+      }
       for (std::uint32_t w = 0; w < cluster_.worker_count(); ++w) {
         const auto& node = cluster_.worker(static_cast<WorkerId>(w));
-        if (node.alive) {
-          report_.cache.sample(w, now, node.disk.used());
-        }
+        if (!node.alive) continue;
+        // Record only changes: an idle fleet contributes nothing per tick
+        // instead of workers x samples rows, and every consumer of the
+        // trace (peaks, skew, heatmap buckets) is insensitive to repeats.
+        const std::uint64_t used = node.disk.used();
+        if (cache_sample_last_[w] == used) continue;
+        cache_sample_last_[w] = used;
+        report_.cache.sample(w, now, used);
       }
       schedule_cache_sample();
     });
@@ -2382,10 +2742,21 @@ class VineRun {
     }
 
     b.section("flows");
-    for (const auto& [key, fetch] : fetches_) {
-      b.field_s("fetch." + std::to_string(key.first) + "." +
-                    std::to_string(key.second),
-                "kills=" + std::to_string(fetch.kill_retries));
+    {
+      // (file, worker) order, matching the historical global-map layout.
+      std::vector<std::pair<FetchKey, std::uint32_t>> live_fetches;
+      for (std::size_t dst = 0; dst < worker_fetches_.size(); ++dst) {
+        for (const auto& [f, fetch] : worker_fetches_[dst]) {
+          live_fetches.push_back({FetchKey{f, static_cast<WorkerId>(dst)},
+                                  fetch.kill_retries});
+        }
+      }
+      std::sort(live_fetches.begin(), live_fetches.end());
+      for (const auto& [key, kills] : live_fetches) {
+        b.field_s("fetch." + std::to_string(key.first) + "." +
+                      std::to_string(key.second),
+                  "kills=" + std::to_string(kills));
+      }
     }
     for (const auto& [f, fw] : relay_flows_) {
       b.field_s("relay." + std::to_string(f), std::to_string(fw.second));
@@ -2445,7 +2816,7 @@ class VineRun {
     if (!options_.ha.factory.enabled()) return;
     ha::Factory::Hooks hooks;
     hooks.queue_depth = [this]() -> std::size_t {
-      return table_.ready_count() + attempts_.size();
+      return table_.ready_count() + attempts_live_;
     };
     hooks.connected_workers = [this] { return cluster_.alive_workers(); };
     hooks.grow = [this](std::uint32_t n) {
@@ -2502,14 +2873,19 @@ class VineRun {
   std::map<std::string, FileId> function_bodies_;
   FileId env_file_ = data::kInvalidFile;
 
-  std::map<TaskId, Attempt> attempts_;
+  /// In-flight attempts, indexed by TaskId (null = no live attempt). Dense
+  /// so the hot dispatch/completion paths are O(1) with no tree walks; the
+  /// slot is freed at teardown so steady-state memory tracks concurrency,
+  /// not total task count.
+  std::vector<std::unique_ptr<Attempt>> attempts_;
+  std::size_t attempts_live_ = 0;
   /// Pending consumers per file (graph-derived; see build_file_table).
   std::vector<std::uint32_t> consumers_left_;
   std::map<FileId, std::vector<std::function<void(bool)>>> manager_inflight_;
   std::map<FileId, std::pair<net::FlowId, WorkerId>> relay_flows_;
   std::map<TaskId, net::FlowId> return_flows_;
   std::map<TaskId, std::pair<net::FlowId, WorkerId>> sink_flows_;
-  std::map<TaskId, bool> sink_fetched_;
+  std::vector<char> sink_fetched_;  // indexed by TaskId
   std::vector<bool> is_sink_;
 
   // Fault-injection state. injector_ stays null (and every hook a no-op)
@@ -2540,19 +2916,34 @@ class VineRun {
   std::uint64_t* bytes_via_fs_ = nullptr;
 
   exec::RunReport report_;
+  /// Last disk usage recorded per worker by the cache sampler (sentinel =
+  /// never sampled); the sampler skips workers whose usage is unchanged.
+  static constexpr std::uint64_t kNoCacheSample = ~0ull;
+  std::vector<std::uint64_t> cache_sample_last_;
   std::size_t sinks_outstanding_ = 0;
   std::size_t total_attempts_ = 0;
   std::size_t lineage_resets_ = 0;
   WorkerId rr_cursor_ = 0;
-  // Workers that are alive with at least one free core, in id order; the
-  // dispatch round-robin walks this instead of every configured worker.
-  std::set<WorkerId> eligible_;
+  // Workers that are alive with at least one free core, as a bitmap over
+  // worker ids (see eligible_insert/walk_eligible); the dispatch
+  // round-robin scans set bits instead of every configured worker.
+  std::vector<std::uint64_t> eligible_bits_;
+  std::size_t eligible_count_ = 0;
+  DispatchIndex dispatch_index_;
+  std::vector<WorkerId> index_dirty_;
+  std::vector<std::uint8_t> index_dirty_flag_;
   bool pumping_ = false;
   bool finished_ = false;
 
   // Scratch buffers reused across dispatches to avoid per-task allocation.
+  // Locality scoring stamps loc_epoch_ per candidate instead of clearing a
+  // map: a worker's score is valid only when its stamp equals the current
+  // epoch, so reset between dispatches is one counter increment.
   std::vector<FileId> scratch_files_;
-  std::map<WorkerId, std::uint64_t> scratch_scores_;
+  std::vector<WorkerId> scratch_holders_;
+  std::vector<std::uint64_t> loc_score_;
+  std::vector<std::uint32_t> loc_epoch_;
+  std::uint32_t loc_epoch_cur_ = 0;
 };
 
 }  // namespace

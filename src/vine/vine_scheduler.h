@@ -81,6 +81,12 @@ struct VineTunables {
   Tick result_cost_standard = 8 * util::kMsec;
   Tick result_cost_function_call = 200 * util::kUsec;
   Tick peer_instruction_cost = 300 * util::kUsec;
+  /// Use the indexed dispatch hot path: epoch-stamped dense locality
+  /// scoring and the incrementally maintained disk-headroom argmax tree
+  /// for the disk-tight fallback. When false, choose_worker uses the
+  /// reference O(workers) scans with identical semantics — the
+  /// differential suite diffs txn logs between the two byte-for-byte.
+  bool indexed_dispatch = true;
 };
 
 class VineScheduler final : public exec::SchedulerBackend {
