@@ -32,6 +32,7 @@ using util::Tick;
 
 constexpr std::int32_t kNoProc = -1;
 
+// vine-snapshot: state
 class DaskRun {
  public:
   DaskRun(const dag::TaskGraph& graph, cluster::Cluster& cluster,
@@ -306,6 +307,7 @@ class DaskRun {
   /// attempts_live_ tracks the population for gauges and the factory
   /// queue-depth hook.
   std::vector<std::unique_ptr<Attempt>> attempts_;
+  // vine-snapshot: derived(count of non-null attempts_ slots)
   std::size_t attempts_live_ = 0;
 
   [[nodiscard]] Attempt& attempt_at(TaskId t) {
@@ -1163,6 +1165,10 @@ class DaskRun {
     b.field("lineage_resets", lineage_resets_);
     b.field("sinks_outstanding", sinks_outstanding_);
     b.field("worker_crashes", report_.worker_crashes);
+    // The process round-robin cursor is real scheduler state: two
+    // schedulers that agree on everything else but disagree on the cursor
+    // assign the next task to different processes.
+    b.field_i("rr_cursor", rr_cursor_);
 
     b.section("tasks");
     for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
@@ -1171,6 +1177,18 @@ class DaskRun {
                 std::to_string(static_cast<int>(st.state)) + "/" +
                     std::to_string(st.attempts) + "/" +
                     std::to_string(st.worker));
+    }
+    // Sparse task-keyed state: per-producer lineage-reset counts (the
+    // poisoned-task detector's memory) and sink-gather completion bits.
+    for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+      const std::uint32_t n = reset_counts_[static_cast<std::size_t>(t)];
+      if (n != 0) b.field("r" + std::to_string(t), n);
+    }
+    for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+      if (is_sink_[static_cast<std::size_t>(t)] &&
+          sink_gathered_[static_cast<std::size_t>(t)] != 0) {
+        b.field("s" + std::to_string(t), 1);
+      }
     }
 
     b.section("keys");
@@ -1222,10 +1240,16 @@ class DaskRun {
       b.field("faults_injected", fs.faults_injected);
       b.field("worker_crashes", fs.worker_crashes);
       b.field("cache_losses", fs.cache_losses);
+      b.field("cache_loss_noops", fs.cache_loss_noops);
       b.field("transfers_killed", fs.transfers_killed);
+      b.field("fs_degradations", fs.fs_degradations);
+      b.field("stragglers", fs.stragglers);
+      b.field("manager_crashes", fs.manager_crashes);
       b.field("transfer_retries", fs.transfer_retries);
       b.field("transfer_giveups", fs.transfer_giveups);
       b.field("backoff_wait", static_cast<std::uint64_t>(fs.backoff_wait));
+      b.field("fs_degraded_time",
+              static_cast<std::uint64_t>(fs.fs_degraded_time));
     }
 
     b.section("rng");
@@ -1346,15 +1370,19 @@ class DaskRun {
   exec::TaskStateTable table_;
   sim::Rng rng_;
   exec::SerialResource scheduler_;
+  // vine-snapshot: derived(occupancy implied by the snapshot flow sections)
   net::FlowGate mgr_gate_{64};
+  // vine-snapshot: derived(occupancy implied by the snapshot flow sections)
   net::FlowGate fs_gate_{256};
   std::vector<Proc> procs_;
   std::vector<FileInfo> files_;
   /// Task running on each process slot, dense by pid; kInvalidTask when
   /// the slot is idle.
+  // vine-snapshot: derived(inverse of the per-task worker column in the tasks section)
   std::vector<TaskId> running_on_;
   /// Sink gather completion, dense by TaskId (only sink ids are ever set).
   std::vector<char> sink_gathered_;
+  // vine-snapshot: derived(graph property, rebuilt at startup)
   std::vector<bool> is_sink_;
 
   std::shared_ptr<obs::RunObservation> obs_;
@@ -1363,7 +1391,9 @@ class DaskRun {
   // Backoff ledgers reset on success, so escalation counts consecutive
   // failures of the current episode, never a task's lifetime kills.
   std::unique_ptr<fault::FaultInjector> injector_;
+  // vine-snapshot: derived(intent flag; the disconnect it labels is an event replay reproduces)
   std::vector<bool> pending_crash_;
+  // vine-snapshot: derived(intent flag; the disconnect it labels is an event replay reproduces)
   std::vector<bool> pending_release_;
   std::vector<std::uint32_t> reset_counts_;
   fault::BackoffLedger<TaskId> transfer_backoff_;
@@ -1371,16 +1401,21 @@ class DaskRun {
   std::size_t lineage_resets_ = 0;
 
   // Manager-HA state (see vine_run.cpp for the scheme; dd mirrors it).
+  // vine-snapshot: derived(sizing re-derived from queue depth each poll)
   std::unique_ptr<ha::Factory> factory_;
   std::uint64_t snapshot_seq_ = 0;
 
   exec::RunReport report_;
+  // vine-snapshot: derived(fixed at startup from cluster spec)
   std::uint32_t cores_per_node_ = 1;
+  // vine-snapshot: derived(fixed at startup from cluster spec)
   std::uint64_t mem_per_proc_ = 0;
   std::size_t sinks_outstanding_ = 0;
   std::size_t total_attempts_ = 0;
   std::int32_t rr_cursor_ = 0;
+  // vine-snapshot: derived(re-entrancy latch, always false between events)
   bool pumping_ = false;
+  // vine-snapshot: derived(teardown latch; no snapshots are taken after finish)
   bool finished_ = false;
 };
 

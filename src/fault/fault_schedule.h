@@ -111,6 +111,7 @@ struct FaultSchedule {
 /// What the injector actually did, copied into RunReport at the end of the
 /// run. "Landed" means the fault had a live target (a crash of an already
 /// dead worker, or a cache loss of an absent file, does not count).
+// vine-snapshot: state
 struct InjectionStats {
   std::uint64_t faults_injected = 0;  // events that landed, total
   std::uint64_t worker_crashes = 0;

@@ -62,9 +62,11 @@ struct NetworkOptions {
   /// links/flows touched since the last one. false = reference full
   /// recompute over every link and flow; same arithmetic, linear cost.
   /// Both settings produce bit-identical rates, events, and statistics.
+  // vine-fastpath: opt-in
   bool incremental_recompute = true;
 };
 
+// vine-snapshot: state
 class Network {
  public:
   explicit Network(sim::Engine& engine, NetworkOptions options = {})
@@ -247,39 +249,73 @@ class Network {
   void mark_dirty(LinkId id);
   void warn(FlowId id, const char* detail);
 
+  // The network is below the snapshot line: the managers serialize the
+  // logical flow set they own (the `flows` snapshot sections in vine/dd),
+  // and deterministic replay regenerates every link rate, completion
+  // callback and statistic from the same event stream. Nothing here is
+  // restored directly, so each member is an explicit derived() exemption.
   sim::Engine& engine_;
   NetworkOptions options_;
+  // vine-snapshot: derived(rates are a pure function of the live flow set)
   std::vector<Link> links_;
 
+  // vine-snapshot: derived(the managers snapshot the flows they own)
   std::vector<Flow> slots_;
+  // vine-snapshot: derived(slot recycling replays with the flow stream)
   std::vector<std::int32_t> free_slots_;
+  // vine-snapshot: derived(id-recency window over slots_, itself derived)
   std::deque<std::int32_t> window_;
+  // vine-snapshot: derived(id-recency window base; replays with the stream)
   FlowId window_base_ = 1;
+  // vine-snapshot: derived(count over slots_, itself derived)
   std::size_t live_flows_ = 0;
 
+  // vine-snapshot: derived(monotone id allocator; replays with the stream)
   FlowId next_flow_id_ = 1;
+  // vine-snapshot: derived(event-queue latch; the queue is not restored)
   bool recompute_scheduled_ = false;
+  // vine-snapshot: derived(test-only starvation trigger, never set in prod)
   bool debug_starve_once_ = false;
+  // vine-snapshot: derived(recompute work list, drained within the event)
   std::vector<LinkId> dirty_links_;
 
-  // Scratch buffers reused across recomputes to avoid per-event allocation.
+  // Scratch buffers reused across recomputes to avoid per-event allocation;
+  // all dead between events, hence derived.
+  // vine-snapshot: derived(scratch, dead between events)
   std::vector<LinkId> bfs_stack_;
+  // vine-snapshot: derived(scratch, dead between events)
   std::vector<LinkId> comp_links_;
+  // vine-snapshot: derived(scratch, dead between events)
   std::vector<Flow*> comp_flows_;
+  // vine-snapshot: derived(scratch, dead between events)
   std::vector<Flow*> pending_;
+  // vine-snapshot: derived(scratch, dead between events)
   std::vector<Flow*> still_pending_;
+  // vine-snapshot: derived(scratch, dead between events)
   std::vector<double> old_rates_;
 
+  // Statistics: recomputed verbatim by replay, exported via RunReport.
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t bytes_completed_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t flows_completed_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t flows_cancelled_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t flows_failed_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t bytes_abandoned_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t recomputes_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t recompute_flow_visits_ = 0;
+  // vine-snapshot: derived(statistic, reproduced by replay)
   std::uint64_t starvation_rescues_ = 0;
+  // vine-snapshot: derived(closure; rewired by the owning run at startup)
   std::function<void(FlowId)> on_fail_;
+  // vine-snapshot: derived(closure; rewired by the owning run at startup)
   std::function<void(Tick, FlowId, const char*)> on_warn_;
+  // vine-snapshot: derived(closure; rewired by the owning run at startup)
   std::function<void(Tick, Tick, FlowId, std::uint64_t, std::uint64_t, char)>
       on_span_;
 };

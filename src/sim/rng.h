@@ -14,6 +14,7 @@
 
 namespace hepvine::sim {
 
+// vine-snapshot: state
 class Rng {
  public:
   Rng() : Rng(0xdeadbeefcafef00dULL) {}
@@ -108,6 +109,7 @@ class Rng {
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
     return (x << k) | (x >> (64 - k));
   }
+  // vine-snapshot: serialized(state() is exported via field_rng by every writer)
   std::uint64_t s_[4] = {};
 };
 

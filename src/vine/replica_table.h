@@ -12,6 +12,7 @@
 
 namespace hepvine::vine {
 
+// vine-snapshot: state
 class ReplicaTable {
  public:
   ReplicaTable(std::size_t files, std::size_t workers)
@@ -62,6 +63,7 @@ class ReplicaTable {
   // Small vectors: replica counts are 1-3 in practice, so linear scans win.
   std::vector<std::vector<cluster::WorkerId>> holders_;
   std::vector<bool> at_manager_;
+  // vine-snapshot: derived(inverse index of holders_, maintained by the same add/remove stream)
   std::vector<std::vector<data::FileId>> worker_files_;
 };
 

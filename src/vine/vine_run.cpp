@@ -47,6 +47,7 @@ using dag::TaskId;
 using exec::TaskState;
 using util::Tick;
 
+// vine-snapshot: state
 class VineRun {
  public:
   VineRun(const dag::TaskGraph& graph, cluster::Cluster& cluster,
@@ -2692,6 +2693,10 @@ class VineRun {
     b.field("cache_evictions", report_.cache_evictions);
     b.field("cache_evicted_bytes", report_.cache_evicted_bytes);
     b.field("cache_gc_drops", report_.cache_gc_drops);
+    // The dispatch round-robin cursor is real scheduler state: two
+    // managers that agree on everything else but disagree on the cursor
+    // dispatch the next task to different workers.
+    b.field_i("rr_cursor", rr_cursor_);
 
     b.section("tasks");
     for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
@@ -2701,6 +2706,18 @@ class VineRun {
                 std::to_string(static_cast<int>(st.state)) + "/" +
                     std::to_string(st.attempts) + "/" +
                     std::to_string(st.worker));
+    }
+    // Sparse task-keyed state: per-producer lineage-reset counts (the
+    // poisoned-task detector's memory) and sink-gather completion bits.
+    for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+      const std::uint32_t n = reset_counts_[static_cast<std::size_t>(t)];
+      if (n != 0) b.field("r" + std::to_string(t), n);
+    }
+    for (TaskId t = 0; t < static_cast<TaskId>(graph_.size()); ++t) {
+      if (is_sink_[static_cast<std::size_t>(t)] &&
+          sink_fetched_[static_cast<std::size_t>(t)] != 0) {
+        b.field("s" + std::to_string(t), 1);
+      }
     }
 
     b.section("replicas");
@@ -2771,6 +2788,19 @@ class VineRun {
       b.field_s("mgr." + std::to_string(f),
                 std::to_string(waiters.size()));
     }
+    for (const auto& [f, flow] : manager_fs_flows_) {
+      b.field_s("mgrfs." + std::to_string(f), std::to_string(flow));
+    }
+    // The throttle queue is ordered state: admission order decides which
+    // fetch starts first when a gate slot frees up.
+    if (!throttle_queue_.empty()) {
+      std::string q;
+      for (const auto& [f, w] : throttle_queue_) {
+        if (!q.empty()) q += ",";
+        q += std::to_string(f) + ":" + std::to_string(w);
+      }
+      b.field_s("throttle", q);
+    }
 
     b.section("backoff");
     manager_fs_backoff_.for_each([&b](FileId f, std::uint32_t n) {
@@ -2794,10 +2824,16 @@ class VineRun {
       b.field("faults_injected", fs.faults_injected);
       b.field("worker_crashes", fs.worker_crashes);
       b.field("cache_losses", fs.cache_losses);
+      b.field("cache_loss_noops", fs.cache_loss_noops);
       b.field("transfers_killed", fs.transfers_killed);
+      b.field("fs_degradations", fs.fs_degradations);
+      b.field("stragglers", fs.stragglers);
+      b.field("manager_crashes", fs.manager_crashes);
       b.field("transfer_retries", fs.transfer_retries);
       b.field("transfer_giveups", fs.transfer_giveups);
       b.field("backoff_wait", static_cast<std::uint64_t>(fs.backoff_wait));
+      b.field("fs_degraded_time",
+              static_cast<std::uint64_t>(fs.fs_degraded_time));
     }
 
     b.section("rng");
@@ -2865,12 +2901,18 @@ class VineRun {
   exec::SerialResource manager_;
   // Transfer-admission gates: the manager serves data over a bounded
   // socket set; the shared filesystem serves a bounded number of streams.
+  // Their occupancy is implied by the in-flight flow sections of the
+  // snapshot; the waiter queues hold closures and replay rebuilds them.
+  // vine-snapshot: derived(occupancy implied by the snapshot flow sections)
   net::FlowGate mgr_gate_{64};
+  // vine-snapshot: derived(occupancy implied by the snapshot flow sections)
   net::FlowGate fs_gate_{256};
   std::vector<WorkerRt> workers_rt_;
   std::vector<FileInfo> files_;
   std::unique_ptr<ReplicaTable> replicas_;
+  // vine-snapshot: derived(built once from the graph before any event runs)
   std::map<std::string, FileId> function_bodies_;
+  // vine-snapshot: derived(fixed at startup from RunOptions)
   FileId env_file_ = data::kInvalidFile;
 
   /// In-flight attempts, indexed by TaskId (null = no live attempt). Dense
@@ -2878,6 +2920,7 @@ class VineRun {
   /// slot is freed at teardown so steady-state memory tracks concurrency,
   /// not total task count.
   std::vector<std::unique_ptr<Attempt>> attempts_;
+  // vine-snapshot: derived(count of non-null attempts_ slots)
   std::size_t attempts_live_ = 0;
   /// Pending consumers per file (graph-derived; see build_file_table).
   std::vector<std::uint32_t> consumers_left_;
@@ -2886,6 +2929,7 @@ class VineRun {
   std::map<TaskId, net::FlowId> return_flows_;
   std::map<TaskId, std::pair<net::FlowId, WorkerId>> sink_flows_;
   std::vector<char> sink_fetched_;  // indexed by TaskId
+  // vine-snapshot: derived(graph property, rebuilt at startup)
   std::vector<bool> is_sink_;
 
   // Fault-injection state. injector_ stays null (and every hook a no-op)
@@ -2901,24 +2945,31 @@ class VineRun {
 
   // Manager-HA state: the elastic factory (null unless enabled) and the
   // checkpoint sequence counter feeding SNAPSHOT txn anchors.
+  // vine-snapshot: derived(sizing re-derived from queue depth each poll)
   std::unique_ptr<ha::Factory> factory_;
   std::uint64_t snapshot_seq_ = 0;
 
   std::shared_ptr<obs::RunObservation> obs_;
   // Workers destroyed by the run itself (disk overflow) rather than batch
   // preemption; consulted when the disconnect lands to attribute a reason.
+  // vine-snapshot: derived(intent flag; the disconnect it labels is an event replay reproduces)
   std::vector<bool> pending_crash_;
   // Workers the factory is releasing voluntarily (shrink, not a fault).
+  // vine-snapshot: derived(intent flag; the disconnect it labels is an event replay reproduces)
   std::vector<bool> pending_release_;
   // Perf counters (owned by the stats registry; null when perf is off).
+  // vine-snapshot: derived(pointer into the stats registry, observability only)
   std::uint64_t* bytes_via_manager_ = nullptr;
+  // vine-snapshot: derived(pointer into the stats registry, observability only)
   std::uint64_t* bytes_peer_ = nullptr;
+  // vine-snapshot: derived(pointer into the stats registry, observability only)
   std::uint64_t* bytes_via_fs_ = nullptr;
 
   exec::RunReport report_;
   /// Last disk usage recorded per worker by the cache sampler (sentinel =
   /// never sampled); the sampler skips workers whose usage is unchanged.
   static constexpr std::uint64_t kNoCacheSample = ~0ull;
+  // vine-snapshot: derived(trace-sampler dedup memo, observability only)
   std::vector<std::uint64_t> cache_sample_last_;
   std::size_t sinks_outstanding_ = 0;
   std::size_t total_attempts_ = 0;
@@ -2926,23 +2977,37 @@ class VineRun {
   WorkerId rr_cursor_ = 0;
   // Workers that are alive with at least one free core, as a bitmap over
   // worker ids (see eligible_insert/walk_eligible); the dispatch
-  // round-robin scans set bits instead of every configured worker.
+  // round-robin scans set bits instead of every configured worker. The
+  // whole dispatch index is a pure function of worker state the snapshot
+  // already carries, rebuilt leaf by leaf as events touch workers.
+  // vine-snapshot: derived(index over snapshotted worker state)
   std::vector<std::uint64_t> eligible_bits_;
+  // vine-snapshot: derived(index over snapshotted worker state)
   std::size_t eligible_count_ = 0;
+  // vine-snapshot: derived(index over snapshotted worker state)
   DispatchIndex dispatch_index_;
+  // vine-snapshot: derived(index over snapshotted worker state)
   std::vector<WorkerId> index_dirty_;
+  // vine-snapshot: derived(index over snapshotted worker state)
   std::vector<std::uint8_t> index_dirty_flag_;
+  // vine-snapshot: derived(re-entrancy latch, always false between events)
   bool pumping_ = false;
+  // vine-snapshot: derived(teardown latch; no snapshots are taken after finish)
   bool finished_ = false;
 
   // Scratch buffers reused across dispatches to avoid per-task allocation.
   // Locality scoring stamps loc_epoch_ per candidate instead of clearing a
   // map: a worker's score is valid only when its stamp equals the current
   // epoch, so reset between dispatches is one counter increment.
+  // vine-snapshot: derived(scratch, dead between dispatches)
   std::vector<FileId> scratch_files_;
+  // vine-snapshot: derived(scratch, dead between dispatches)
   std::vector<WorkerId> scratch_holders_;
+  // vine-snapshot: derived(scratch, dead between dispatches)
   std::vector<std::uint64_t> loc_score_;
+  // vine-snapshot: derived(scratch, dead between dispatches)
   std::vector<std::uint32_t> loc_epoch_;
+  // vine-snapshot: derived(scratch, dead between dispatches)
   std::uint32_t loc_epoch_cur_ = 0;
 };
 

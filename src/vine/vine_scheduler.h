@@ -86,6 +86,7 @@ struct VineTunables {
   /// for the disk-tight fallback. When false, choose_worker uses the
   /// reference O(workers) scans with identical semantics — the
   /// differential suite diffs txn logs between the two byte-for-byte.
+  // vine-fastpath: opt-in
   bool indexed_dispatch = true;
 };
 

@@ -1,0 +1,27 @@
+// Fixture: VL009 — references/iterators into FlatMap held across a
+// mutating call.
+#include <cstdint>
+
+struct Cache {
+  util::FlatMap<int, int> pins_;
+};
+
+int alias_across_insert(Cache& c) {
+  auto it = c.pins_.find(7);
+  c.pins_.insert(8, 1);  // shifts the backing vector
+  return it->second;     // flagged: alias invalidated by the insert
+}
+
+int ref_across_reserve(Cache& c) {
+  int& slot = c.pins_[3];
+  c.pins_.reserve(64);  // may reallocate
+  return slot;          // flagged: reference invalidated by the reserve
+}
+
+void erase_under_range_for(Cache& c) {
+  for (const auto& kv : c.pins_) {
+    if (kv.second == 0) {
+      c.pins_.erase(kv.first);  // flagged: mutation under the loop
+    }
+  }
+}

@@ -1,0 +1,34 @@
+// Fixture: VL009 is quiet when aliases never cross a mutation.
+#include <cstdint>
+
+struct Cache {
+  util::FlatMap<int, int> pins_;
+};
+
+int use_before_mutation(Cache& c) {
+  auto it = c.pins_.find(7);
+  const int v = (it != c.pins_.end()) ? it->second : 0;
+  c.pins_.insert(8, 1);  // alias is dead by now
+  return v;
+}
+
+int rebind_after_mutation(Cache& c) {
+  auto it = c.pins_.find(7);
+  c.pins_.insert(8, 1);
+  it = c.pins_.find(7);  // re-bound, not read, after the insert
+  return it->second;
+}
+
+int same_statement(Cache& c) {
+  // Mutation and use in one statement never dangle.
+  return ++c.pins_[3];
+}
+
+int block_scoped(Cache& c) {
+  {
+    auto it = c.pins_.find(7);
+    if (it != c.pins_.end()) return it->second;
+  }
+  c.pins_.erase(7);  // the alias's block is closed
+  return 0;
+}

@@ -1,0 +1,13 @@
+// Fixture: line suppression silences VL009 on the stale use below it.
+#include <cstdint>
+
+struct Cache {
+  util::FlatMap<int, int> pins_;
+};
+
+int alias_across_insert(Cache& c) {
+  auto it = c.pins_.find(7);
+  c.pins_.insert(8, 1);
+  // vine-lint: suppress(flat-container-aliasing) — insert proven no-realloc here
+  return it->second;
+}

@@ -1,0 +1,23 @@
+// Fixture: VL008 — stored EventHandle re-armed or poked past the
+// generation check.
+#include <vector>
+
+struct Timers {
+  sim::EventHandle completion_;             // tracked scalar handle
+  std::vector<sim::EventHandle> retries_;   // tracked handle container
+};
+
+void observe(const sim::EventHandle& h);
+void use(const sim::EventHandle& h);
+void tick();
+
+void misuse(Timers& tm, sim::Engine& eng, std::size_t i) {
+  observe(tm.completion_);  // plain use: the handle is live
+  // flagged: re-arm after a plain use — the superseded event still fires
+  tm.completion_ = eng.schedule_at(10, tick);
+  // flagged: .fire() bypasses the generation check
+  tm.completion_.fire();
+  use(tm.retries_[i]);  // plain use of a container entry
+  // flagged: container slot re-armed after a plain use
+  tm.retries_[i] = eng.schedule_after(5, tick);
+}

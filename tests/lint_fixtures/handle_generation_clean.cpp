@@ -1,0 +1,26 @@
+// Fixture: VL008 is quiet on generation-checked and hand-off patterns.
+#include <vector>
+
+struct Timers {
+  sim::EventHandle completion_;
+  std::vector<sim::EventHandle> retries_;
+};
+
+void tick();
+
+void safe(Timers& tm, sim::Engine& eng, std::size_t i) {
+  // First arm in this file: nothing to supersede.
+  tm.completion_ = eng.schedule_at(10, tick);
+  // cancel() is generation-checked, so the re-arm after it is safe.
+  tm.completion_.cancel();
+  tm.completion_ = eng.schedule_at(20, tick);
+  // pending() is the other stale-safe accessor.
+  if (tm.completion_.pending()) {
+    // reschedule_at reuses the live slot: the hand-off keeps one event.
+    eng.reschedule_at(tm.completion_, 30);
+  }
+  // A re-arm right after the hand-off is sanctioned by the reschedule.
+  tm.completion_ = eng.schedule_at(40, tick);
+  // Container first-arm is fine too.
+  tm.retries_[i] = eng.schedule_after(5, tick);
+}

@@ -1,0 +1,16 @@
+// Fixture: VL007 must flag a snapshot-bearing member no writer serializes.
+#include <cstdint>
+
+// vine-snapshot: state
+struct RunState {
+  std::uint64_t tasks_done = 0;
+  std::uint64_t rr_cursor = 0;  // flagged: never serialized, no exemption
+  // vine-snapshot: derived(rebuilt from the task graph at startup)
+  std::uint64_t fanout_cache = 0;
+};
+
+void take_snapshot(const RunState& st) {
+  ha::SnapshotBuilder b;
+  b.section("run");
+  b.field("tasks_done", st.tasks_done);
+}

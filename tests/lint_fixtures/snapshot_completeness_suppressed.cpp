@@ -1,0 +1,15 @@
+// Fixture: a line suppression silences VL007 on the member below it.
+#include <cstdint>
+
+// vine-snapshot: state
+struct RunState {
+  std::uint64_t tasks_done = 0;
+  // vine-lint: suppress(snapshot-completeness) — serialization lands in the next PR
+  std::uint64_t rr_cursor = 0;
+};
+
+void take_snapshot(const RunState& st) {
+  ha::SnapshotBuilder b;
+  b.section("run");
+  b.field("tasks_done", st.tasks_done);
+}

@@ -1,0 +1,14 @@
+// Fixture: VL010 — a fast-path tunable with no reference arm and no
+// differential-test mention.
+struct Opts {
+  // vine-fastpath: opt-in
+  bool fast_dispatch = true;
+};
+
+int dispatch(const Opts& o) {
+  int n = 0;
+  if (o.fast_dispatch) {  // flagged: no else / reference arm
+    n = 1;
+  }
+  return n;
+}

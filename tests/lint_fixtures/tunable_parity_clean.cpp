@@ -1,0 +1,20 @@
+// Fixture: VL010 is quiet when every read branches to a reference arm
+// and a differential test names the flag (see tunable_parity_tests.cpp).
+struct Opts {
+  // vine-fastpath: opt-in
+  bool fast_dispatch = true;
+};
+
+int dispatch(const Opts& o) {
+  int n = 0;
+  if (o.fast_dispatch) {
+    n = fast_path();
+  } else {
+    n = reference_path();
+  }
+  return n;
+}
+
+int pick(const Opts& o) {
+  return o.fast_dispatch ? fast_path() : reference_path();
+}

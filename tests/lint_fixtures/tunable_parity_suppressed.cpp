@@ -1,0 +1,14 @@
+// Fixture: a file-level allow() silences VL010 for a transitional flag.
+// vine-lint: allow(tunable-parity)
+struct Opts {
+  // vine-fastpath: opt-in
+  bool fast_dispatch = true;
+};
+
+int dispatch(const Opts& o) {
+  int n = 0;
+  if (o.fast_dispatch) {  // would be flagged without the allow()
+    n = 1;
+  }
+  return n;
+}

@@ -1,0 +1,6 @@
+// Auxiliary corpus for the tunable_parity_clean fixture: a differential
+// test that exercises fast_dispatch against the reference path by name.
+// Passed to the linter via --tests; never compiled.
+void differential_fast_dispatch() {
+  // run once with fast_dispatch on, once off, and compare outputs
+}

@@ -104,6 +104,15 @@ exec::RunReport run_backend(const std::string& kind,
   return s.run(graph, cluster, options);
 }
 
+/// Successful trace record for `t`, or nullptr.
+const metrics::TaskRecord* find_success(const exec::RunReport& report,
+                                        dag::TaskId t) {
+  for (const auto& rec : report.trace.records()) {
+    if (rec.task_id == t && !rec.failed) return &rec;
+  }
+  return nullptr;
+}
+
 exec::RunOptions ha_options() {
   exec::RunOptions options = fast_options();
   options.max_task_retries = 20;
@@ -210,6 +219,66 @@ TEST(ManagerHa, RecoveryBitIdenticalWq) {
 
 TEST(ManagerHa, RecoveryBitIdenticalDask) {
   expect_recovery_bit_identical("dd");
+}
+
+// --- snapshot completeness: the VL007-audited fields are live ------------
+
+TEST(ManagerHa, SnapshotCarriesCursorResetAndInjectorState) {
+  // A reduction tree on a single worker: crashing the worker while the
+  // final reduce executes loses every retained output at once, forcing
+  // lineage resets (the per-task r<id> counters) on the rerun tasks.
+  apps::WorkloadSpec workload = tiny_dv3(4);
+  workload.reduce_arity = 2;
+  const dag::TaskGraph graph = apps::build_workload(workload, 7);
+  ASSERT_EQ(graph.sinks().size(), 1u);
+  const dag::TaskId sink = graph.sinks().at(0);
+  exec::RunOptions options = ha_options();
+  options.seed = 7;
+
+  const auto probe = run_backend("vine", graph, options, 1);
+  ASSERT_TRUE(probe.success) << probe.failure_reason;
+  const auto* rec = find_success(probe, sink);
+  ASSERT_NE(rec, nullptr);
+  ASSERT_LT(rec->started_at, rec->finished_at);
+  options.faults.crash_worker((rec->started_at + rec->finished_at) / 2, 0);
+
+  const auto baseline = run_backend("vine", graph, options, 1);
+  ASSERT_TRUE(baseline.success) << baseline.failure_reason;
+  ASSERT_FALSE(baseline.ha.snapshots.empty());
+  const std::string& state = baseline.ha.snapshots.back().state;
+
+  // The dispatch round-robin cursor (unserialized before the VL007 audit).
+  EXPECT_FALSE(ha::snapshot_field(state, "run.rr_cursor").empty());
+  // The injector tallies, present and counting the crash we injected.
+  EXPECT_EQ(ha::snapshot_field(state, "injector.faults_injected"), "1");
+  EXPECT_EQ(ha::snapshot_field(state, "injector.worker_crashes"), "1");
+  EXPECT_FALSE(ha::snapshot_field(state, "injector.backoff_wait").empty());
+  // The sparse per-task reset counters (r<id> lines in the tasks section).
+  bool has_reset = false;
+  for (const auto& [key, value] : ha::parse_snapshot(state)) {
+    if (key.rfind("tasks.r", 0) == 0 && value != "0") {
+      has_reset = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(has_reset)
+      << "worker crash produced no tasks.r<id> reset field";
+
+  // With the new fields in the stream, recovery must still converge and
+  // the recovered run must stay bit-identical to the uninterrupted one.
+  exec::RunOptions crash_options = options;
+  crash_options.faults.crash_manager(baseline.makespan * 7 / 10);
+  const auto crashed = run_backend("vine", graph, crash_options, 1);
+  ASSERT_TRUE(crashed.ha.manager_crashed);
+  ASSERT_FALSE(crashed.ha.snapshots.empty());
+  exec::RunOptions rerun_options = crash_options;
+  rerun_options.faults = ha::strip_manager_crash(crash_options.faults);
+  const auto outcome = ha::recover(crashed, crash_options.ha, [&] {
+    return run_backend("vine", graph, rerun_options, 1);
+  });
+  EXPECT_TRUE(outcome.snapshot_converged) << outcome.error;
+  EXPECT_TRUE(outcome.recovered) << outcome.error;
+  EXPECT_EQ(ha::run_digest(outcome.report), ha::run_digest(baseline));
 }
 
 TEST(ManagerHa, RecoveryCostScalesWithTailNotCampaign) {

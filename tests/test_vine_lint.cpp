@@ -36,6 +36,16 @@ std::vector<Finding> lint_fixture(const std::string& name) {
   return linter.run();
 }
 
+/// Like lint_fixture but with caller-tuned options (test corpus, --only,
+/// justification policy); roots/subjects are still filled in here.
+std::vector<Finding> lint_fixture_with(const std::string& name,
+                                       LintOptions opts) {
+  opts.roots = {fixture_path(name)};
+  opts.subjects = kSubjects;
+  Linter linter(std::move(opts));
+  return linter.run();
+}
+
 std::vector<Finding> lint_snippet(const std::string& path,
                                   const std::string& text) {
   LintOptions opts;
@@ -214,6 +224,125 @@ TEST(VineLintFloatAccum, NonDigestFilesAreOutOfScope) {
 }
 
 // ---------------------------------------------------------------------------
+// VL007 snapshot-completeness
+// ---------------------------------------------------------------------------
+
+TEST(VineLintSnapshotCompleteness, FlagsUnserializedStateMember) {
+  const auto findings = lint_fixture("snapshot_completeness_bad.cpp");
+  EXPECT_EQ(count_rule(findings, Rule::kSnapshotCompleteness), 1)
+      << hepvine::lint::format_findings(findings);
+  EXPECT_TRUE(only_rule(findings, Rule::kSnapshotCompleteness));
+  ASSERT_FALSE(findings.empty());
+  EXPECT_NE(findings[0].message.find("rr_cursor"), std::string::npos)
+      << findings[0].message;
+}
+
+TEST(VineLintSnapshotCompleteness, QuietWhenSerializedOrExempt) {
+  const auto findings = lint_fixture("snapshot_completeness_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintSnapshotCompleteness, SuppressionSilencesRule) {
+  const auto findings = lint_fixture("snapshot_completeness_suppressed.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintSnapshotCompleteness, IndexCountsTypesMembersAndWriters) {
+  LintOptions opts;
+  opts.roots = {fixture_path("snapshot_completeness_bad.cpp")};
+  opts.subjects = kSubjects;
+  Linter linter(std::move(opts));
+  (void)linter.run();
+  const auto& s = linter.index_stats();
+  EXPECT_EQ(s.files_indexed, 1u);
+  EXPECT_EQ(s.state_types, 1u);
+  EXPECT_GE(s.members_checked, 2u);  // tasks_done + rr_cursor
+  EXPECT_GE(s.members_exempt, 1u);   // fanout_cache is derived()
+  EXPECT_EQ(s.writer_regions, 1u);
+  EXPECT_GT(s.writer_idents, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// VL008 handle-generation
+// ---------------------------------------------------------------------------
+
+TEST(VineLintHandleGeneration, FlagsUncheckedRearmAndInternalsAccess) {
+  const auto findings = lint_fixture("handle_generation_bad.cpp");
+  // Re-arm after a plain use, .fire() internals access, container re-arm.
+  EXPECT_EQ(count_rule(findings, Rule::kHandleGeneration), 3)
+      << hepvine::lint::format_findings(findings);
+  EXPECT_TRUE(only_rule(findings, Rule::kHandleGeneration));
+}
+
+TEST(VineLintHandleGeneration, QuietOnCancelPendingAndRescheduleHandoff) {
+  const auto findings = lint_fixture("handle_generation_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintHandleGeneration, SuppressionSilencesRule) {
+  const auto findings = lint_fixture("handle_generation_suppressed.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+// ---------------------------------------------------------------------------
+// VL009 flat-container-aliasing
+// ---------------------------------------------------------------------------
+
+TEST(VineLintFlatAliasing, FlagsAliasesHeldAcrossMutation) {
+  const auto findings = lint_fixture("flat_aliasing_bad.cpp");
+  // Iterator across insert, reference across reserve, erase in range-for.
+  EXPECT_EQ(count_rule(findings, Rule::kFlatAliasing), 3)
+      << hepvine::lint::format_findings(findings);
+  EXPECT_TRUE(only_rule(findings, Rule::kFlatAliasing));
+}
+
+TEST(VineLintFlatAliasing, QuietOnUseBeforeMutationAndRebind) {
+  const auto findings = lint_fixture("flat_aliasing_clean.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintFlatAliasing, SuppressionSilencesRule) {
+  const auto findings = lint_fixture("flat_aliasing_suppressed.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+// ---------------------------------------------------------------------------
+// VL010 tunable-parity
+// ---------------------------------------------------------------------------
+
+TEST(VineLintTunableParity, FlagsBareReadMissingElseAndMissingTest) {
+  const auto findings = lint_fixture("tunable_parity_bad.cpp");
+  // Bare branch read, flag never against a reference arm, no test mention.
+  EXPECT_EQ(count_rule(findings, Rule::kTunableParity), 3)
+      << hepvine::lint::format_findings(findings);
+  EXPECT_TRUE(only_rule(findings, Rule::kTunableParity));
+}
+
+TEST(VineLintTunableParity, QuietWithReferenceArmsAndNamedTest) {
+  LintOptions opts;
+  opts.test_roots = {fixture_path("tunable_parity_tests.cpp")};
+  const auto findings =
+      lint_fixture_with("tunable_parity_clean.cpp", std::move(opts));
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintTunableParity, MissingTestCorpusMentionIsItsOwnFinding) {
+  // Same clean fixture, but without the differential-test corpus: the
+  // branch shape is fine, so exactly the test-parity leg must fire.
+  const auto findings = lint_fixture("tunable_parity_clean.cpp");
+  ASSERT_EQ(count_rule(findings, Rule::kTunableParity), 1)
+      << hepvine::lint::format_findings(findings);
+  EXPECT_NE(findings[0].message.find("not exercised by name"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(VineLintTunableParity, FileAllowPragmaSilencesRule) {
+  const auto findings = lint_fixture("tunable_parity_suppressed.cpp");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+// ---------------------------------------------------------------------------
 // Rule metadata, formatting, pragma edge cases
 // ---------------------------------------------------------------------------
 
@@ -241,8 +370,10 @@ TEST(VineLintMeta, FormatIncludesIdNameAndHint) {
   EXPECT_NE(out.find("fix-it:"), std::string::npos);
 }
 
-TEST(VineLintMeta, UnknownPragmaRuleIsIgnored) {
-  // A pragma naming an unknown rule must not silence anything.
+TEST(VineLintMeta, UnknownPragmaRuleIsAHardError) {
+  // A pragma naming an unknown rule must not silence anything, and the
+  // typo itself is a VL011 finding — a misspelled suppression that
+  // silently disables nothing is worse than no suppression at all.
   const auto findings = lint_snippet(
       "src/foo.cpp",
       "#include <unordered_map>\n"
@@ -254,6 +385,24 @@ TEST(VineLintMeta, UnknownPragmaRuleIsIgnored) {
       "  return s;\n"
       "}\n");
   EXPECT_EQ(count_rule(findings, Rule::kUnorderedIter), 1)
+      << hepvine::lint::format_findings(findings);
+  ASSERT_EQ(count_rule(findings, Rule::kPragmaHygiene), 1)
+      << hepvine::lint::format_findings(findings);
+  const auto it = std::find_if(
+      findings.begin(), findings.end(),
+      [](const Finding& f) { return f.rule == Rule::kPragmaHygiene; });
+  EXPECT_NE(it->message.find("bogus-rule"), std::string::npos) << it->message;
+  EXPECT_EQ(it->line, 2);
+}
+
+TEST(VineLintMeta, MalformedPragmaOpsAreHardErrors) {
+  const auto findings = lint_snippet(
+      "src/foo.cpp",
+      "// vine-lint: suppress\n"
+      "// vine-snapshot: derived()\n"
+      "// vine-fastpath: sometimes\n"
+      "int x = 0;\n");
+  EXPECT_EQ(count_rule(findings, Rule::kPragmaHygiene), 3)
       << hepvine::lint::format_findings(findings);
 }
 
@@ -271,6 +420,99 @@ TEST(VineLintMeta, SuppressionIsPerRule) {
       "}\n");
   EXPECT_EQ(count_rule(findings, Rule::kUnorderedIter), 1)
       << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintMeta, SuppressionOnLastLineOfFile) {
+  // A trailing-comment suppression on the file's final line (no newline
+  // after it) still covers its own line.
+  const auto findings = lint_snippet(
+      "src/foo.cpp",
+      "int f() {\n"
+      "  return rand();  // vine-lint: suppress(ambient-entropy) seeded later"
+      );
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintMeta, StackedSuppressionsInOnePragma) {
+  // One comment may carry several groups; each silences its own rule.
+  const auto findings = lint_snippet(
+      "src/foo.cpp",
+      "#include <unordered_map>\n"
+      "int f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  int s = 0;\n"
+      "  // vine-lint: suppress(unordered-iter) suppress(ambient-entropy)\n"
+      "  for (const auto& kv : m) s += kv.second + rand();\n"
+      "  return s;\n"
+      "}\n");
+  EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintMeta, OnlyFilterKeepsSelectedRules) {
+  LintOptions opts;
+  opts.subjects = kSubjects;
+  opts.only = {Rule::kUnorderedIter};
+  Linter linter(std::move(opts));
+  const auto findings = linter.lint_text(
+      "src/foo.cpp",
+      "#include <unordered_map>\n"
+      "int f() {\n"
+      "  std::unordered_map<int, int> m;\n"
+      "  int s = 0;\n"
+      "  for (const auto& kv : m) s += kv.second + rand();\n"
+      "  return s;\n"
+      "}\n");
+  // Both VL001 and VL002 fire on the loop line; only VL001 is reported.
+  EXPECT_EQ(count_rule(findings, Rule::kUnorderedIter), 1)
+      << hepvine::lint::format_findings(findings);
+  EXPECT_TRUE(only_rule(findings, Rule::kUnorderedIter))
+      << hepvine::lint::format_findings(findings);
+}
+
+TEST(VineLintMeta, RuleIdsResolveForOnlyFlag) {
+  // --only accepts ids as well as names, case-insensitively.
+  auto rule = rule_from_name("VL009");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(*rule, Rule::kFlatAliasing);
+  rule = rule_from_name("vl007");
+  ASSERT_TRUE(rule.has_value());
+  EXPECT_EQ(*rule, Rule::kSnapshotCompleteness);
+  EXPECT_FALSE(rule_from_name("VL999").has_value());
+}
+
+TEST(VineLintMeta, SuppressJustificationPolicy) {
+  const std::string bare =
+      "int f() {\n"
+      "  // vine-lint: suppress(ambient-entropy)\n"
+      "  return rand();\n"
+      "}\n";
+  const std::string justified =
+      "int f() {\n"
+      "  // vine-lint: suppress(ambient-entropy) — benchmark warmup only\n"
+      "  return rand();\n"
+      "}\n";
+  LintOptions strict;
+  strict.subjects = kSubjects;
+  strict.require_suppress_justification = true;
+  {
+    Linter linter(strict);
+    const auto findings = linter.lint_text("src/foo.cpp", bare);
+    EXPECT_EQ(count_rule(findings, Rule::kPragmaHygiene), 1)
+        << hepvine::lint::format_findings(findings);
+  }
+  {
+    Linter linter(strict);
+    const auto findings = linter.lint_text("src/foo.cpp", justified);
+    EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+  }
+  {
+    // Without the policy flag a bare suppression is tolerated.
+    LintOptions lax;
+    lax.subjects = kSubjects;
+    Linter linter(std::move(lax));
+    const auto findings = linter.lint_text("src/foo.cpp", bare);
+    EXPECT_TRUE(findings.empty()) << hepvine::lint::format_findings(findings);
+  }
 }
 
 TEST(VineLintMeta, CommentsAndStringsDoNotTriggerRules) {
@@ -293,6 +535,35 @@ TEST(VineLintMeta, ParseSubjectTable) {
   ASSERT_EQ(subjects.size(), 2u);
   EXPECT_EQ(subjects[0], "MANAGER");
   EXPECT_EQ(subjects[1], "TASK");
+}
+
+TEST(VineLintMeta, ParseSubjectTableToleratesTrailingComma) {
+  const std::string header =
+      "inline constexpr TxnSubjectInfo kTxnSubjects[] = {\n"
+      "    {\"MANAGER\", true},\n"
+      "    {\"TASK\", true},\n"
+      "};\n";
+  const auto subjects = Linter::parse_subject_table(header);
+  ASSERT_EQ(subjects.size(), 2u);
+  EXPECT_EQ(subjects[0], "MANAGER");
+  EXPECT_EQ(subjects[1], "TASK");
+}
+
+TEST(VineLintMeta, ParseSubjectTableToleratesBlockComments) {
+  // Block comments inside the initializer — including ones quoting retired
+  // subject names — must not confuse or pollute the parse.
+  const std::string header =
+      "inline constexpr TxnSubjectInfo kTxnSubjects[] = {\n"
+      "    /* core */ {\"MANAGER\", true},\n"
+      "    {\"TASK\", /* id leads */ true},\n"
+      "    /* retired: {\"ZOMBIE\", false} */\n"
+      "    {\"NET\", false},  // trailing line comment\n"
+      "};\n";
+  const auto subjects = Linter::parse_subject_table(header);
+  ASSERT_EQ(subjects.size(), 3u);
+  EXPECT_EQ(subjects[0], "MANAGER");
+  EXPECT_EQ(subjects[1], "TASK");
+  EXPECT_EQ(subjects[2], "NET");
 }
 
 TEST(VineLintMeta, ParseSubjectTableFromRealHeader) {

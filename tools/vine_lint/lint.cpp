@@ -34,6 +34,29 @@ const RuleInfo kRules[kRuleCount] = {
     {Rule::kFloatAccum, "VL006", "float-accum",
      "accumulate through util::DetSum (compensated summation) so digest "
      "inputs do not drift with rounding order"},
+    {Rule::kSnapshotCompleteness, "VL007", "snapshot-completeness",
+     "serialize the member in every SnapshotBuilder writer (b.field / "
+     "field_i / field_s / field_rng) or annotate it with "
+     "// vine-snapshot: derived(<why it is rebuilt, not state>) — an "
+     "unserialized member silently diverges the RESTORE rerun from the "
+     "anchor snapshot"},
+    {Rule::kHandleGeneration, "VL008", "handle-generation",
+     "cancel() the stored handle (or check pending()) before re-arming it, "
+     "or hand it to engine.reschedule_at/after which supersedes in place; "
+     "only cancel()/pending() are generation-checked, so any other access "
+     "can touch a recycled slot"},
+    {Rule::kFlatAliasing, "VL009", "flat-container-aliasing",
+     "re-find() after any insert/erase/operator[] on a FlatMap/FlatSet — "
+     "the backing sorted vector reallocates and shifts, invalidating every "
+     "outstanding reference and iterator"},
+    {Rule::kTunableParity, "VL010", "tunable-parity",
+     "keep the reference implementation reachable (else arm, ternary, or a "
+     "negated early-out) and name the tunable in a differential test under "
+     "tests/ so the fast path stays verifiable against it"},
+    {Rule::kPragmaHygiene, "VL011", "pragma-hygiene",
+     "fix the pragma: rule names must match --list-rules, vine-snapshot "
+     "ops are state | derived(<why>) | serialized(<how>), vine-fastpath "
+     "ops are opt-in, and suppressions need a trailing justification"},
 };
 
 // ---------------------------------------------------------------------------
@@ -220,58 +243,175 @@ LexResult lex(const std::string& text) {
 }
 
 // ---------------------------------------------------------------------------
-// Pragmas: // vine-lint: allow(rule) | suppress(rule)
-// allow() covers the whole file; suppress() covers its own line and the next.
+// Pragmas.
+//   // vine-lint: allow(rule) | suppress(rule)
+//     allow() covers the whole file; suppress() its own line and the next.
+//   // vine-snapshot: state | derived(<why>) | serialized(<how>)
+//     state marks the next struct/class as snapshot-bearing; derived and
+//     serialized exempt the member declared on the same or next line.
+//   // vine-fastpath: opt-in
+//     marks the tunable declared on the same or next line as a fast path
+//     that VL010 holds to reference-branch and differential-test parity.
+// Malformed pragmas (unknown rule names, unknown ops, empty reasons) are
+// collected as issues and reported as VL011 — a typo in a suppression must
+// never silently disable nothing.
 // ---------------------------------------------------------------------------
 
-struct Pragmas {
-  std::set<Rule> allowed;
-  std::map<int, std::set<Rule>> suppressed_at;
+struct PragmaIssue {
+  int line = 0;
+  std::string message;
 };
 
-Pragmas collect_pragmas(const std::vector<Comment>& comments) {
-  Pragmas out;
+struct FilePragmas {
+  std::set<Rule> allowed;
+  std::map<int, std::set<Rule>> suppressed_at;
+  std::vector<PragmaIssue> issues;
+  /// Lines bearing `// vine-lint: suppress(...)` and whether a trailing
+  /// justification follows the pragma groups.
+  std::vector<std::pair<int, bool>> suppress_sites;
+  std::set<int> state_lines;                 // lines bearing the state pragma
+  std::map<int, std::string> member_exempt;  // line -> "derived: <why>" etc
+  std::set<int> fastpath_lines;              // opt-in tunable pragma lines
+};
+
+/// Extract `op(content)` with paren counting so reasons may contain calls,
+/// e.g. derived(rebuilt by index_flush()). Returns content and advances p
+/// past the closing paren; returns nullopt if no '(' at p.
+std::optional<std::string> parse_paren_group(const std::string& s,
+                                             std::size_t& p) {
+  if (p >= s.size() || s[p] != '(') return std::nullopt;
+  int depth = 0;
+  const std::size_t start = p + 1;
+  for (; p < s.size(); ++p) {
+    if (s[p] == '(') {
+      ++depth;
+    } else if (s[p] == ')') {
+      --depth;
+      if (depth == 0) {
+        const std::string content = s.substr(start, p - start);
+        ++p;
+        return content;
+      }
+    }
+  }
+  p = s.size();
+  return s.substr(start);  // unterminated; be forgiving, caller validates
+}
+
+bool has_alnum(const std::string& s, std::size_t from) {
+  for (std::size_t i = from; i < s.size(); ++i) {
+    if (std::isalnum(static_cast<unsigned char>(s[i])) != 0) return true;
+  }
+  return false;
+}
+
+std::string next_pragma_word(const std::string& s, std::size_t& p) {
+  while (p < s.size() && std::isspace(static_cast<unsigned char>(s[p])) != 0) {
+    ++p;
+  }
+  const std::size_t word_start = p;
+  while (p < s.size() && (ident_char(s[p]) || s[p] == '-')) ++p;
+  return s.substr(word_start, p - word_start);
+}
+
+/// A pragma only counts when nothing but whitespace precedes it in the
+/// comment: documentation that *mentions* the syntax (indented, or behind
+/// another `//` as in `//   // vine-lint: ...` or `/// ... pragmas`) never
+/// parses as a live pragma.
+std::size_t pragma_at(const std::string& text, const char* marker) {
+  const std::size_t pos = text.find(marker);
+  if (pos == std::string::npos) return std::string::npos;
+  for (std::size_t i = 0; i < pos; ++i) {
+    if (std::isspace(static_cast<unsigned char>(text[i])) == 0) {
+      return std::string::npos;
+    }
+  }
+  return pos;
+}
+
+FilePragmas collect_pragmas(const std::vector<Comment>& comments) {
+  FilePragmas out;
   for (const Comment& c : comments) {
-    std::size_t pos = 0;
-    while ((pos = c.text.find("vine-lint:", pos)) != std::string::npos) {
+    // Family 1: vine-lint rule pragmas.
+    std::size_t pos = pragma_at(c.text, "vine-lint:");
+    if (pos != std::string::npos) {
       pos += 10;
-      // Parse a run of op(rule-name) groups.
       std::size_t p = pos;
+      bool saw_suppress = false;
+      std::size_t groups_end = p;
       while (p < c.text.size()) {
-        while (p < c.text.size() &&
-               std::isspace(static_cast<unsigned char>(c.text[p])) != 0) {
-          ++p;
-        }
-        std::size_t word_start = p;
-        while (p < c.text.size() &&
-               (ident_char(c.text[p]) || c.text[p] == '-')) {
-          ++p;
-        }
-        const std::string op = c.text.substr(word_start, p - word_start);
-        if ((op != "allow" && op != "suppress") || p >= c.text.size() ||
-            c.text[p] != '(') {
+        const std::size_t word_at = p;
+        const std::string op = next_pragma_word(c.text, p);
+        if (op != "allow" && op != "suppress") {
+          p = word_at;
           break;
         }
-        ++p;
-        std::size_t name_start = p;
-        while (p < c.text.size() && c.text[p] != ')') ++p;
-        const std::string name = c.text.substr(name_start, p - name_start);
-        if (p < c.text.size()) ++p;  // ')'
-        if (auto rule = rule_from_name(name)) {
+        auto name = parse_paren_group(c.text, p);
+        if (!name) {
+          out.issues.push_back(
+              {c.line, "vine-lint " + op + " pragma is missing its (rule)"});
+          break;
+        }
+        groups_end = p;
+        if (auto rule = rule_from_name(*name)) {
           if (op == "allow") {
             out.allowed.insert(*rule);
           } else {
             out.suppressed_at[c.line].insert(*rule);
+            saw_suppress = true;
           }
+        } else {
+          out.issues.push_back({c.line, "unknown rule '" + *name +
+                                            "' in vine-lint " + op +
+                                            "() pragma"});
         }
       }
-      pos = p;
+      if (saw_suppress) {
+        out.suppress_sites.emplace_back(c.line,
+                                        has_alnum(c.text, groups_end));
+      }
+    }
+    // Family 2: vine-snapshot contract pragmas.
+    pos = pragma_at(c.text, "vine-snapshot:");
+    if (pos != std::string::npos) {
+      pos += 14;
+      std::size_t p = pos;
+      const std::string op = next_pragma_word(c.text, p);
+      if (op == "state") {
+        out.state_lines.insert(c.line);
+      } else if (op == "derived" || op == "serialized") {
+        auto why = parse_paren_group(c.text, p);
+        if (!why || !has_alnum(*why, 0)) {
+          out.issues.push_back({c.line, "vine-snapshot " + op +
+                                            "() needs a non-empty reason"});
+        } else {
+          out.member_exempt[c.line] = op + ": " + *why;
+        }
+      } else {
+        out.issues.push_back(
+            {c.line, "unknown vine-snapshot op '" + op +
+                         "' (expected state | derived(<why>) | "
+                         "serialized(<how>))"});
+      }
+    }
+    // Family 3: vine-fastpath tunable registration.
+    pos = pragma_at(c.text, "vine-fastpath:");
+    if (pos != std::string::npos) {
+      pos += 14;
+      std::size_t p = pos;
+      const std::string op = next_pragma_word(c.text, p);
+      if (op == "opt-in") {
+        out.fastpath_lines.insert(c.line);
+      } else {
+        out.issues.push_back({c.line, "unknown vine-fastpath op '" + op +
+                                          "' (expected opt-in)"});
+      }
     }
   }
   return out;
 }
 
-bool is_suppressed(const Pragmas& p, Rule rule, int line) {
+bool is_suppressed(const FilePragmas& p, Rule rule, int line) {
   if (p.allowed.count(rule) != 0) return true;
   for (int l : {line, line - 1}) {
     auto it = p.suppressed_at.find(l);
@@ -290,7 +430,7 @@ struct FileCtx {
   const std::string& path;
   const std::string& raw;
   const std::vector<Token>& toks;
-  const Pragmas& pragmas;
+  const FilePragmas& pragmas;
   std::vector<Finding>& out;
 
   void report(Rule rule, int line, std::string msg) const {
@@ -1049,11 +1189,1034 @@ void rule_float_accum(const FileCtx& ctx) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// Pass 1: the symbol index. One lightweight pass per file collects the
+// cross-file facts pass 2 needs: annotated state types with their member
+// lists, the identifier set of every SnapshotBuilder writer region, fast
+// path tunable registrations, and the names of EventHandle- and
+// FlatMap/FlatSet-typed members (so uses in other translation units are
+// still recognized).
+// ---------------------------------------------------------------------------
+
+struct TypeSpan {
+  std::string name;
+  int decl_line = 0;
+  std::size_t body_begin = 0;  // token index just past '{'
+  std::size_t body_end = 0;    // token index of the matching '}'
+};
+
+std::vector<TypeSpan> find_type_spans(const std::vector<Token>& t) {
+  std::vector<TypeSpan> out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent ||
+        (t[i].text != "struct" && t[i].text != "class")) {
+      continue;
+    }
+    if (i > 0 && t[i - 1].text == "enum") continue;
+    std::size_t j = i + 1;
+    while (tok_is(t, j, "[")) j = match_forward(t, j, "[", "]") + 1;
+    if (j >= t.size() || t[j].kind != Token::kIdent) continue;  // anonymous
+    const std::string name = t[j].text;
+    const int decl_line = t[j].line;
+    std::size_t k = j + 1;
+    if (tok_is(t, k, "final")) ++k;
+    if (tok_is(t, k, ":")) {
+      while (k < t.size() && t[k].text != "{" && t[k].text != ";") ++k;
+    }
+    if (!tok_is(t, k, "{")) continue;  // forward decl or elaborated use
+    const std::size_t close = match_forward(t, k, "{", "}");
+    if (close >= t.size()) continue;
+    out.push_back(TypeSpan{name, decl_line, k + 1, close});
+  }
+  return out;
+}
+
+bool inside_any_span(const std::vector<TypeSpan>& spans, std::size_t pos) {
+  for (const TypeSpan& s : spans) {
+    if (pos >= s.body_begin && pos < s.body_end) return true;
+  }
+  return false;
+}
+
+/// `i` indexes '<'. Returns the matching '>' treating the sequence as a
+/// template argument list, or kNpos when a statement boundary or an
+/// operator-shaped token intervenes first (then '<' was a comparison).
+std::size_t match_angle(const std::vector<Token>& t, std::size_t i,
+                        std::size_t limit) {
+  int depth = 0;
+  for (std::size_t k = i; k < t.size() && k < limit; ++k) {
+    if (t[k].kind != Token::kPunct) continue;
+    const std::string& s = t[k].text;
+    if (s == "<") {
+      ++depth;
+    } else if (s == ">") {
+      --depth;
+      if (depth == 0) return k;
+    } else if (s == "(") {
+      k = match_forward(t, k, "(", ")");
+      if (k >= t.size()) return kNpos;
+    } else if (s == "[") {
+      k = match_forward(t, k, "[", "]");
+      if (k >= t.size()) return kNpos;
+    } else if (s == ";" || s == "{" || s == "}" || s == "&&" || s == "||") {
+      return kNpos;
+    }
+  }
+  return kNpos;
+}
+
+struct IndexedMember {
+  std::string name;
+  std::string type;
+  int line = 0;       // the declarator name's line (used for reporting)
+  int stmt_line = 0;  // first line of the declaration statement
+  bool exempt = false;  // derived()/serialized() pragma on its line
+};
+
+struct IndexedType {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::vector<IndexedMember> members;
+};
+
+struct FlagRead {
+  enum Kind { kGuard, kElse, kTernary, kBare };
+  std::string file;
+  int line = 0;
+  Kind kind = kBare;
+};
+
+struct IndexedFlag {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::vector<FlagRead> reads;
+};
+
+struct SymbolIndex {
+  std::vector<IndexedType> state_types;
+  std::set<std::string> writer_idents;
+  std::size_t writer_regions = 0;
+  std::vector<IndexedFlag> flags;
+  std::set<std::string> handle_members;            // scalar EventHandle names
+  std::set<std::string> handle_container_members;  // container-of-handle names
+  std::set<std::string> flat_members;              // FlatMap/FlatSet names
+};
+
+struct FileData {
+  std::string path;
+  std::string raw;
+  LexResult lexed;
+  FilePragmas pragmas;
+  std::vector<TypeSpan> spans;
+};
+
+/// Data-member extraction for VL007, generalized from the VL004 collector:
+/// keeps template-typed members (angle groups collapse), skips nested type
+/// bodies, methods, constructors, static/constexpr/const members, and
+/// reference members (none of which are independently serializable state).
+/// Multi-declarator statements (`int a, b;`) register the first declarator
+/// only — the style here is one member per line.
+void collect_state_members(const std::vector<Token>& t,
+                           const TypeSpan& span,
+                           std::vector<IndexedMember>& out) {
+  struct Piece {
+    std::size_t idx = 0;
+    bool group = false;
+  };
+  std::size_t k = span.body_begin;
+  while (k < span.body_end) {
+    const std::string& lead = t[k].text;
+    if (t[k].kind == Token::kIdent &&
+        (lead == "public" || lead == "private" || lead == "protected") &&
+        tok_is(t, k + 1, ":")) {
+      k += 2;
+      continue;
+    }
+    if (t[k].kind == Token::kIdent &&
+        (lead == "struct" || lead == "class" || lead == "union" ||
+         lead == "enum")) {
+      // Nested type: skip its body and any trailing declarator wholesale.
+      std::size_t j = k;
+      while (j < span.body_end && t[j].text != "{" && t[j].text != ";") ++j;
+      if (tok_is(t, j, "{")) {
+        j = match_forward(t, j, "{", "}") + 1;
+        while (j < span.body_end && t[j].text != ";") ++j;
+      }
+      k = j + 1;
+      continue;
+    }
+    // Collect one statement, collapsing (), [], {} and template <> groups.
+    std::vector<Piece> stmt;
+    bool saw_paren = false;
+    bool ended_by_body = false;
+    while (k < span.body_end) {
+      const std::string& s = t[k].text;
+      if (t[k].kind == Token::kPunct) {
+        if (s == ";") {
+          ++k;
+          break;
+        }
+        if (s == "{") {
+          const std::size_t bc = match_forward(t, k, "{", "}");
+          if (saw_paren) {  // method or constructor body
+            k = bc + 1;
+            if (k < span.body_end && t[k].text == ";") ++k;
+            ended_by_body = true;
+            break;
+          }
+          stmt.push_back({k, true});  // brace initializer
+          k = bc + 1;
+          continue;
+        }
+        if (s == "(") {
+          saw_paren = true;
+          stmt.push_back({k, true});
+          k = match_forward(t, k, "(", ")") + 1;
+          continue;
+        }
+        if (s == "[") {
+          stmt.push_back({k, true});
+          k = match_forward(t, k, "[", "]") + 1;
+          continue;
+        }
+        if (s == "<" && !stmt.empty() && !stmt.back().group &&
+            t[stmt.back().idx].kind == Token::kIdent) {
+          const std::size_t ac = match_angle(t, k, span.body_end);
+          if (ac != kNpos) {
+            stmt.push_back({k, true});
+            k = ac + 1;
+            continue;
+          }
+        }
+      }
+      stmt.push_back({k, false});
+      ++k;
+    }
+    if (stmt.empty() || ended_by_body) continue;
+
+    auto text_at = [&](std::size_t m) -> const std::string& {
+      return t[stmt[m].idx].text;
+    };
+    std::size_t s0 = 0;
+    while (s0 < stmt.size()) {
+      const std::string& s = text_at(s0);
+      if (stmt[s0].group && s == "[") {  // [[attribute]]
+        ++s0;
+        continue;
+      }
+      if (s == "mutable" || s == "volatile" || s == "inline" ||
+          s == "explicit") {
+        ++s0;
+        continue;
+      }
+      break;
+    }
+    if (s0 >= stmt.size()) continue;
+    const std::string& first = text_at(s0);
+    static const std::set<std::string> kSkipLead = {
+        "public",    "private",  "protected", "using",    "friend",
+        "typedef",   "template", "static",    "operator", "virtual",
+        "~",         "requires", "alignas",   "const",    "constexpr",
+        "consteval", "constinit", "extern",   "decltype"};
+    if (kSkipLead.count(first) != 0) continue;
+    if (first == span.name && s0 + 1 < stmt.size() && stmt[s0 + 1].group &&
+        text_at(s0 + 1) == "(") {
+      continue;  // constructor declaration without a body
+    }
+    std::size_t first_paren = kNpos;
+    std::size_t first_init = kNpos;
+    for (std::size_t m = s0; m < stmt.size(); ++m) {
+      const std::string& s = text_at(m);
+      if (stmt[m].group && s == "(" && first_paren == kNpos) first_paren = m;
+      if (first_init == kNpos &&
+          ((stmt[m].group && s == "{") || (!stmt[m].group && s == "="))) {
+        first_init = m;
+      }
+    }
+    if (first_paren != kNpos &&
+        (first_init == kNpos || first_paren < first_init)) {
+      continue;  // function declaration
+    }
+    const std::size_t limit = (first_init == kNpos) ? stmt.size() : first_init;
+    bool is_ref = false;
+    std::size_t name_idx = kNpos;
+    for (std::size_t m = s0; m < limit; ++m) {
+      if (stmt[m].group) continue;
+      const Token& tk = t[stmt[m].idx];
+      if (tk.kind == Token::kIdent) name_idx = m;
+      if (tk.text == "&" || tk.text == "&&") is_ref = true;
+    }
+    if (is_ref || name_idx == kNpos) continue;
+    std::string type_str;
+    for (std::size_t m = s0; m < name_idx; ++m) {
+      const std::string& s = text_at(m);
+      if (stmt[m].group) {
+        if (s == "<") type_str += "<>";
+        continue;
+      }
+      if (s == "::" || s == "*") {
+        type_str += s;
+        continue;
+      }
+      if (!type_str.empty() && type_str.back() != ':') type_str += ' ';
+      type_str += s;
+    }
+    out.push_back(IndexedMember{text_at(name_idx), type_str,
+                                t[stmt[name_idx].idx].line,
+                                t[stmt.front().idx].line, false});
+  }
+}
+
+/// A writer region is the lexical scope from a `SnapshotBuilder <var>`
+/// declaration to the close of its enclosing block. Every identifier inside
+/// joins the serialized set: a member counts as covered when its name (or
+/// the name with the trailing '_' stripped, for accessor-style emission)
+/// appears in any region across the whole scan set.
+void collect_writer_regions(const std::vector<Token>& t, SymbolIndex& idx) {
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent || t[i].text != "SnapshotBuilder") {
+      continue;
+    }
+    if (i > 0 && t[i - 1].text == "class") continue;  // the definition
+    std::size_t j = i + 1;
+    if (j >= t.size() || t[j].kind != Token::kIdent) continue;
+    const std::string& after = t[j + 1].text;
+    if (after != ";" && after != "{" && after != "(" && after != "=") {
+      continue;  // member function qualifier, return type, etc.
+    }
+    ++idx.writer_regions;
+    int depth = 0;
+    for (std::size_t k = j; k < t.size(); ++k) {
+      if (t[k].kind == Token::kPunct) {
+        if (t[k].text == "{") {
+          ++depth;
+        } else if (t[k].text == "}") {
+          if (depth == 0) break;
+          --depth;
+        }
+      } else if (t[k].kind == Token::kIdent) {
+        idx.writer_idents.insert(t[k].text);
+      }
+    }
+  }
+}
+
+/// Declarations of EventHandle / FlatMap / FlatSet variables. Scalar
+/// handles are tracked when they are members (inside a type body) or named
+/// like members (trailing '_'); containers of handles and flat containers
+/// are tracked wherever declared.
+void collect_typed_names(const FileData& fd, SymbolIndex& idx) {
+  const auto& t = fd.lexed.tokens;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Token::kIdent) continue;
+    if (t[i].text == "EventHandle") {
+      std::size_t j = i + 1;
+      std::size_t closers = 0;
+      while (tok_is(t, j, ">")) {
+        ++j;
+        ++closers;
+      }
+      if (j + 1 >= t.size() || t[j].kind != Token::kIdent) continue;
+      const std::string& after = t[j + 1].text;
+      if (after != ";" && after != "=" && after != "{") continue;
+      const std::string& name = t[j].text;
+      const bool stored = inside_any_span(fd.spans, j) ||
+                          (!name.empty() && name.back() == '_');
+      if (closers > 0) {
+        idx.handle_container_members.insert(name);
+      } else if (stored) {
+        idx.handle_members.insert(name);
+      }
+      continue;
+    }
+    if ((t[i].text == "FlatMap" || t[i].text == "FlatSet") &&
+        tok_is(t, i + 1, "<")) {
+      const std::size_t close = match_angle(t, i + 1, t.size());
+      if (close == kNpos) continue;
+      const std::size_t j = close + 1;
+      if (j + 1 < t.size() && t[j].kind == Token::kIdent) {
+        const std::string& after = t[j + 1].text;
+        if (after == ";" || after == "=" || after == "{" || after == ",") {
+          idx.flat_members.insert(t[j].text);
+        }
+      }
+    }
+  }
+}
+
+void collect_fastpath_flags(const FileData& fd, SymbolIndex& idx,
+                            std::vector<Finding>& findings) {
+  const auto& t = fd.lexed.tokens;
+  for (int pragma_line : fd.pragmas.fastpath_lines) {
+    bool found = false;
+    for (int cand : {pragma_line, pragma_line + 1}) {
+      for (std::size_t i = 0; i + 1 < t.size() && !found; ++i) {
+        if (t[i].line != cand || t[i].kind != Token::kIdent) continue;
+        if (t[i].text == "true" || t[i].text == "false" ||
+            t[i].text == "nullptr") {
+          continue;
+        }
+        if (i > 0 && t[i - 1].text == "=") continue;
+        const std::string& after = t[i + 1].text;
+        if (after == "=" || after == ";" || after == "{") {
+          idx.flags.push_back(
+              IndexedFlag{t[i].text, fd.path, t[i].line, {}});
+          found = true;
+        }
+      }
+      if (found) break;
+    }
+    if (!found &&
+        !is_suppressed(fd.pragmas, Rule::kPragmaHygiene, pragma_line)) {
+      findings.push_back(
+          Finding{fd.path, pragma_line, Rule::kPragmaHygiene,
+                  "vine-fastpath pragma does not precede a member "
+                  "declaration"});
+    }
+  }
+}
+
+void index_file(const FileData& fd, SymbolIndex& idx, IndexStats& stats,
+                std::vector<Finding>& findings) {
+  const auto& t = fd.lexed.tokens;
+  // State types: attach each `vine-snapshot: state` pragma to the first
+  // type whose declaration opens within the next three lines.
+  for (int pragma_line : fd.pragmas.state_lines) {
+    const TypeSpan* best = nullptr;
+    for (const TypeSpan& s : fd.spans) {
+      if (s.decl_line >= pragma_line && s.decl_line <= pragma_line + 3 &&
+          (best == nullptr || s.decl_line < best->decl_line)) {
+        best = &s;
+      }
+    }
+    if (best == nullptr) {
+      if (!is_suppressed(fd.pragmas, Rule::kPragmaHygiene, pragma_line)) {
+        findings.push_back(
+            Finding{fd.path, pragma_line, Rule::kPragmaHygiene,
+                    "vine-snapshot: state pragma does not precede a "
+                    "struct/class definition"});
+      }
+      continue;
+    }
+    IndexedType ty;
+    ty.name = best->name;
+    ty.file = fd.path;
+    ty.line = best->decl_line;
+    collect_state_members(t, *best, ty.members);
+    for (IndexedMember& m : ty.members) {
+      // The pragma may sit on the declarator's line, the line above it, or
+      // (for declarations that wrap) the line above the statement start.
+      for (int l : {m.line, m.line - 1, m.stmt_line, m.stmt_line - 1}) {
+        if (fd.pragmas.member_exempt.count(l) != 0) {
+          m.exempt = true;
+          break;
+        }
+      }
+      ++stats.members_checked;
+      if (m.exempt) ++stats.members_exempt;
+    }
+    idx.state_types.push_back(std::move(ty));
+    ++stats.state_types;
+  }
+  collect_writer_regions(t, idx);
+  collect_typed_names(fd, idx);
+  collect_fastpath_flags(fd, idx, findings);
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1.5: fast-path flag reads. Runs after every file is indexed (so all
+// flag names are known) and classifies each branch-shaped read.
+// ---------------------------------------------------------------------------
+
+bool classify_branch_read(const std::vector<Token>& t, std::size_t p,
+                          FlagRead::Kind* kind) {
+  // Nearest enclosing `if (...)` whose condition parens span p.
+  const std::size_t back = (p > 96) ? p - 96 : 0;
+  for (std::size_t q = p; q-- > back;) {
+    if (t[q].kind != Token::kIdent || t[q].text != "if" ||
+        !tok_is(t, q + 1, "(")) {
+      continue;
+    }
+    const std::size_t close = match_forward(t, q + 1, "(", ")");
+    if (close <= p || close >= t.size()) continue;
+    // Else arm present?
+    const std::size_t r = close + 1;
+    if (tok_is(t, r, "{")) {
+      const std::size_t bc = match_forward(t, r, "{", "}");
+      if (tok_is(t, bc + 1, "else")) {
+        *kind = FlagRead::kElse;
+        return true;
+      }
+    } else {
+      std::size_t s = r;
+      int depth = 0;
+      while (s < t.size()) {
+        const std::string& x = t[s].text;
+        if (t[s].kind == Token::kPunct) {
+          if (x == "(" || x == "[" || x == "{") {
+            ++depth;
+          } else if (x == ")" || x == "]" || x == "}") {
+            --depth;
+          } else if (depth == 0 && x == ";") {
+            break;
+          }
+        }
+        ++s;
+      }
+      if (tok_is(t, s + 1, "else")) {
+        *kind = FlagRead::kElse;
+        return true;
+      }
+    }
+    // Negated early-out guard: if (!flag) return|continue|break.
+    if (tok_is(t, q + 2, "!")) {
+      std::size_t b = close + 1;
+      if (tok_is(t, b, "{")) ++b;
+      if (b < t.size() &&
+          (t[b].text == "return" || t[b].text == "continue" ||
+           t[b].text == "break")) {
+        *kind = FlagRead::kGuard;
+        return true;
+      }
+    }
+    *kind = FlagRead::kBare;
+    return true;
+  }
+  // Ternary select in the same statement.
+  int depth = 0;
+  for (std::size_t s = p + 1; s < t.size() && s < p + 96; ++s) {
+    if (t[s].kind != Token::kPunct) continue;
+    const std::string& x = t[s].text;
+    if (x == "(" || x == "[" || x == "{") {
+      ++depth;
+    } else if (x == ")" || x == "]" || x == "}") {
+      if (depth == 0) break;
+      --depth;
+    } else if (depth == 0 && x == ";") {
+      break;
+    } else if (depth == 0 && x == "?") {
+      *kind = FlagRead::kTernary;
+      return true;
+    }
+  }
+  return false;  // a write or a copy, not a branch read
+}
+
+void scan_flag_reads(const FileData& fd, SymbolIndex& idx,
+                     IndexStats& stats) {
+  const auto& t = fd.lexed.tokens;
+  for (IndexedFlag& flag : idx.flags) {
+    for (std::size_t p = 0; p < t.size(); ++p) {
+      if (t[p].kind != Token::kIdent || t[p].text != flag.name) continue;
+      if (fd.path == flag.file && t[p].line == flag.line) continue;  // decl
+      if (tok_is(t, p + 1, "=")) continue;  // assignment write
+      FlagRead::Kind kind = FlagRead::kBare;
+      if (classify_branch_read(t, p, &kind)) {
+        flag.reads.push_back(FlagRead{fd.path, t[p].line, kind});
+        ++stats.branch_reads;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL007 snapshot-completeness (cross-file)
+// ---------------------------------------------------------------------------
+
+void rule_snapshot_completeness(
+    const SymbolIndex& idx,
+    const std::map<std::string, const FilePragmas*>& pragmas_by_file,
+    std::vector<Finding>& out) {
+  for (const IndexedType& st : idx.state_types) {
+    const FilePragmas* pg = nullptr;
+    auto pit = pragmas_by_file.find(st.file);
+    if (pit != pragmas_by_file.end()) pg = pit->second;
+    for (const IndexedMember& m : st.members) {
+      if (m.exempt) continue;
+      std::string stripped = m.name;
+      if (!stripped.empty() && stripped.back() == '_') stripped.pop_back();
+      if (idx.writer_idents.count(m.name) != 0 ||
+          idx.writer_idents.count(stripped) != 0) {
+        continue;
+      }
+      if (pg != nullptr &&
+          is_suppressed(*pg, Rule::kSnapshotCompleteness, m.line)) {
+        continue;
+      }
+      out.push_back(Finding{
+          st.file, m.line, Rule::kSnapshotCompleteness,
+          "state type '" + st.name + "' member '" + m.name + "' (" + m.type +
+              ") is never serialized by any SnapshotBuilder writer"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL008 handle-generation
+// ---------------------------------------------------------------------------
+
+void rule_handle_generation(const FileCtx& ctx, const SymbolIndex& idx) {
+  if (path_contains_dir(ctx.path, "src/sim")) {
+    return;  // the implementation layer pokes slots by design
+  }
+  const auto& t = ctx.toks;
+  const std::set<std::string>& scalars = idx.handle_members;
+  const std::set<std::string>& containers = idx.handle_container_members;
+  if (scalars.empty() && containers.empty()) return;
+
+  auto stmt_arms_without_handoff = [&](std::size_t from) {
+    bool arms = false;
+    for (std::size_t s = from; s < t.size(); ++s) {
+      if (t[s].kind == Token::kPunct && t[s].text == ";") break;
+      if (t[s].kind != Token::kIdent) continue;
+      const std::string& x = t[s].text;
+      if (x == "schedule_at" || x == "schedule_after" ||
+          x == "schedule_many") {
+        arms = true;
+      }
+      if (x == "reschedule_at" || x == "reschedule_after") return false;
+    }
+    return arms;
+  };
+
+  auto previous_use_sanctions = [&](std::size_t p, const std::string& name) {
+    for (std::size_t q = p; q-- > 0;) {
+      if (t[q].kind != Token::kIdent || t[q].text != name) continue;
+      // Declaration site (EventHandle x; / vector<EventHandle> x;).
+      if (q > 0 && (t[q - 1].text == "EventHandle" || t[q - 1].text == ">")) {
+        return true;
+      }
+      // Generation-checked access.
+      if (tok_is(t, q + 1, ".") && q + 2 < t.size() &&
+          (t[q + 2].text == "cancel" || t[q + 2].text == "pending")) {
+        return true;
+      }
+      // Hand-off into reschedule_at/after(handle, ...).
+      const std::size_t back = (q > 8) ? q - 8 : 0;
+      for (std::size_t b = back; b < q; ++b) {
+        if (t[b].kind == Token::kIdent &&
+            (t[b].text == "reschedule_at" || t[b].text == "reschedule_after")) {
+          return true;
+        }
+      }
+      return false;  // plain previous use: the re-arm loses that event
+    }
+    return true;  // first occurrence in this file
+  };
+
+  for (std::size_t p = 0; p < t.size(); ++p) {
+    if (t[p].kind != Token::kIdent) continue;
+    const std::string& name = t[p].text;
+    const bool scalar = scalars.count(name) != 0;
+    const bool container = containers.count(name) != 0;
+    if (!scalar && !container) continue;
+    if (p > 0 && (t[p - 1].text == "EventHandle" || t[p - 1].text == ">")) {
+      continue;  // the declaration itself
+    }
+    // Re-arm: X = ...schedule_*(...) or X[...] = ...schedule_*(...).
+    std::size_t eq = kNpos;
+    if (tok_is(t, p + 1, "=")) {
+      eq = p + 1;
+    } else if (container && tok_is(t, p + 1, "[")) {
+      const std::size_t bc = match_forward(t, p + 1, "[", "]");
+      if (tok_is(t, bc + 1, "=")) eq = bc + 1;
+    }
+    if (eq != kNpos) {
+      if (stmt_arms_without_handoff(eq + 1) &&
+          !previous_use_sanctions(p, name)) {
+        ctx.report(Rule::kHandleGeneration, t[p].line,
+                   "stored EventHandle '" + name +
+                       "' is re-armed without cancel()/pending() or a "
+                       "reschedule hand-off — the superseded event still "
+                       "fires");
+      }
+      continue;
+    }
+    // Internals access on a scalar handle: only cancel()/pending() are
+    // generation-checked.
+    if (scalar && tok_is(t, p + 1, ".") && p + 3 < t.size() &&
+        t[p + 2].kind == Token::kIdent && tok_is(t, p + 3, "(") &&
+        t[p + 2].text != "cancel" && t[p + 2].text != "pending") {
+      ctx.report(Rule::kHandleGeneration, t[p].line,
+                 "access to EventHandle '" + name + "' via ." +
+                     t[p + 2].text +
+                     "() bypasses the generation check; only "
+                     "cancel()/pending() are stale-safe");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL009 flat-container-aliasing
+// ---------------------------------------------------------------------------
+
+const std::set<std::string>& flat_mutators() {
+  static const std::set<std::string> kSet = {"insert", "emplace", "erase",
+                                             "clear", "reserve"};
+  return kSet;
+}
+
+bool is_iter_producing(const std::string& s) {
+  return s == "find" || s == "begin" || s == "cbegin" ||
+         s == "lower_bound" || s == "erase";
+}
+
+void rule_flat_aliasing(const FileCtx& ctx, const SymbolIndex& idx) {
+  const auto& t = ctx.toks;
+  const std::set<std::string>& tracked = idx.flat_members;
+  if (tracked.empty()) return;
+
+  struct Alias {
+    std::string container;
+    std::size_t bound_at = 0;
+    std::size_t frame = 0;
+  };
+  struct Mutation {
+    std::string container;
+    std::size_t pos = 0;
+    int line = 0;
+    std::string method;
+  };
+  std::map<std::string, Alias> aliases;
+  std::vector<std::vector<Mutation>> frames(1);
+  struct RangeFor {
+    std::string container;
+    std::size_t end = 0;
+  };
+  std::vector<RangeFor> range_fors;
+
+  std::size_t stmt_start = 0;
+  std::vector<Mutation> stmt_mutations;
+  std::vector<std::pair<std::string, std::string>> stmt_bindings;
+
+  auto bind_lhs = [&](std::size_t eq, const std::string& container,
+                      bool need_ref) {
+    // LHS names: structured binding `auto [a, b] =` or the last identifier
+    // before '='. Reference-required bindings (operator[]) must show a '&'.
+    bool has_ref = false;
+    std::size_t br_open = kNpos;
+    std::string last_ident;
+    for (std::size_t k = stmt_start; k < eq; ++k) {
+      if (t[k].kind == Token::kPunct) {
+        if (t[k].text == "&") has_ref = true;
+        if (t[k].text == "[") br_open = k;
+        continue;
+      }
+      if (t[k].kind == Token::kIdent) last_ident = t[k].text;
+    }
+    if (need_ref && !has_ref) return;
+    if (br_open != kNpos) {
+      const std::size_t br_close = match_forward(t, br_open, "[", "]");
+      bool any = false;
+      for (std::size_t k = br_open + 1; k < br_close && k < eq; ++k) {
+        if (t[k].kind == Token::kIdent) {
+          stmt_bindings.emplace_back(t[k].text, container);
+          any = true;
+        }
+      }
+      if (any) return;
+    }
+    if (!last_ident.empty()) stmt_bindings.emplace_back(last_ident, container);
+  };
+
+  auto find_stmt_eq = [&](std::size_t before) {
+    for (std::size_t k = before; k-- > stmt_start;) {
+      if (t[k].kind != Token::kPunct) continue;
+      if (t[k].text == "=") return k;
+      if (t[k].text == ";" || t[k].text == "{" || t[k].text == "}") break;
+    }
+    return kNpos;
+  };
+
+  for (std::size_t p = 0; p < t.size(); ++p) {
+    const Token& tk = t[p];
+    if (tk.kind == Token::kPunct) {
+      if (tk.text == "{") {
+        frames.emplace_back();
+        stmt_start = p + 1;
+        stmt_mutations.clear();
+        stmt_bindings.clear();
+        continue;
+      }
+      if (tk.text == "}") {
+        if (frames.size() > 1) {
+          frames.pop_back();
+          for (auto it = aliases.begin(); it != aliases.end();) {
+            if (it->second.frame >= frames.size()) {
+              it = aliases.erase(it);
+            } else {
+              ++it;
+            }
+          }
+        }
+        while (!range_fors.empty() && range_fors.back().end <= p) {
+          range_fors.pop_back();
+        }
+        stmt_start = p + 1;
+        stmt_mutations.clear();
+        stmt_bindings.clear();
+        continue;
+      }
+      if (tk.text == ";") {
+        for (const Mutation& m : stmt_mutations) frames.back().push_back(m);
+        for (const auto& [nm, c] : stmt_bindings) {
+          aliases[nm] = Alias{c, p, frames.size() - 1};
+        }
+        stmt_mutations.clear();
+        stmt_bindings.clear();
+        stmt_start = p + 1;
+        while (!range_fors.empty() && range_fors.back().end <= p) {
+          range_fors.pop_back();
+        }
+        continue;
+      }
+      continue;
+    }
+    if (tk.kind != Token::kIdent) continue;
+
+    // Range-for over a tracked container.
+    if (tk.text == "for" && tok_is(t, p + 1, "(")) {
+      const std::size_t close = match_forward(t, p + 1, "(", ")");
+      int depth = 0;
+      std::size_t colon = kNpos;
+      for (std::size_t k = p + 2; k < close; ++k) {
+        if (t[k].kind != Token::kPunct) continue;
+        const std::string& s = t[k].text;
+        if (s == "(" || s == "[" || s == "{" || s == "<") {
+          ++depth;
+        } else if (s == ")" || s == "]" || s == "}" || s == ">") {
+          --depth;
+        } else if (depth == 0 && s == ";") {
+          break;
+        } else if (depth == 0 && s == ":") {
+          colon = k;
+          break;
+        }
+      }
+      if (colon != kNpos) {
+        for (std::size_t k = colon + 1; k < close; ++k) {
+          if (t[k].kind != Token::kIdent || tracked.count(t[k].text) == 0) {
+            continue;
+          }
+          std::size_t body_end = close + 1;
+          if (tok_is(t, close + 1, "{")) {
+            body_end = match_forward(t, close + 1, "{", "}");
+          } else {
+            int d2 = 0;
+            while (body_end < t.size()) {
+              const std::string& s = t[body_end].text;
+              if (t[body_end].kind == Token::kPunct) {
+                if (s == "(" || s == "[" || s == "{") {
+                  ++d2;
+                } else if (s == ")" || s == "]" || s == "}") {
+                  --d2;
+                } else if (d2 == 0 && s == ";") {
+                  break;
+                }
+              }
+              ++body_end;
+            }
+          }
+          range_fors.push_back(RangeFor{t[k].text, body_end});
+          break;
+        }
+      }
+      continue;
+    }
+
+    // Tracked container: mutation and/or alias-producing call.
+    if (tracked.count(tk.text) != 0) {
+      std::string method;
+      bool is_mut = false;
+      if (tok_is(t, p + 1, ".") && p + 3 < t.size() &&
+          t[p + 2].kind == Token::kIdent && tok_is(t, p + 3, "(")) {
+        method = t[p + 2].text;
+        is_mut = flat_mutators().count(method) != 0;
+      } else if (tok_is(t, p + 1, "[")) {
+        method = "operator[]";
+        is_mut = true;
+      }
+      if (is_mut) {
+        stmt_mutations.push_back(Mutation{tk.text, p, tk.line, method});
+        for (const RangeFor& rf : range_fors) {
+          if (rf.container == tk.text && p <= rf.end) {
+            ctx.report(Rule::kFlatAliasing, tk.line,
+                       "mutating FlatMap/FlatSet '" + tk.text + "' (" +
+                           method +
+                           ") inside a range-for over it — the backing "
+                           "vector shifts under the loop");
+            break;
+          }
+        }
+      }
+      // Alias binding: `[auto&] name = c.find(...)` / `auto& v = c[...]`.
+      if (!method.empty()) {
+        const std::size_t eq = find_stmt_eq(p);
+        if (eq != kNpos) {
+          if (method != "operator[]" && is_iter_producing(method)) {
+            bind_lhs(eq, tk.text, /*need_ref=*/false);
+          } else if (method == "operator[]") {
+            bind_lhs(eq, tk.text, /*need_ref=*/true);
+          }
+        }
+      }
+      continue;
+    }
+
+    // Alias use after a committed mutation in a still-open frame.
+    auto ait = aliases.find(tk.text);
+    if (ait != aliases.end() && ait->second.bound_at < stmt_start) {
+      if (tok_is(t, p + 1, "=")) {
+        // `it = c.find(...)` re-binds the alias, it does not read it; the
+        // RHS handling above re-registers the binding if one is produced.
+        aliases.erase(ait);
+        continue;
+      }
+      int mut_line = 0;
+      std::string mut_method;
+      for (const auto& fr : frames) {
+        for (const Mutation& m : fr) {
+          if (m.container == ait->second.container &&
+              m.pos > ait->second.bound_at) {
+            mut_line = m.line;
+            mut_method = m.method;
+          }
+        }
+      }
+      if (mut_line != 0) {
+        ctx.report(Rule::kFlatAliasing, tk.line,
+                   "'" + tk.text + "' aliases into FlatMap/FlatSet '" +
+                       ait->second.container + "' mutated by " + mut_method +
+                       " on line " + std::to_string(mut_line) +
+                       " — the alias is invalidated");
+        aliases.erase(ait);
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL010 tunable-parity (cross-file)
+// ---------------------------------------------------------------------------
+
+bool word_in_text(const std::string& text, const std::string& word) {
+  std::size_t pos = 0;
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !ident_char(text[pos - 1]);
+    const std::size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !ident_char(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+void rule_tunable_parity(
+    const SymbolIndex& idx,
+    const std::map<std::string, const FilePragmas*>& pragmas_by_file,
+    const std::vector<std::pair<std::string, std::string>>& test_corpus,
+    std::vector<Finding>& out) {
+  for (const IndexedFlag& flag : idx.flags) {
+    auto report = [&](const std::string& file, int line, std::string msg) {
+      auto pit = pragmas_by_file.find(file);
+      if (pit != pragmas_by_file.end() &&
+          is_suppressed(*pit->second, Rule::kTunableParity, line)) {
+        return;
+      }
+      out.push_back(Finding{file, line, Rule::kTunableParity,
+                            std::move(msg)});
+    };
+    bool has_reference = false;
+    for (const FlagRead& r : flag.reads) {
+      if (r.kind == FlagRead::kElse || r.kind == FlagRead::kTernary) {
+        has_reference = true;
+      }
+      if (r.kind == FlagRead::kBare) {
+        report(r.file, r.line,
+               "branch on fast-path tunable '" + flag.name +
+                   "' has no reference arm (expected an else, a ternary, "
+                   "or a negated early-out)");
+      }
+    }
+    if (!flag.reads.empty() && !has_reference) {
+      report(flag.file, flag.line,
+             "fast-path tunable '" + flag.name +
+                 "' is never branched against a reference path");
+    }
+    bool mentioned = false;
+    for (const auto& [path, text] : test_corpus) {
+      (void)path;
+      if (word_in_text(text, flag.name)) {
+        mentioned = true;
+        break;
+      }
+    }
+    if (!mentioned) {
+      report(flag.file, flag.line,
+             "fast-path tunable '" + flag.name +
+                 "' is not exercised by name in any differential test "
+                 "under the test roots");
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// VL011 pragma-hygiene (per file)
+// ---------------------------------------------------------------------------
+
+void rule_pragma_hygiene(const FileCtx& ctx, bool require_justification) {
+  for (const PragmaIssue& issue : ctx.pragmas.issues) {
+    ctx.report(Rule::kPragmaHygiene, issue.line, issue.message);
+  }
+  if (require_justification) {
+    for (const auto& [line, justified] : ctx.pragmas.suppress_sites) {
+      if (!justified) {
+        ctx.report(Rule::kPragmaHygiene, line,
+                   "suppress() pragma lacks a trailing justification "
+                   "comment");
+      }
+    }
+  }
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   std::ostringstream ss;
   ss << in.rdbuf();
   return ss.str();
+}
+
+void build_file(FileData& fd) {
+  fd.lexed = lex(fd.raw);
+  fd.pragmas = collect_pragmas(fd.lexed.comments);
+  fd.spans = find_type_spans(fd.lexed.tokens);
+}
+
+void run_file_rules(const FileData& fd, const SymbolIndex& idx,
+                    const std::vector<std::string>& subjects,
+                    bool subjects_available, bool require_justification,
+                    std::vector<Finding>& findings) {
+  FileCtx ctx{fd.path, fd.raw, fd.lexed.tokens, fd.pragmas, findings};
+  rule_unordered_iter(ctx);
+  rule_ambient_entropy(ctx);
+  rule_pointer_sort(ctx);
+  rule_uninit_pod(ctx);
+  rule_txn_subject(ctx, subjects, subjects_available);
+  rule_float_accum(ctx);
+  rule_handle_generation(ctx, idx);
+  rule_flat_aliasing(ctx, idx);
+  rule_pragma_hygiene(ctx, require_justification);
+}
+
+void sort_findings(std::vector<Finding>& findings) {
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
+            });
 }
 
 }  // namespace
@@ -1069,6 +2232,15 @@ const RuleInfo& rule_info(Rule rule) {
 std::optional<Rule> rule_from_name(std::string_view name) {
   for (const RuleInfo& info : kRules) {
     if (name == info.name) return info.rule;
+  }
+  // Accept the rule id too ("VL007", case-insensitive) for --only.
+  if (name.size() == 5) {
+    std::string upper(name);
+    for (char& c : upper) c = static_cast<char>(std::toupper(
+        static_cast<unsigned char>(c)));
+    for (const RuleInfo& info : kRules) {
+      if (upper == info.id) return info.rule;
+    }
   }
   return std::nullopt;
 }
@@ -1130,24 +2302,95 @@ void Linter::ensure_subjects() {
   subjects_missing_ = true;
 }
 
+void Linter::apply_only_filter(std::vector<Finding>& findings) const {
+  if (opts_.only.empty()) return;
+  findings.erase(
+      std::remove_if(findings.begin(), findings.end(),
+                     [&](const Finding& f) {
+                       return std::find(opts_.only.begin(), opts_.only.end(),
+                                        f.rule) == opts_.only.end();
+                     }),
+      findings.end());
+}
+
+/// Raw text of every test file VL010 checks tunable names against. When
+/// test_roots is empty, derives <root>/tests and <root>/../tests from each
+/// scan root (so `vine_lint --root repo src` finds repo/tests).
+std::vector<std::pair<std::string, std::string>> Linter::load_test_corpus()
+    const {
+  namespace fs = std::filesystem;
+  static const std::set<std::string> kExts = {".h", ".hpp", ".cpp", ".cc",
+                                              ".cxx"};
+  std::vector<std::string> roots = opts_.test_roots;
+  if (roots.empty()) {
+    for (const std::string& root : opts_.roots) {
+      std::error_code ec;
+      const fs::path p(root);
+      for (const fs::path& cand :
+           {p / "tests", p.parent_path() / "tests"}) {
+        if (fs::is_directory(cand, ec)) {
+          roots.push_back(cand.generic_string());
+        }
+      }
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  roots.erase(std::unique(roots.begin(), roots.end()), roots.end());
+  std::vector<std::pair<std::string, std::string>> corpus;
+  for (const std::string& root : roots) {
+    std::error_code ec;
+    if (fs::is_regular_file(root, ec)) {
+      corpus.emplace_back(root, read_file(root));
+      continue;
+    }
+    if (!fs::is_directory(root, ec)) continue;
+    std::vector<std::string> files;
+    for (fs::recursive_directory_iterator it(root, ec), end;
+         it != end && !ec; it.increment(ec)) {
+      if (!it->is_regular_file(ec)) continue;
+      if (kExts.count(it->path().extension().string()) != 0) {
+        files.push_back(it->path().generic_string());
+      }
+    }
+    std::sort(files.begin(), files.end());
+    for (const std::string& f : files) corpus.emplace_back(f, read_file(f));
+  }
+  return corpus;
+}
+
 std::vector<Finding> Linter::lint_text(const std::string& path,
                                        const std::string& text) {
   ensure_subjects();
-  LexResult lexed = lex(text);
-  const Pragmas pragmas = collect_pragmas(lexed.comments);
+  FileData fd;
+  fd.path = path;
+  fd.raw = text;
+  build_file(fd);
+
+  stats_ = IndexStats{};
+  stats_.files_indexed = 1;
+  SymbolIndex idx;
   std::vector<Finding> findings;
-  FileCtx ctx{path, text, lexed.tokens, pragmas, findings};
-  rule_unordered_iter(ctx);
-  rule_ambient_entropy(ctx);
-  rule_pointer_sort(ctx);
-  rule_uninit_pod(ctx);
-  rule_txn_subject(ctx, opts_.subjects, subjects_loaded_);
-  rule_float_accum(ctx);
+  index_file(fd, idx, stats_, findings);
+  scan_flag_reads(fd, idx, stats_);
+  stats_.writer_regions = idx.writer_regions;
+  stats_.writer_idents = idx.writer_idents.size();
+  stats_.fastpath_flags = idx.flags.size();
+  stats_.handle_members = idx.handle_members.size();
+  stats_.flat_members = idx.flat_members.size();
+
+  run_file_rules(fd, idx, opts_.subjects, subjects_loaded_,
+                 opts_.require_suppress_justification, findings);
+  const std::map<std::string, const FilePragmas*> by_file = {
+      {fd.path, &fd.pragmas}};
+  rule_snapshot_completeness(idx, by_file, findings);
+  rule_tunable_parity(idx, by_file, load_test_corpus(), findings);
+
   std::sort(findings.begin(), findings.end(),
             [](const Finding& a, const Finding& b) {
               if (a.line != b.line) return a.line < b.line;
               return static_cast<int>(a.rule) < static_cast<int>(b.rule);
             });
+  apply_only_filter(findings);
   return findings;
 }
 
@@ -1178,19 +2421,37 @@ std::vector<Finding> Linter::run() {
   files.erase(std::unique(files.begin(), files.end()), files.end());
   files_scanned_ = files.size();
 
+  // Pass 1: lex, collect pragmas, and index every file.
+  std::vector<FileData> fds(files.size());
+  stats_ = IndexStats{};
+  stats_.files_indexed = files.size();
+  SymbolIndex idx;
   std::vector<Finding> findings;
-  for (const std::string& f : files) {
-    auto per_file = lint_text(f, read_file(f));
-    findings.insert(findings.end(),
-                    std::make_move_iterator(per_file.begin()),
-                    std::make_move_iterator(per_file.end()));
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    fds[i].path = files[i];
+    fds[i].raw = read_file(files[i]);
+    build_file(fds[i]);
+    index_file(fds[i], idx, stats_, findings);
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              if (a.file != b.file) return a.file < b.file;
-              if (a.line != b.line) return a.line < b.line;
-              return static_cast<int>(a.rule) < static_cast<int>(b.rule);
-            });
+  for (FileData& fd : fds) scan_flag_reads(fd, idx, stats_);
+  stats_.writer_regions = idx.writer_regions;
+  stats_.writer_idents = idx.writer_idents.size();
+  stats_.fastpath_flags = idx.flags.size();
+  stats_.handle_members = idx.handle_members.size();
+  stats_.flat_members = idx.flat_members.size();
+
+  // Pass 2: per-file rules, then the cross-file rules against the index.
+  std::map<std::string, const FilePragmas*> by_file;
+  for (const FileData& fd : fds) by_file.emplace(fd.path, &fd.pragmas);
+  for (const FileData& fd : fds) {
+    run_file_rules(fd, idx, opts_.subjects, subjects_loaded_,
+                   opts_.require_suppress_justification, findings);
+  }
+  rule_snapshot_completeness(idx, by_file, findings);
+  rule_tunable_parity(idx, by_file, load_test_corpus(), findings);
+
+  sort_findings(findings);
+  apply_only_filter(findings);
   return findings;
 }
 

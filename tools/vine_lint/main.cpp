@@ -3,6 +3,8 @@
 //   vine_lint --root <repo>            # scans <repo>/{src,bench,tools}
 //   vine_lint file.cpp dir/ ...        # scans explicit paths
 //   vine_lint --list-rules             # print the rule table
+//   vine_lint --only=VL007,VL009 ...   # run everything, report these rules
+//   vine_lint --stats ...              # print symbol-index counters
 //
 // Exit status: 0 clean, 1 findings, 2 usage/configuration error.
 #include <cstdio>
@@ -20,8 +22,44 @@ void print_rules() {
   using hepvine::lint::rule_info;
   for (std::size_t i = 0; i < kRuleCount; ++i) {
     const auto& info = rule_info(static_cast<Rule>(i));
-    std::printf("%s %-16s %s\n", info.id, info.name, info.hint);
+    std::printf("%s %-24s %s\n", info.id, info.name, info.hint);
   }
+}
+
+void print_stats(const hepvine::lint::IndexStats& s) {
+  std::printf(
+      "vine_lint index: %zu file(s), %zu state type(s), %zu member(s) "
+      "checked (%zu exempt), %zu writer region(s) covering %zu "
+      "identifier(s), %zu fast-path flag(s) with %zu branch read(s), "
+      "%zu handle member(s), %zu flat member(s)\n",
+      s.files_indexed, s.state_types, s.members_checked, s.members_exempt,
+      s.writer_regions, s.writer_idents, s.fastpath_flags, s.branch_reads,
+      s.handle_members, s.flat_members);
+}
+
+/// Parse "VL007,flat-container-aliasing,..." into rules; returns false and
+/// reports the offending name on error.
+bool parse_only(const std::string& list,
+                std::vector<hepvine::lint::Rule>* out) {
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    std::size_t comma = list.find(',', pos);
+    if (comma == std::string::npos) comma = list.size();
+    const std::string name = list.substr(pos, comma - pos);
+    if (!name.empty()) {
+      auto rule = hepvine::lint::rule_from_name(name);
+      if (!rule) {
+        std::fprintf(stderr,
+                     "vine_lint: unknown rule '%s' in --only (see "
+                     "--list-rules)\n",
+                     name.c_str());
+        return false;
+      }
+      out->push_back(*rule);
+    }
+    pos = comma + 1;
+  }
+  return true;
 }
 
 }  // namespace
@@ -30,6 +68,8 @@ int main(int argc, char** argv) {
   namespace fs = std::filesystem;
   std::string root = ".";
   std::vector<std::string> paths;
+  hepvine::lint::LintOptions opts;
+  bool want_stats = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root") {
@@ -38,13 +78,35 @@ int main(int argc, char** argv) {
         return 2;
       }
       root = argv[++i];
+    } else if (arg == "--tests") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "vine_lint: --tests needs a path\n");
+        return 2;
+      }
+      opts.test_roots.push_back(argv[++i]);
+    } else if (arg.rfind("--only=", 0) == 0) {
+      if (!parse_only(arg.substr(7), &opts.only)) return 2;
+      if (opts.only.empty()) {
+        std::fprintf(stderr, "vine_lint: --only needs at least one rule\n");
+        return 2;
+      }
+    } else if (arg == "--stats") {
+      want_stats = true;
+    } else if (arg == "--require-suppress-justification") {
+      opts.require_suppress_justification = true;
     } else if (arg == "--list-rules") {
       print_rules();
       return 0;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
-          "usage: vine_lint [--root DIR] [--list-rules] [paths...]\n"
-          "With no paths, scans DIR/src, DIR/bench and DIR/tools.\n");
+          "usage: vine_lint [--root DIR] [--tests PATH] [--only=RULES]\n"
+          "                 [--stats] [--require-suppress-justification]\n"
+          "                 [--list-rules] [paths...]\n"
+          "With no paths, scans DIR/src, DIR/bench and DIR/tools.\n"
+          "--only takes a comma-separated list of rule ids (VL007) or\n"
+          "names (snapshot-completeness); all rules still run, output is\n"
+          "filtered. --tests points VL010 at the differential-test corpus\n"
+          "(default DIR/tests).\n");
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::fprintf(stderr, "vine_lint: unknown flag '%s'\n", arg.c_str());
@@ -54,7 +116,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  hepvine::lint::LintOptions opts;
   if (paths.empty()) {
     for (const char* sub : {"src", "bench", "tools"}) {
       const std::string dir = root + "/" + sub;
@@ -71,6 +132,11 @@ int main(int argc, char** argv) {
     opts.roots = paths;
   }
   opts.txn_log_header = root + "/src/obs/txn_log.h";
+  if (opts.test_roots.empty()) {
+    const std::string tests = root + "/tests";
+    std::error_code ec;
+    if (fs::is_directory(tests, ec)) opts.test_roots.push_back(tests);
+  }
 
   hepvine::lint::Linter linter(opts);
   const auto findings = linter.run();
@@ -81,6 +147,7 @@ int main(int argc, char** argv) {
   if (!findings.empty()) {
     std::fputs(hepvine::lint::format_findings(findings).c_str(), stdout);
   }
+  if (want_stats) print_stats(linter.index_stats());
   std::printf("vine_lint: %zu finding(s) across %zu file(s)\n",
               findings.size(), linter.files_scanned());
   return findings.empty() ? 0 : 1;
