@@ -217,6 +217,9 @@ class DaskRun {
     std::uint64_t mem_used = 0;
     std::vector<FileId> holding;  // result keys resident in memory
     Tick last_heartbeat_served = 0;
+    /// Residue clock for this process's serialization charges: repeated
+    /// sub-tick argument pickles sum exactly instead of each rounding up.
+    util::TickAccumulator ser;
   };
 
   struct FileInfo {
@@ -913,8 +916,10 @@ class DaskRun {
     const auto& node = cluster_.worker(node_of(pid));
     Proc& p = proc(pid);
 
-    const Tick pre =
-        options_.python.serialize_time(options_.python.argument_bytes);
+    // Charge the argument pickle through the process's residue clock so
+    // back-to-back sub-tick tuples sum exactly (util::TickAccumulator).
+    const Tick pre = options_.python.serialize_time_acc(
+        options_.python.argument_bytes, p.ser);
     const Tick compute = exec::modeled_exec_ticks(
         task, node.effective_speed(), options_.exec_time_jitter, rng_);
 
@@ -1218,7 +1223,9 @@ class DaskRun {
                 "inc=" + std::to_string(p.incarnation) +
                     " busy=" + std::to_string(p.busy ? 1 : 0) +
                     " mem=" + std::to_string(p.mem_used) +
-                    " held=" + std::to_string(p.holding.size()));
+                    " held=" + std::to_string(p.holding.size()) +
+                    " ser=" + std::to_string(p.ser.bytes) + ":" +
+                    std::to_string(p.ser.charged));
     }
 
     b.section("backoff");

@@ -113,6 +113,19 @@ struct RunReport {
   /// asserts instead of counting.
   std::uint64_t peer_slot_underflows = 0;
 
+  // --- node-local object store (VineTunables::object_store) --------------
+  /// Outputs published in-memory (no serialization, no disk write), the
+  /// by-reference handles colocated consumers took on them, the objects
+  /// forced onto disk (capacity pressure or a remote consumer), and the
+  /// objects that died in memory without ever touching disk. All zero when
+  /// the store is off.
+  std::uint64_t store_puts = 0;
+  std::uint64_t store_put_bytes = 0;
+  std::uint64_t store_ref_hits = 0;
+  std::uint64_t store_spills = 0;
+  std::uint64_t store_spill_bytes = 0;
+  std::uint64_t store_drops = 0;
+
   /// What the fault injector did to this run and what recovery cost
   /// (faults_injected, transfers_killed, backoff_wait, ...). All zero when
   /// RunOptions::faults was empty.

@@ -152,6 +152,46 @@ void TxnLog::cache_lost(Tick t, std::int32_t worker, std::int64_t file,
   push(buf);
 }
 
+void TxnLog::store_put(Tick t, std::int32_t worker, std::int64_t file,
+                       std::uint64_t bytes) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " STORE %" PRId64 " PUT %" PRIu64 " %d", t, file,
+                bytes, worker);
+  push(buf);
+}
+
+void TxnLog::store_ref(Tick t, std::int32_t worker, std::int64_t file,
+                       std::uint64_t bytes) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " STORE %" PRId64 " REF %" PRIu64 " %d", t, file,
+                bytes, worker);
+  push(buf);
+}
+
+void TxnLog::store_spill(Tick t, std::int32_t worker, std::int64_t file,
+                         std::uint64_t bytes) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " STORE %" PRId64 " SPILL %" PRIu64 " %d", t, file,
+                bytes, worker);
+  push(buf);
+}
+
+void TxnLog::store_drop(Tick t, std::int32_t worker, std::int64_t file,
+                        std::uint64_t bytes) {
+  if (!enabled_) return;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "%" PRId64 " STORE %" PRId64 " DROP %" PRIu64 " %d", t, file,
+                bytes, worker);
+  push(buf);
+}
+
 void TxnLog::transfer_start(Tick t, std::size_t src, std::size_t dst,
                             std::int64_t file, std::uint64_t bytes) {
   if (!enabled_) return;

@@ -11,6 +11,7 @@
 //   time TASK id DONE reason
 //   time WORKER id CONNECTION|DISCONNECTION reason
 //   time CACHE file_id INSERT|EVICT|GC|LOST size_bytes worker_id
+//   time STORE file_id PUT|REF|SPILL|DROP size_bytes worker_id
 //   time TRANSFER src dst file_id size_bytes START|DONE|FAILED
 //   time LIBRARY worker_id SENT|STARTED
 //   time FAULT seq KIND detail
@@ -57,7 +58,7 @@ inline constexpr TxnSubjectInfo kTxnSubjects[] = {
     {"MANAGER", true}, {"TASK", true},  {"WORKER", true},
     {"CACHE", true},   {"TRANSFER", false}, {"LIBRARY", true},
     {"FAULT", true},   {"NET", true},   {"SPAN", true},
-    {"SNAPSHOT", true}, {"RECOVER", true},
+    {"SNAPSHOT", true}, {"RECOVER", true}, {"STORE", true},
 };
 
 [[nodiscard]] constexpr bool txn_subject_registered(std::string_view s) {
@@ -116,6 +117,25 @@ class TxnLog {
   /// EVICT/GC this was not the scheduler's decision, and the FAULT line
   /// carries the injection record.
   void cache_lost(Tick t, std::int32_t worker, std::int64_t file,
+                  std::uint64_t bytes);
+
+  /// PUT: a FunctionCall output became a node-local in-memory store
+  /// object on `worker` — no serialization, no disk write.
+  void store_put(Tick t, std::int32_t worker, std::int64_t file,
+                 std::uint64_t bytes);
+  /// REF: a consumer dispatched to the holder took a by-reference handle
+  /// on the object for the lifetime of its attempt.
+  void store_ref(Tick t, std::int32_t worker, std::int64_t file,
+                 std::uint64_t bytes);
+  /// SPILL: the object was materialized on the holder's scratch disk
+  /// (capacity pressure, or a remote consumer needs the bytes); an
+  /// ordinary `CACHE INSERT` for the same file follows and the file joins
+  /// the replica table.
+  void store_spill(Tick t, std::int32_t worker, std::int64_t file,
+                   std::uint64_t bytes);
+  /// DROP: the object died in memory (reference count drained, or its
+  /// holder was wiped) without ever touching disk.
+  void store_drop(Tick t, std::int32_t worker, std::int64_t file,
                   std::uint64_t bytes);
 
   void transfer_start(Tick t, std::size_t src, std::size_t dst,

@@ -223,6 +223,44 @@ std::string format_cache_summary(const CacheSummary& cs) {
   return out;
 }
 
+StoreSummary store_summary(const std::vector<Event>& events) {
+  StoreSummary out;
+  for (const auto& ev : events) {
+    if (ev.subject != "STORE" || ev.rest.empty()) continue;
+    const auto bytes =
+        static_cast<std::uint64_t>(std::strtoull(ev.rest[0].c_str(),
+                                                 nullptr, 10));
+    if (ev.verb == "PUT") {
+      ++out.puts;
+      out.put_bytes += bytes;
+    } else if (ev.verb == "REF") {
+      ++out.refs;
+      out.ref_bytes += bytes;
+    } else if (ev.verb == "SPILL") {
+      ++out.spills;
+      out.spilled_bytes += bytes;
+    } else if (ev.verb == "DROP") {
+      ++out.drops;
+      out.dropped_bytes += bytes;
+    }
+  }
+  return out;
+}
+
+std::string format_store_summary(const StoreSummary& ss) {
+  std::string out = "verb     count         bytes\n";
+  char buf[96];
+  const auto row = [&](const char* verb, std::size_t n, std::uint64_t b) {
+    std::snprintf(buf, sizeof(buf), "%-8s %5zu %13" PRIu64 "\n", verb, n, b);
+    out += buf;
+  };
+  row("PUT", ss.puts, ss.put_bytes);
+  row("REF", ss.refs, ss.ref_bytes);
+  row("SPILL", ss.spills, ss.spilled_bytes);
+  row("DROP", ss.drops, ss.dropped_bytes);
+  return out;
+}
+
 std::vector<SpanRecord> span_records(const std::vector<Event>& events) {
   std::vector<SpanRecord> out;
   for (const auto& ev : events) {

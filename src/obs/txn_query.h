@@ -118,6 +118,26 @@ struct CacheSummary {
 /// Human-readable cache-lifecycle table.
 [[nodiscard]] std::string format_cache_summary(const CacheSummary& cs);
 
+/// Object-store lifecycle rollup over the STORE lines: outputs entering
+/// the node-local in-memory store (PUT), by-reference handles taken by
+/// colocated consumers (REF), objects materialized to disk (SPILL — each
+/// pairs with a CACHE INSERT for the same file), and in-memory deaths
+/// (DROP).
+struct StoreSummary {
+  std::size_t puts = 0;
+  std::size_t refs = 0;
+  std::size_t spills = 0;
+  std::size_t drops = 0;
+  std::uint64_t put_bytes = 0;
+  std::uint64_t ref_bytes = 0;
+  std::uint64_t spilled_bytes = 0;
+  std::uint64_t dropped_bytes = 0;
+};
+[[nodiscard]] StoreSummary store_summary(const std::vector<Event>& events);
+
+/// Human-readable object-store lifecycle table.
+[[nodiscard]] std::string format_store_summary(const StoreSummary& ss);
+
 /// One `SPAN task ATTEMPT ...` record: the full lifecycle phase
 /// boundaries of a task attempt (see obs/txn_log.h for the line format).
 /// `retrieved` is the line's own timestamp — the manager finalized the

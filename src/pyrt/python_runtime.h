@@ -67,9 +67,30 @@ struct PythonRuntimeSpec {
   /// once per worker in serverless mode.
   std::uint64_t environment_bytes = 600 * util::kMB;
 
+  /// Zero bytes means nothing crosses the pickle boundary at all — a
+  /// by-reference handoff — so no fixed cost either. cloudpickle's 2 ms
+  /// floor buys nothing when there is no object to walk.
   [[nodiscard]] Tick serialize_time(std::uint64_t bytes) const noexcept {
+    if (bytes == 0) return 0;
     return serialize_fixed +
            util::transfer_time(bytes, serialize_bytes_per_sec);
+  }
+
+  /// Like `serialize_time` but charges the throughput term through a
+  /// per-process residue clock, so repeated sub-tick payloads (16 KiB
+  /// argument tuples) sum exactly instead of losing fractional ticks to
+  /// per-call round-up.
+  [[nodiscard]] Tick serialize_time_acc(
+      std::uint64_t bytes, util::TickAccumulator& acc) const noexcept {
+    if (bytes == 0) return 0;
+    return serialize_fixed + acc.charge(bytes, serialize_bytes_per_sec);
+  }
+
+  /// Cost of handing an argument tuple to a colocated FunctionCall by
+  /// reference through the node-local object store: the payload never
+  /// leaves process memory, so the exchange is free.
+  [[nodiscard]] Tick byref_handoff_time() const noexcept {
+    return serialize_time(0);
   }
 };
 

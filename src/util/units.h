@@ -63,6 +63,30 @@ using Bandwidth = double;
   return ticks > 0 ? ticks : 1;
 }
 
+/// Cumulative-exact charging for repeated small transfers. Each
+/// `transfer_time` call rounds up to a whole tick, so N back-to-back
+/// sub-tick payloads (16 KiB argument tuples at 200 MB/s) overcharge by
+/// up to N-1 ticks versus one N-times-larger transfer. The accumulator
+/// applies the settle_flow residue pattern to cost charging: it tracks
+/// lifetime bytes and lifetime ticks charged, and each call returns the
+/// difference between the exact cumulative cost and what was already
+/// charged — so any split of a byte stream sums to the same total.
+// vine-snapshot: state
+struct TickAccumulator {
+  std::uint64_t bytes = 0;  // lifetime bytes charged through this clock
+  Tick charged = 0;         // lifetime ticks returned so far
+
+  /// Charge `b` more bytes at `rate`; returns the incremental ticks.
+  [[nodiscard]] Tick charge(std::uint64_t b, Bandwidth rate) noexcept {
+    if (b == 0) return 0;
+    bytes += b;
+    const Tick total = transfer_time(bytes, rate);
+    const Tick delta = total > charged ? total - charged : 0;
+    charged += delta;
+    return delta;
+  }
+};
+
 /// Human-readable byte count, e.g. "1.2 GB".
 [[nodiscard]] std::string format_bytes(std::uint64_t bytes);
 

@@ -29,6 +29,7 @@
 #include "net/flow_gate.h"
 #include "exec/task_state.h"
 #include "exec/time_model.h"
+#include "objstore/object_store.h"
 #include "obs/attribution.h"
 #include "obs/observer.h"
 #include "obs/span.h"
@@ -68,6 +69,7 @@ class VineRun {
         pending_crash_(cluster.worker_count(), false),
         pending_release_(cluster.worker_count(), false) {
     build_file_table();
+    store_.reset(cluster.worker_count(), tunables.object_store_bytes);
     report_.scheduler = name_;
     report_.tasks_total = graph.size();
     report_.transfers = metrics::TransferMatrix(cluster.endpoint_count());
@@ -282,6 +284,10 @@ class VineRun {
     std::vector<FileId> pinned;
     WorkerId pin_worker = cluster::kNoWorker;
     std::uint32_t pin_incarnation = 0;
+    /// Object-store files this attempt holds by-reference handles on
+    /// (subset of `pinned`); released with the pins. The handle keeps the
+    /// object off the spill-victim list while the consumer runs.
+    std::vector<FileId> store_refs;
   };
 
   /// Live attempt for `t`; the caller has already established one exists
@@ -325,6 +331,9 @@ class VineRun {
     /// without ever forcing a recompute (inputs re-fetch from the shared
     /// FS). Placement's disk-tight fallback counts this as headroom.
     std::uint64_t reclaimable_input_bytes = 0;
+    /// Residue clock for serialization charges on this worker: repeated
+    /// sub-tick argument pickles sum exactly instead of each rounding up.
+    util::TickAccumulator ser;
   };
 
   [[nodiscard]] bool in_cache(WorkerId w, FileId f) const {
@@ -398,8 +407,14 @@ class VineRun {
     if (attempt.pin_worker == cluster::kNoWorker) return;
     if (worker_current(attempt.pin_worker, attempt.pin_incarnation)) {
       for (FileId f : attempt.pinned) unpin_file(attempt.pin_worker, f);
+      // release_ref tolerates objects that were force-spilled or wiped
+      // while the consumer ran; the handle simply dies with the attempt.
+      for (FileId f : attempt.store_refs) {
+        store_.release_ref(attempt.pin_worker, f);
+      }
     }
     attempt.pinned.clear();
+    attempt.store_refs.clear();
     attempt.pin_worker = cluster::kNoWorker;
   }
 
@@ -414,10 +429,113 @@ class VineRun {
   }
 
   void gc_file(FileId f) {
+    // An in-memory store object dies with its last consumer too. Running
+    // consumers hold consumer refs, so at this point store refs are zero.
+    const objstore::NodeId sh = store_.holder_of(f);
+    if (sh != objstore::kNoHolder) drop_store_object(sh, f);
     for (WorkerId holder : replicas_->holders_sorted(f)) {
       if (pin_count(holder, f) > 0) continue;  // in use by a live transfer
       drop_worker_copy(holder, f, file(f).size, DropReason::kGc);
     }
+  }
+
+  // ---------------------------------------------------------------------
+  // Node-local object store: zero-copy output exchange for colocated
+  // FunctionCalls (see objstore/object_store.h and DESIGN.md §9).
+  // ---------------------------------------------------------------------
+  /// The store only makes sense in serverless mode with output retention:
+  /// FunctionCalls sharing a LibraryTask node are what can exchange a
+  /// pointer, and Work Queue semantics delete outputs anyway.
+  [[nodiscard]] bool store_enabled() const {
+    return tun_.object_store &&
+           options_.mode == exec::ExecMode::kFunctionCalls &&
+           policy_.retain_outputs_on_worker;
+  }
+
+  /// Should `t`'s output be published in-memory instead of written to
+  /// scratch disk? Sink outputs always materialize: they are fetched back
+  /// to the manager immediately and backing them with memory buys nothing.
+  [[nodiscard]] bool store_output(TaskId t) const {
+    return store_enabled() && !is_sink_[static_cast<std::size_t>(t)] &&
+           file(graph_.task(t).output_file).kind ==
+               data::FileKind::kIntermediate;
+  }
+
+  /// Is `f` usable on `w` without any staging — on its scratch disk or
+  /// mapped in the node's object store?
+  [[nodiscard]] bool file_resident(WorkerId w, FileId f) const {
+    return in_cache(w, f) || store_.holds(w, f);
+  }
+
+  /// Does any copy of `f` exist — replica table, manager, or a live
+  /// in-memory store object? Lineage decisions must see store objects or
+  /// they would re-run producers whose output is sitting in memory.
+  [[nodiscard]] bool output_available(FileId f) const {
+    return replicas_->available(f) || store_.holder_of(f) != objstore::kNoHolder;
+  }
+
+  /// True when every dependency output of `t` is a live store object on
+  /// `w`: the argument tuple is handed over by reference and nothing is
+  /// pickled. Tasks reading dataset inputs still deserialize those.
+  [[nodiscard]] bool inputs_by_reference(TaskId t, WorkerId w) const {
+    const auto& spec = graph_.task(t).spec;
+    if (spec.deps.empty() || !spec.input_files.empty()) return false;
+    for (TaskId dep : spec.deps) {
+      if (!store_.holds(w, graph_.task(dep).output_file)) return false;
+    }
+    return true;
+  }
+
+  /// Publish `f` into `w`'s store, then spill LRU unreferenced objects
+  /// while over budget. Returns false when a spill's disk reservation
+  /// crashed the worker (the store died with it); callers must re-validate
+  /// their token.
+  bool store_put_object(WorkerId w, FileId f) {
+    const std::uint64_t bytes = file(f).size;
+    store_.put(w, f, bytes, engine_.now());
+    report_.store_puts += 1;
+    report_.store_put_bytes += bytes;
+    if (txn_on()) obs_->txn().store_put(engine_.now(), w, f, bytes);
+    while (store_.over_capacity(w)) {
+      const FileId victim = store_.spill_victim(w);
+      if (victim == data::kInvalidFile) break;  // all referenced: tolerate
+      if (!spill_object(w, victim)) return false;
+    }
+    return true;
+  }
+
+  /// Materialize a store object as an ordinary replica-table file on its
+  /// holder's scratch disk (capacity pressure, or a remote consumer or
+  /// sink fetch needs the bytes). The object leaves memory; the file then
+  /// travels the existing peer/relay transfer paths and ages through the
+  /// LRU like any other cached output. No write time is charged — the
+  /// buffer drains to disk off the critical path, matching how fetch
+  /// arrivals are charged. Returns false when the reservation crashed the
+  /// worker.
+  bool spill_object(WorkerId w, FileId f) {
+    const std::uint64_t bytes = store_.object_bytes(w, f);
+    if (!reserve_or_crash(w, bytes, "cache overflow spilling store object")) {
+      return false;  // crash_worker already wiped w's store
+    }
+    store_.erase(w, f);
+    store_.counters().spills += 1;
+    store_.counters().spill_bytes += bytes;
+    report_.store_spills += 1;
+    report_.store_spill_bytes += bytes;
+    if (txn_on()) obs_->txn().store_spill(engine_.now(), w, f, bytes);
+    cache_insert(w, f);
+    maybe_replicate(f);
+    return true;
+  }
+
+  /// The object dies in memory without touching disk (GC, or holder loss
+  /// handled by drop_node). Tolerant of a missing entry.
+  void drop_store_object(WorkerId w, FileId f) {
+    const std::uint64_t bytes = store_.object_bytes(w, f);
+    if (!store_.erase(w, f)) return;
+    store_.counters().drops += 1;
+    report_.store_drops += 1;
+    if (txn_on()) obs_->txn().store_drop(engine_.now(), w, f, bytes);
   }
 
   /// Reserve `bytes` of scratch on `w`, evicting under disk pressure when
@@ -758,9 +876,11 @@ class VineRun {
       if (finished_) return;
     }
 
-    // Drop replicas; lost intermediates are rediscovered lazily at
-    // dispatch pre-check or fetch time (lineage reset).
+    // Drop replicas and wipe the node's object store; lost intermediates
+    // are rediscovered lazily at dispatch pre-check or fetch time
+    // (lineage reset).
     replicas_->drop_worker(w);
+    store_.drop_node(w);
     rt = WorkerRt{};
     report_.cache.mark_failure(static_cast<std::size_t>(w), engine_.now());
 
@@ -976,8 +1096,7 @@ class VineRun {
   bool precheck_inputs(TaskId t) {
     for (TaskId dep : graph_.task(t).spec.deps) {
       const FileId f = graph_.task(dep).output_file;
-      if (table_.at(dep).state == TaskState::kDone &&
-          !replicas_->available(f)) {
+      if (table_.at(dep).state == TaskState::kDone && !output_available(f)) {
         lineage_reset(dep);
       }
     }
@@ -987,7 +1106,7 @@ class VineRun {
   void lineage_reset(TaskId producer) {
     const std::size_t reset = table_.reset_lost(
         producer, engine_.now(), [this](TaskId p) {
-          return replicas_->available(graph_.task(p).output_file);
+          return output_available(graph_.task(p).output_file);
         });
     lineage_resets_ += reset;
     if (reset == 0) return;
@@ -1038,7 +1157,7 @@ class VineRun {
       const {
     std::uint64_t bytes = 0;
     for (FileId f : need) {
-      if (!in_cache(w, f)) bytes += file(f).size;
+      if (!file_resident(w, f)) bytes += file(f).size;
     }
     return bytes;
   }
@@ -1077,18 +1196,23 @@ class VineRun {
       loc_epoch_cur_ = 1;
     }
     scratch_holders_.clear();
+    const auto score_holder = [&](WorkerId holder, FileId f) {
+      const auto hi = static_cast<std::size_t>(holder);
+      if (loc_epoch_[hi] != loc_epoch_cur_) {
+        if (!worker_eligible(holder, task)) return;
+        loc_epoch_[hi] = loc_epoch_cur_;
+        loc_score_[hi] = 0;
+        scratch_holders_.push_back(holder);
+      }
+      loc_score_[hi] += file(f).size;
+    };
     for (FileId f : scratch_files_) {
       if (file(f).kind == data::FileKind::kEnvironment) continue;
-      for (WorkerId holder : replicas_->holders(f)) {
-        const auto hi = static_cast<std::size_t>(holder);
-        if (loc_epoch_[hi] != loc_epoch_cur_) {
-          if (!worker_eligible(holder, task)) continue;
-          loc_epoch_[hi] = loc_epoch_cur_;
-          loc_score_[hi] = 0;
-          scratch_holders_.push_back(holder);
-        }
-        loc_score_[hi] += file(f).size;
-      }
+      for (WorkerId holder : replicas_->holders(f)) score_holder(holder, f);
+      // An in-memory store object is the strongest locality signal of
+      // all: placing the consumer on its holder makes the input free.
+      const objstore::NodeId sh = store_.holder_of(f);
+      if (sh != objstore::kNoHolder) score_holder(sh, f);
     }
     std::sort(scratch_holders_.begin(), scratch_holders_.end(),
               [this](WorkerId a, WorkerId b) {
@@ -1283,6 +1407,18 @@ class VineRun {
     attempt.span_ready = table_.at(t).ready_at;
     attempt.span_dispatched = engine_.now();
     for (FileId f : scratch_files_) pin_file(w, f);
+    if (store_enabled()) {
+      // Inputs already mapped in w's object store are consumed by
+      // reference: take a handle per file so capacity pressure cannot
+      // spill them from under the running FunctionCall.
+      for (FileId f : scratch_files_) {
+        if (!store_.holds(w, f)) continue;
+        store_.add_ref(w, f);
+        attempt.store_refs.push_back(f);
+        report_.store_ref_hits += 1;
+        if (txn_on()) obs_->txn().store_ref(engine_.now(), w, f, file(f).size);
+      }
+    }
     auto& slot = attempts_[static_cast<std::size_t>(t)];
     assert(!slot && "dispatching a task with a live attempt");
     slot = std::make_unique<Attempt>(std::move(attempt));
@@ -1315,7 +1451,7 @@ class VineRun {
     attempt.span_staged = engine_.now();
     std::vector<FileId> missing;
     for (FileId f : scratch_files_) {
-      if (!in_cache(w, f)) missing.push_back(f);
+      if (!file_resident(w, f)) missing.push_back(f);
     }
     attempt.staging_outstanding = static_cast<std::uint32_t>(missing.size());
     if (missing.empty()) {
@@ -1349,8 +1485,7 @@ class VineRun {
     // demotes t (currently kReady from the requeue) back to waiting.
     for (TaskId dep : graph_.task(t).spec.deps) {
       const FileId f = graph_.task(dep).output_file;
-      if (table_.at(dep).state == TaskState::kDone &&
-          !replicas_->available(f)) {
+      if (table_.at(dep).state == TaskState::kDone && !output_available(f)) {
         lineage_reset(dep);
       }
     }
@@ -1359,7 +1494,7 @@ class VineRun {
 
   // --- stage_file: ensure `f` lands in w's cache, then notify ------------
   void stage_file(FileId f, WorkerId w, std::function<void(bool)> done) {
-    if (in_cache(w, f)) {
+    if (file_resident(w, f)) {
       done(true);
       return;
     }
@@ -1500,6 +1635,27 @@ class VineRun {
           fail_fetch(key);
         }
       });
+      return;
+    }
+
+    // The only copy may be a node-local store object: materialize it on
+    // its holder's disk (it becomes an ordinary replica-table file) and
+    // retry — the fresh replica takes the peer/relay paths above. When
+    // the spill lands on the requesting worker itself (a re-dispatched
+    // consumer racing a producer's spill), the fetch completes in place.
+    const objstore::NodeId sh = store_.holder_of(f);
+    if (sh != objstore::kNoHolder && cluster_.worker(sh).alive &&
+        spill_object(sh, f)) {
+      if (sh == w) {
+        Fetch* again = fetch_find(key);
+        if (again != nullptr) {
+          auto waiters = std::move(again->waiters);
+          fetch_erase(key);
+          for (auto& cb : waiters) cb(true);
+        }
+      } else if (fetch_find(key) != nullptr) {
+        start_fetch_transfer(key);
+      }
       return;
     }
 
@@ -1824,16 +1980,26 @@ class VineRun {
     Tick pre = 0;
     bool shared_imports = false;
     const auto& py = options_.python;
+    auto& rtw = workers_rt_[static_cast<std::size_t>(w)];
     if (options_.mode == exec::ExecMode::kStandardTasks) {
       pre += py.interpreter_startup;
-      pre += py.serialize_time(py.function_body_bytes + py.argument_bytes);
+      pre += py.serialize_time_acc(py.function_body_bytes + py.argument_bytes,
+                                   rtw.ser);
       if (options_.env_from_shared_fs) {
         shared_imports = true;
       } else {
         pre += options_.imports.import_time_local(node.disk.spec());
       }
     } else {
-      pre += py.fork_cost + py.serialize_time(py.argument_bytes);
+      // Zero-copy bypass: when every dependency output is a live store
+      // object on this node, the argument tuple is handed to the forked
+      // FunctionCall by reference and nothing is pickled. The reference
+      // arm (store off) charges the full serialization path.
+      const bool by_ref =
+          tun_.object_store ? inputs_by_reference(t, w) : false;
+      pre += py.fork_cost +
+             (by_ref ? py.byref_handoff_time()
+                     : py.serialize_time_acc(py.argument_bytes, rtw.ser));
       if (!options_.hoist_imports) {
         if (options_.env_from_shared_fs) {
           shared_imports = true;
@@ -1845,7 +2011,10 @@ class VineRun {
 
     const Tick compute = exec::modeled_exec_ticks(
         task, node.effective_speed(), options_.exec_time_jitter, rng_);
-    const Tick write = node.disk.write_time(task.spec.output_bytes);
+    // Store-eligible outputs never touch scratch disk at completion, so
+    // the write stage of the attempt costs nothing.
+    const Tick write =
+        store_output(t) ? 0 : node.disk.write_time(task.spec.output_bytes);
 
     if (shared_imports) {
       engine_.schedule_after(pre, [this, token, w, compute, write] {
@@ -1889,19 +2058,31 @@ class VineRun {
     const TaskId t = token.task;
     const auto& task = graph_.task(t);
 
-    // Produce the output file on the worker's scratch disk.
-    if (!reserve_or_crash(w, task.spec.output_bytes,
-                          "cache overflow writing task output")) {
-      return;
+    // Produce the output: store-eligible FunctionCall outputs publish
+    // into the node's in-memory object store (zero-copy, no disk write);
+    // everything else lands on the worker's scratch disk as before.
+    // A capacity spill inside store_put_object can crash the worker —
+    // re-validate the token like any other asynchronous hazard.
+    if (store_output(t)) {
+      if (!store_put_object(w, task.output_file) || !token_valid(token)) {
+        return;
+      }
+    } else {
+      if (!reserve_or_crash(w, task.spec.output_bytes,
+                            "cache overflow writing task output")) {
+        return;
+      }
+      cache_insert(w, task.output_file);
     }
-    cache_insert(w, task.output_file);
     // Run the real computation.
     auto& attempt = attempt_at(t);
     // The fresh output is pinned until the attempt finalizes: eviction
-    // must not destroy a result the manager has not ingested yet.
+    // must not destroy a result the manager has not ingested yet. For a
+    // store object the pin arms lazily — it starts protecting the disk
+    // copy the moment a forced spill materializes one.
     attempt.pinned.push_back(task.output_file);
     pin_file(w, task.output_file);
-    maybe_replicate(task.output_file);
+    if (!store_output(t)) maybe_replicate(task.output_file);
     attempt.exec_finished_at = engine_.now();
     dag::ValuePtr value =
         task.spec.fn ? task.spec.fn(attempt.inputs) : nullptr;
@@ -2133,6 +2314,15 @@ class VineRun {
     }
     const auto& holders = replicas_->holders(f);
     if (holders.empty()) {
+      // A store-held sink output (a task promoted to sink after its
+      // store-eligible output was published) must materialize before the
+      // manager can gather it.
+      const objstore::NodeId sh = store_.holder_of(f);
+      if (sh != objstore::kNoHolder && cluster_.worker(sh).alive &&
+          spill_object(sh, f)) {
+        fetch_sink_result(t);
+        return;
+      }
       // Output lost between completion and fetch: recompute.
       lineage_reset(t);
       pump();
@@ -2603,6 +2793,15 @@ class VineRun {
       stats.gauge("engine.events_pending", [this] {
         return static_cast<double>(engine_.pending());
       });
+      stats.gauge("store.objects", [this] {
+        return static_cast<double>(store_.total_objects());
+      });
+      stats.gauge("store.puts", [this] {
+        return static_cast<double>(store_.counters().puts);
+      });
+      stats.gauge("store.spills", [this] {
+        return static_cast<double>(store_.counters().spills);
+      });
       bytes_via_manager_ = stats.counter("xfer.bytes_via_manager");
       bytes_peer_ = stats.counter("xfer.bytes_peer");
       bytes_via_fs_ = stats.counter("xfer.bytes_via_fs");
@@ -2748,7 +2947,8 @@ class VineRun {
       std::string v = "inc=" + std::to_string(node.incarnation) +
                       " out=" + std::to_string(rt.active_out) +
                       " cores=" + std::to_string(node.cores_in_use) +
-                      " pins=";
+                      " ser=" + std::to_string(rt.ser.bytes) + ":" +
+                      std::to_string(rt.ser.charged) + " pins=";
       bool first = true;
       for (const auto& [f, n] : rt.pins) {
         if (!first) v += ",";
@@ -2756,6 +2956,29 @@ class VineRun {
         v += std::to_string(f) + ":" + std::to_string(n);
       }
       b.field_s("w" + std::to_string(w), v);
+    }
+
+    // Node-local object store: every in-memory object (holder, bytes,
+    // live refs, publication tick, holder's resident total) plus the
+    // budget and lifetime counters. Files have a single holder, so file
+    // id alone orders the section deterministically.
+    b.section("store");
+    b.field("capacity", store_.capacity());
+    b.field("objects", store_.total_objects());
+    b.field("puts", store_.counters().puts);
+    b.field("put_bytes", store_.counters().put_bytes);
+    b.field("ref_hits", store_.counters().ref_hits);
+    b.field("spills", store_.counters().spills);
+    b.field("spill_bytes", store_.counters().spill_bytes);
+    b.field("drops", store_.counters().drops);
+    for (const objstore::StoreItem& item : store_.objects()) {
+      const objstore::StoreEntry& entry = item.entry;
+      b.field_s("o" + std::to_string(item.file),
+                "w=" + std::to_string(item.holder) +
+                    " b=" + std::to_string(entry.bytes) +
+                    " r=" + std::to_string(entry.refs) +
+                    " t=" + std::to_string(entry.put_at) +
+                    " u=" + std::to_string(store_.used(item.holder)));
     }
 
     b.section("flows");
@@ -2910,6 +3133,9 @@ class VineRun {
   std::vector<WorkerRt> workers_rt_;
   std::vector<FileInfo> files_;
   std::unique_ptr<ReplicaTable> replicas_;
+  /// Node-local object store: in-memory FunctionCall outputs exchanged by
+  /// reference between colocated consumers (VineTunables::object_store).
+  objstore::ObjectStore store_;
   // vine-snapshot: derived(built once from the graph before any event runs)
   std::map<std::string, FileId> function_bodies_;
   // vine-snapshot: derived(fixed at startup from RunOptions)

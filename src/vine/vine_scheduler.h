@@ -88,6 +88,18 @@ struct VineTunables {
   /// differential suite diffs txn logs between the two byte-for-byte.
   // vine-fastpath: opt-in
   bool indexed_dispatch = true;
+  /// Node-local zero-copy object store for serverless outputs (vineyard
+  /// style): colocated FunctionCalls exchange outputs by reference — no
+  /// serialization, no scratch-disk write — and objects spill to disk
+  /// through the pin/GC/evict ladder when the per-node budget is tight or
+  /// a remote consumer needs the bytes. The reference arm (store off) is
+  /// the disk-backed output path the paper measures; the differential
+  /// suite runs both arms and checks each replays bit-identically.
+  // vine-fastpath: opt-in
+  bool object_store = false;
+  /// Per-node byte budget for in-memory store objects; pressure past it
+  /// spills the LRU unreferenced object to the holder's scratch disk.
+  std::uint64_t object_store_bytes = 4 * util::kGiB;
 };
 
 class VineScheduler final : public exec::SchedulerBackend {

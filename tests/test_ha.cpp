@@ -221,6 +221,63 @@ TEST(ManagerHa, RecoveryBitIdenticalDask) {
   expect_recovery_bit_identical("dd");
 }
 
+TEST(ManagerHa, RecoveryBitIdenticalWithObjectStoreSpills) {
+  // The object store adds live manager state — holder map, ref counts,
+  // per-object LRU stamps, the serialize residue accumulators — all of
+  // which must survive the snapshot/replay cycle. A deliberately small
+  // budget keeps the store under pressure so snapshots are taken with
+  // objects resident AND spills already on disk.
+  const dag::TaskGraph graph = apps::build_workload(tiny_dv3(24), 5);
+  exec::RunOptions options = ha_options();
+  options.mode = exec::ExecMode::kFunctionCalls;
+  vine::VineTunables tun;
+  tun.object_store = true;
+  tun.object_store_bytes = 64 * util::kMB;  // ~2 process outputs
+  auto run_store = [&](const exec::RunOptions& o) {
+    cluster::Cluster cluster(tiny_cluster(4));
+    vine::VineScheduler s(vine::taskvine_policy(), tun);
+    return s.run(graph, cluster, o);
+  };
+
+  const auto baseline = run_store(options);
+  ASSERT_TRUE(baseline.success) << baseline.failure_reason;
+  ASSERT_GE(baseline.ha.snapshots.size(), 2u);
+  EXPECT_GT(baseline.store_puts, 0u);
+  EXPECT_GT(baseline.store_spills, 0u)
+      << "budget too large: no snapshot can catch a spilled object";
+
+  // At least one cadence tick must serialize live store objects.
+  bool saw_object = false;
+  for (const auto& rec : baseline.ha.snapshots) {
+    EXPECT_FALSE(ha::snapshot_field(rec.state, "store.puts").empty())
+        << rec.state;
+    if (!ha::snapshot_field(rec.state, "store.objects").empty() &&
+        ha::snapshot_field(rec.state, "store.objects") != "0") {
+      saw_object = true;
+    }
+  }
+  EXPECT_TRUE(saw_object)
+      << "no snapshot observed a resident store object";
+
+  exec::RunOptions crash_options = options;
+  crash_options.faults.crash_manager(baseline.makespan * 6 / 10);
+  const auto crashed = run_store(crash_options);
+  ASSERT_TRUE(crashed.ha.manager_crashed);
+  ASSERT_FALSE(crashed.ha.snapshots.empty());
+
+  exec::RunOptions rerun_options = crash_options;
+  rerun_options.faults = ha::strip_manager_crash(crash_options.faults);
+  const auto outcome = ha::recover(crashed, crash_options.ha, [&] {
+    return run_store(rerun_options);
+  });
+
+  EXPECT_TRUE(outcome.snapshot_converged) << outcome.error;
+  EXPECT_TRUE(outcome.tail_identical) << outcome.error;
+  EXPECT_TRUE(outcome.recovered) << outcome.error;
+  EXPECT_EQ(ha::run_digest(outcome.report), ha::run_digest(baseline));
+  EXPECT_EQ(sink_digest(outcome.report), reference_digest(graph));
+}
+
 // --- snapshot completeness: the VL007-audited fields are live ------------
 
 TEST(ManagerHa, SnapshotCarriesCursorResetAndInjectorState) {

@@ -82,6 +82,23 @@ TEST(TxnLog, RecordsGrammarLines) {
   EXPECT_NE(text.find("10000000 MANAGER 0 END"), std::string::npos);
 }
 
+TEST(TxnLog, RecordsStoreGrammarLines) {
+  // The object-store verbs mirror CACHE: subject, file id, verb, bytes,
+  // worker — so existing txn tooling parses them without special cases.
+  obs::TxnLog log(64, "");
+  log.store_put(1'500'000, 1, 42, 1024);
+  log.store_ref(1'600'000, 1, 42, 1024);
+  log.store_spill(8'000'000, 1, 42, 1024);
+  log.store_drop(8'100'000, 2, 43, 2048);
+
+  EXPECT_EQ(log.events(), 4u);
+  const std::string text = log.text();
+  EXPECT_NE(text.find("1500000 STORE 42 PUT 1024 1"), std::string::npos);
+  EXPECT_NE(text.find("1600000 STORE 42 REF 1024 1"), std::string::npos);
+  EXPECT_NE(text.find("8000000 STORE 42 SPILL 1024 1"), std::string::npos);
+  EXPECT_NE(text.find("8100000 STORE 43 DROP 2048 2"), std::string::npos);
+}
+
 TEST(TxnLog, RingRotatesOldestLines) {
   obs::TxnLog log(4, "");
   for (int i = 0; i < 10; ++i) {
@@ -292,7 +309,7 @@ TEST(TxnQuery, ParsesFaultAndNetSubjectIds) {
 
 TEST(TxnLog, SubjectRegistryCoversGrammar) {
   for (const char* s : {"MANAGER", "TASK", "WORKER", "CACHE", "TRANSFER",
-                        "LIBRARY", "FAULT", "NET"}) {
+                        "LIBRARY", "FAULT", "NET", "STORE"}) {
     EXPECT_TRUE(obs::txn_subject_registered(s)) << s;
   }
   EXPECT_FALSE(obs::txn_subject_registered("ZOMBIE"));
@@ -301,6 +318,7 @@ TEST(TxnLog, SubjectRegistryCoversGrammar) {
   EXPECT_TRUE(obs::txn_subject_id_first("TASK"));
   EXPECT_TRUE(obs::txn_subject_id_first("FAULT"));
   EXPECT_TRUE(obs::txn_subject_id_first("NET"));
+  EXPECT_TRUE(obs::txn_subject_id_first("STORE"));
   // TRANSFER leads with src/dst endpoints, not a single id.
   EXPECT_FALSE(obs::txn_subject_id_first("TRANSFER"));
   EXPECT_FALSE(obs::txn_subject_id_first("ZOMBIE"));
@@ -414,6 +432,33 @@ TEST(TxnQuery, CacheSummaryRollsUpAllFourVerbs) {
   EXPECT_NE(rendered.find("EVICT"), std::string::npos);
   EXPECT_NE(rendered.find("GC"), std::string::npos);
   EXPECT_NE(rendered.find("LOST"), std::string::npos);
+}
+
+TEST(TxnQuery, StoreSummaryRollsUpAllFourVerbs) {
+  obs::TxnLog log(64, "");
+  log.store_put(100, 0, 7, 1000);
+  log.store_put(150, 1, 8, 500);
+  log.store_ref(200, 0, 7, 1000);
+  log.store_ref(250, 0, 7, 1000);
+  log.store_spill(300, 1, 8, 500);
+  log.store_drop(400, 0, 7, 1000);
+  const auto events = obs::txnq::parse_log(log.text());
+
+  const auto ss = obs::txnq::store_summary(events);
+  EXPECT_EQ(ss.puts, 2u);
+  EXPECT_EQ(ss.put_bytes, 1500u);
+  EXPECT_EQ(ss.refs, 2u);
+  EXPECT_EQ(ss.ref_bytes, 2000u);
+  EXPECT_EQ(ss.spills, 1u);
+  EXPECT_EQ(ss.spilled_bytes, 500u);
+  EXPECT_EQ(ss.drops, 1u);
+  EXPECT_EQ(ss.dropped_bytes, 1000u);
+
+  const std::string rendered = obs::txnq::format_store_summary(ss);
+  EXPECT_NE(rendered.find("PUT"), std::string::npos);
+  EXPECT_NE(rendered.find("REF"), std::string::npos);
+  EXPECT_NE(rendered.find("SPILL"), std::string::npos);
+  EXPECT_NE(rendered.find("DROP"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------------
@@ -544,6 +589,44 @@ TEST(ObsEndToEnd, DaskRunEmitsLifecycles) {
   ASSERT_FALSE(perf.empty());
   EXPECT_DOUBLE_EQ(perf.final_value("tasks.done"),
                    static_cast<double>(report.tasks_total));
+}
+
+TEST(ObsEndToEnd, StoreVerbsRoundTripThroughTxnQuery) {
+  // A serverless run with the object store on must emit a STORE line for
+  // every store transition it reports: puts, by-reference handles,
+  // forced spills (remote consumers), and in-memory GC drops all
+  // round-trip through parse_log/store_summary. Spilled objects become
+  // ordinary cache files, so the CACHE summary sees their inserts too.
+  const dag::TaskGraph graph = apps::build_workload(tiny_dv3(), 3);
+  cluster::Cluster cluster(tiny_cluster(4));
+  exec::RunOptions options = fast_options();
+  options.mode = exec::ExecMode::kFunctionCalls;
+  options.observability.enabled = true;
+  vine::VineTunables tun;
+  tun.object_store = true;
+  vine::VineScheduler scheduler(vine::taskvine_policy(), tun);
+  const exec::RunReport report = scheduler.run(graph, cluster, options);
+  ASSERT_TRUE(report.success) << report.failure_reason;
+  ASSERT_TRUE(report.observation != nullptr);
+
+  const auto events =
+      obs::txnq::parse_log(report.observation->txn().text());
+  const auto ss = obs::txnq::store_summary(events);
+  EXPECT_EQ(ss.puts, report.store_puts);
+  EXPECT_EQ(ss.put_bytes, report.store_put_bytes);
+  EXPECT_EQ(ss.refs, report.store_ref_hits);
+  EXPECT_EQ(ss.spills, report.store_spills);
+  EXPECT_EQ(ss.spilled_bytes, report.store_spill_bytes);
+  EXPECT_EQ(ss.drops, report.store_drops);
+  EXPECT_GT(ss.puts, 0u);
+  EXPECT_GT(ss.spills, 0u);
+
+  // Every object leaves memory exactly once: spilled to disk or dropped
+  // by GC/worker loss (never both, never neither).
+  EXPECT_EQ(ss.spills + ss.drops, ss.puts);
+  const auto cs = obs::txnq::cache_summary(events);
+  EXPECT_GE(cs.inserts, ss.spills)
+      << "each spill must materialize a cache insert on the holder";
 }
 
 TEST(ObsEndToEnd, ReportSummaryMentionsObservability) {

@@ -34,6 +34,37 @@ TEST(PyRuntime, SerializeTimeHasFixedAndLinearParts) {
   EXPECT_NEAR(util::to_seconds(big - small), 1.0, 0.05);
 }
 
+TEST(PyRuntime, SerializeTimeZeroBytesIsFree) {
+  // A by-reference handoff moves nothing across the pickle boundary, so
+  // it must not pay the 2 ms fixed cost either — this is what makes the
+  // object store's colocated exchange genuinely zero-cost.
+  const PythonRuntimeSpec py = default_python_runtime();
+  EXPECT_EQ(py.serialize_time(0), 0);
+  EXPECT_EQ(py.byref_handoff_time(), 0);
+  util::TickAccumulator acc;
+  EXPECT_EQ(py.serialize_time_acc(0, acc), 0);
+  EXPECT_EQ(acc.charged, 0);
+}
+
+TEST(PyRuntime, SerializeTimeAccChargesFixedPerCallButThroughputExactly) {
+  const PythonRuntimeSpec py = default_python_runtime();
+  util::TickAccumulator acc;
+  const int n = 100;
+  util::Tick total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += py.serialize_time_acc(py.argument_bytes, acc);
+  }
+  // Every call pays the fixed pickle cost; the throughput term across
+  // all calls must equal one n-times-larger transfer, not n round-ups.
+  const util::Tick throughput = util::transfer_time(
+      static_cast<std::uint64_t>(n) * py.argument_bytes,
+      py.serialize_bytes_per_sec);
+  EXPECT_EQ(total, static_cast<util::Tick>(n) * py.serialize_fixed +
+                       throughput);
+  EXPECT_LE(total, static_cast<util::Tick>(n) *
+                       py.serialize_time(py.argument_bytes));
+}
+
 TEST(PyRuntime, ImportSetAggregates) {
   const ImportSet set = hep_import_set();
   ASSERT_EQ(set.libraries.size(), 2u);

@@ -279,6 +279,61 @@ TEST(DispatchDifferential, DaskTwoRunTxnIdentity) {
   EXPECT_EQ(a.txn, b.txn);
 }
 
+TEST(DispatchDifferential, ObjectStoreTwoRunTxnIdentity) {
+  // The node-local object store adds state (holder map, ref counts, the
+  // serialize residue accumulator) to every dispatch and completion; with
+  // it on, two identical serverless runs must still replay byte-for-byte.
+  auto run_fc = [](bool object_store) {
+    const dag::TaskGraph graph = apps::build_workload(tiny_dv3(48), 3);
+    cluster::Cluster cluster(tiny_cluster(6));
+    vine::VineTunables tun;
+    tun.object_store = object_store;
+    vine::VineScheduler scheduler(vine::taskvine_policy(), tun);
+    exec::RunOptions options = txn_options();
+    options.mode = exec::ExecMode::kFunctionCalls;
+    TxnRun out;
+    out.report = scheduler.run(graph, cluster, options);
+    out.txn = out.report.observation->txn().text();
+    return out;
+  };
+  const auto on_a = run_fc(true);
+  const auto on_b = run_fc(true);
+  ASSERT_TRUE(on_a.report.success) << on_a.report.failure_reason;
+  ASSERT_FALSE(on_a.txn.empty());
+  EXPECT_GT(on_a.report.store_puts, 0u);
+  EXPECT_EQ(on_a.txn, on_b.txn);
+  EXPECT_EQ(sink_digest(on_a.report), sink_digest(on_b.report));
+
+  // And the off arm both replays and stays verb-free.
+  const auto off_a = run_fc(false);
+  const auto off_b = run_fc(false);
+  ASSERT_TRUE(off_a.report.success) << off_a.report.failure_reason;
+  EXPECT_EQ(off_a.txn, off_b.txn);
+  EXPECT_EQ(off_a.txn.find(" STORE "), std::string::npos);
+  EXPECT_EQ(sink_digest(on_a.report), sink_digest(off_a.report));
+}
+
+TEST(DispatchDifferential, DaskServerlessTwoRunTxnIdentity) {
+  // dd's serverless path now charges serialization through the per-proc
+  // residue accumulator; the accumulator state must not perturb replay.
+  auto run_dd_fc = [] {
+    const dag::TaskGraph graph = apps::build_workload(tiny_dv3(), 3);
+    cluster::Cluster cluster(tiny_cluster(4));
+    dd::DaskDistScheduler scheduler{dd::DaskTunables{}};
+    exec::RunOptions options = txn_options();
+    options.mode = exec::ExecMode::kFunctionCalls;
+    TxnRun out;
+    out.report = scheduler.run(graph, cluster, options);
+    out.txn = out.report.observation->txn().text();
+    return out;
+  };
+  const auto a = run_dd_fc();
+  const auto b = run_dd_fc();
+  ASSERT_TRUE(a.report.success) << a.report.failure_reason;
+  ASSERT_FALSE(a.txn.empty());
+  EXPECT_EQ(a.txn, b.txn);
+}
+
 // ---------------------------------------------------------------------
 // Dispatch-correctness bugfix regressions.
 // ---------------------------------------------------------------------

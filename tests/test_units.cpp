@@ -27,6 +27,50 @@ TEST(Units, TransferTimeBasics) {
   EXPECT_EQ(transfer_time(0, 1e9), 0);
 }
 
+TEST(Units, TickAccumulatorSumsExactly) {
+  // Per-call transfer_time rounds every payload up to a whole tick, so N
+  // sub-tick serializations overcharge by up to N-1 ticks. The residue
+  // accumulator must make any split sum to the one-shot total.
+  const Bandwidth rate = mbs(200.0);        // the pickle throughput
+  const std::uint64_t tuple = 16 * kKiB;    // one argument tuple
+  const int n = 1000;
+  TickAccumulator acc;
+  Tick split_total = 0;
+  for (int i = 0; i < n; ++i) split_total += acc.charge(tuple, rate);
+  EXPECT_EQ(split_total,
+            transfer_time(static_cast<std::uint64_t>(n) * tuple, rate));
+  // The naive per-call charging really does lose fractional ticks — the
+  // accumulator exists because these two disagree.
+  EXPECT_GT(static_cast<Tick>(n) * transfer_time(tuple, rate), split_total);
+}
+
+TEST(Units, TickAccumulatorZeroBytesIsFree) {
+  TickAccumulator acc;
+  EXPECT_EQ(acc.charge(0, mbs(200.0)), 0);
+  EXPECT_EQ(acc.bytes, 0u);
+  EXPECT_EQ(acc.charged, 0);
+  // A zero charge between real ones must not disturb the residue.
+  const Tick a = acc.charge(16 * kKiB, mbs(200.0));
+  EXPECT_EQ(acc.charge(0, mbs(200.0)), 0);
+  const Tick b = acc.charge(16 * kKiB, mbs(200.0));
+  EXPECT_EQ(a + b, transfer_time(32 * kKiB, mbs(200.0)));
+}
+
+TEST(Units, TickAccumulatorMatchesArbitrarySplits) {
+  // Exactness must not depend on uniform chunk sizes.
+  const Bandwidth rate = gbps(1.0);
+  const std::vector<std::uint64_t> chunks = {1, 1500, 7, 16 * kKiB,
+                                             3 * kMiB, 42, 999'999};
+  std::uint64_t total_bytes = 0;
+  Tick total_ticks = 0;
+  TickAccumulator acc;
+  for (const std::uint64_t c : chunks) {
+    total_bytes += c;
+    total_ticks += acc.charge(c, rate);
+  }
+  EXPECT_EQ(total_ticks, transfer_time(total_bytes, rate));
+}
+
 TEST(Units, TransferTimeNeverZeroForNonzeroBytes) {
   EXPECT_GE(transfer_time(1, 1e12), 1);
 }

@@ -8,6 +8,7 @@
 //   txn_query <txn.log> categories     per-category wait/run breakdown
 //   txn_query <txn.log> workers        connection/disconnection summary
 //   txn_query <txn.log> cache          cache lifecycle (INSERT/EVICT/GC/LOST)
+//   txn_query <txn.log> store          object-store lifecycle (PUT/REF/SPILL/DROP)
 //   txn_query <txn.log> profile [k]    blame rollup + top-k critical chain
 //   txn_query <txn.log> summary        everything above, condensed
 
@@ -33,6 +34,7 @@ int usage(const char* argv0) {
                "  categories   per-category wait/run breakdown\n"
                "  workers      worker connection summary\n"
                "  cache        cache lifecycle rollup (INSERT/EVICT/GC/LOST)\n"
+               "  store        object-store rollup (PUT/REF/SPILL/DROP)\n"
                "  profile [k]  blame rollup + top-k critical-chain links\n"
                "  summary      condensed overview\n",
                argv0);
@@ -124,6 +126,14 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (cmd == "store") {
+    std::fputs(obs::txnq::format_store_summary(
+                   obs::txnq::store_summary(events))
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
   if (cmd == "profile") {
     std::size_t top_k = 5;
     if (argc >= 4) {
@@ -158,6 +168,12 @@ int main(int argc, char** argv) {
                    obs::txnq::cache_summary(events))
                    .c_str(),
                stdout);
+    // Store-less logs (store off, or pre-store runs) keep the exact
+    // pre-existing summary output.
+    const auto ss = obs::txnq::store_summary(events);
+    if (ss.puts + ss.refs + ss.spills + ss.drops > 0) {
+      std::fputs(obs::txnq::format_store_summary(ss).c_str(), stdout);
+    }
     return 0;
   }
 
